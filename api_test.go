@@ -1,0 +1,178 @@
+package dsmcpic_test
+
+import (
+	"bytes"
+	"testing"
+
+	dsmcpic "github.com/plasma-hpc/dsmcpic"
+)
+
+// TestPublicAPIEndToEnd exercises the exported façade the examples use:
+// build grids, configure, run, inspect results — without touching any
+// internal package directly.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	grids, err := dsmcpic.BuildNozzleGrids(3, 6, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grids.Fine.NumCells() != 8*grids.Coarse.NumCells() {
+		t.Fatal("grid nesting broken")
+	}
+	lb := dsmcpic.DefaultLoadBalance()
+	lb.T = 3
+	cfg := dsmcpic.Config{
+		Ref:              grids,
+		Steps:            5,
+		DtDSMC:           1.5e-6,
+		InjectHPerStep:   800,
+		InjectIonPerStep: 160,
+		WeightH:          1e12,
+		WeightIon:        6000,
+		Wall:             dsmcpic.WallModel{Kind: dsmcpic.DiffuseWall, Temperature: 300},
+		Strategy:         dsmcpic.Centralized,
+		LB:               lb,
+		Reactions:        dsmcpic.DefaultReactions(),
+		Cost:             dsmcpic.DefaultCostModel(dsmcpic.BSCC, dsmcpic.InnerRack),
+		BField:           dsmcpic.V(0, 0, 0.01),
+		Seed:             2,
+	}
+	probed := false
+	cfg.OnStep = func(step int, s *dsmcpic.Solver) {
+		if step == 0 && s.Comm.Rank() == 0 {
+			probed = true
+		}
+	}
+	stats, err := dsmcpic.Run(dsmcpic.NewWorld(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probed {
+		t.Error("OnStep probe did not run")
+	}
+	if stats.TotalParticles() == 0 {
+		t.Error("no particles simulated")
+	}
+	if stats.TotalTime() <= 0 {
+		t.Error("no modeled time")
+	}
+	for _, comp := range []string{dsmcpic.CompInject, dsmcpic.CompDSMCMove,
+		dsmcpic.CompPoisson, dsmcpic.CompRebalance} {
+		if stats.ComponentTime(comp) < 0 {
+			t.Errorf("negative %s", comp)
+		}
+	}
+}
+
+func TestPublicBoxGrids(t *testing.T) {
+	grids, err := dsmcpic.BuildBoxGrids(2, 2, 2, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grids.Coarse.NumCells() != 48 {
+		t.Errorf("box cells = %d", grids.Coarse.NumCells())
+	}
+}
+
+func TestSpeciesConstants(t *testing.T) {
+	if dsmcpic.H.IsCharged() || !dsmcpic.HPlus.IsCharged() {
+		t.Error("species charge flags wrong")
+	}
+	if dsmcpic.Distributed.String() != "DC" || dsmcpic.Centralized.String() != "CC" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestPublicConicalNozzle(t *testing.T) {
+	grids, err := dsmcpic.BuildConicalNozzleGrids(3, 6, 0.02, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grids.Coarse.NumCells() == 0 {
+		t.Fatal("empty conical grid")
+	}
+	if _, err := dsmcpic.BuildConicalNozzleGrids(0, 6, 0.02, 0.05, 0.2); err == nil {
+		t.Error("bad resolution accepted")
+	}
+}
+
+func TestPublicChemistryAndSurfaces(t *testing.T) {
+	grids, err := dsmcpic.BuildNozzleGrids(3, 6, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wallHits int64
+	cfg := dsmcpic.Config{
+		Ref:              grids,
+		Steps:            4,
+		DtDSMC:           1.5e-6,
+		InjectHPerStep:   600,
+		InjectIonPerStep: 60,
+		WeightH:          1e14,
+		WeightIon:        6000,
+		Wall:             dsmcpic.WallModel{Kind: dsmcpic.DiffuseWall, Temperature: 300},
+		Strategy:         dsmcpic.Distributed,
+		Reactions:        dsmcpic.FullChemistry(),
+		SampleSurfaces:   true,
+		Seed:             13,
+		OnStep: func(step int, s *dsmcpic.Solver) {
+			if step != 3 {
+				return
+			}
+			var h int64
+			for i := 0; i < s.Surface().NumFaces(); i++ {
+				h += s.Surface().Hits[i]
+			}
+			total := s.Comm.AllreduceInt64([]int64{h})
+			if s.Comm.Rank() == 0 {
+				wallHits = total[0]
+			}
+		},
+	}
+	stats, err := dsmcpic.Run(dsmcpic.NewWorld(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalParticles() == 0 {
+		t.Error("no particles")
+	}
+	if wallHits == 0 {
+		t.Error("no wall hits sampled")
+	}
+}
+
+func TestPublicCheckpointRoundTrip(t *testing.T) {
+	grids, err := dsmcpic.BuildNozzleGrids(3, 6, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp *dsmcpic.Checkpoint
+	cfg := dsmcpic.Config{
+		Ref: grids, Steps: 3, DtDSMC: 1.5e-6,
+		InjectHPerStep: 500, WeightH: 1e12, WeightIon: 1,
+		Strategy: dsmcpic.Distributed, Seed: 4,
+		OnStep: func(step int, s *dsmcpic.Solver) {
+			if step == 2 {
+				if got := dsmcpic.CaptureCheckpoint(s, step); got != nil {
+					cp = got
+				}
+			}
+		},
+	}
+	if _, err := dsmcpic.Run(dsmcpic.NewWorld(2), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || cp.Particles.Len() == 0 {
+		t.Fatal("no checkpoint")
+	}
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dsmcpic.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Particles.Len() != cp.Particles.Len() {
+		t.Error("checkpoint round trip lost particles")
+	}
+}

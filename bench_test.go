@@ -1,0 +1,157 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact; see DESIGN.md experiment index). Benchmarks
+// run the quick preset by default; set DSMCPIC_FULL=1 for the paper-scale
+// 24..1536-rank sweep (tens of minutes in total).
+//
+// Results are cached within the process, so benchmarks sharing runs (e.g.
+// Table II / III / IV all read the DS2 sweep) pay for them once; -benchtime
+// beyond the first iteration measures cache reads, not simulations.
+package dsmcpic
+
+import (
+	"os"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/experiments"
+)
+
+func benchPreset() experiments.Preset {
+	if os.Getenv("DSMCPIC_FULL") == "1" {
+		return experiments.FullPreset()
+	}
+	return experiments.QuickPreset()
+}
+
+func BenchmarkFig5NoBalanceDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(5 * benchPreset().Steps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxShare() < 50 {
+			b.Fatalf("concentration pathology not reproduced: %.1f%%", res.MaxShare())
+		}
+	}
+}
+
+func BenchmarkFig8ValidationContours(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Validation(8, 2*benchPreset().Steps, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.SerialCells) == 0 || len(res.ParallelCells) == 0 {
+			b.Fatal("missing density contours")
+		}
+	}
+}
+
+func BenchmarkFig9AxisProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Validation(8, 2*benchPreset().Steps, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range res.MeanRelError {
+			if e > 0.3 {
+				b.Fatalf("axis profile error %.1f%% too high", 100*e)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchPreset())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Times) != 4 {
+			b.Fatal("missing variants")
+		}
+	}
+}
+
+func BenchmarkTable3MoveTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchPreset()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11CommStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(benchPreset()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchPreset())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.PoissonScalesWorst() {
+			b.Fatal("Poisson bottleneck not reproduced")
+		}
+	}
+}
+
+func BenchmarkTable5KMOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(benchPreset()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12IntervalT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(benchPreset()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6WCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(benchPreset()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Threshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(benchPreset()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14RankPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(benchPreset())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.InnerFrameFastest() {
+			b.Fatal("placement ordering not reproduced")
+		}
+	}
+}
+
+func BenchmarkFig15Portability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchPreset()
+		if len(p.Ranks) > 2 {
+			p.Ranks = p.Ranks[:2] // 2 platforms x 4 datasets x 2 strategies
+		}
+		if _, err := experiments.Fig15(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the experiment index). Example:
+//
+//	experiments -id table2 -preset quick
+//	experiments -id all -preset full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/experiments"
+)
+
+// tabler is any experiment result that can render itself.
+type tabler interface{ Table() string }
+
+func main() {
+	id := flag.String("id", "all", "experiment id: fig5, fig8, fig9, table2, fig10, table3, table4, fig11, table5, fig12, table6, fig13, fig14, fig15, all")
+	preset := flag.String("preset", "quick", "quick (reduced ranks/steps) or full (paper-scale sweep)")
+	flag.Parse()
+
+	var p experiments.Preset
+	switch *preset {
+	case "quick":
+		p = experiments.QuickPreset()
+	case "full":
+		p = experiments.FullPreset()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	type experiment struct {
+		id  string
+		run func() (tabler, error)
+	}
+	all := []experiment{
+		{"fig5", func() (tabler, error) { return experiments.Fig5(5 * p.Steps) }},
+		{"fig8", func() (tabler, error) { return experiments.Validation(8, 4*p.Steps, 4) }},
+		{"table2", func() (tabler, error) { return experiments.Table2(p) }},
+		{"table3", func() (tabler, error) { return experiments.Table3(p) }},
+		{"table4", func() (tabler, error) { return experiments.Table4(p) }},
+		{"fig11", func() (tabler, error) { return experiments.Fig11(p) }},
+		{"table5", func() (tabler, error) { return experiments.Table5(p) }},
+		{"fig12", func() (tabler, error) { return experiments.Fig12(p) }},
+		{"table6", func() (tabler, error) { return experiments.Table6(p) }},
+		{"fig13", func() (tabler, error) { return experiments.Fig13(p) }},
+		{"fig14", func() (tabler, error) { return experiments.Fig14(p) }},
+		{"fig15", func() (tabler, error) { return experiments.Fig15(p) }},
+		{"autotune", func() (tabler, error) {
+			return experiments.AutoTune(experiments.DS2, p.Ranks[0], p.Steps, nil, nil)
+		}},
+		{"ablation", func() (tabler, error) {
+			ranks := p.Ranks
+			if len(ranks) > 3 {
+				ranks = ranks[:3]
+			}
+			return experiments.PartitionAblation(experiments.Preset{Ranks: ranks, Steps: p.Steps})
+		}},
+	}
+	alias := map[string]string{"fig9": "fig8", "fig10": "table2"}
+	want := *id
+	if a, ok := alias[want]; ok {
+		want = a
+	}
+
+	ran := 0
+	for _, e := range all {
+		if want != "all" && e.id != want {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%s) ==\n%s\n", e.id, time.Since(start).Round(time.Millisecond), res.Table())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *id)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,202 @@
+// Command plasmasim runs one coupled DSMC/PIC plasma-plume simulation in a
+// 3D cylindrical nozzle and reports particle statistics and the modeled
+// per-component time breakdown.
+//
+// Example:
+//
+//	plasmasim -ranks 16 -steps 50 -strategy dc -lb -inject-h 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/balance"
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/diag"
+	"github.com/plasma-hpc/dsmcpic/internal/dsmc"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+	"github.com/plasma-hpc/dsmcpic/internal/vtkio"
+)
+
+func main() {
+	var (
+		ranks      = flag.Int("ranks", 8, "number of simulated MPI ranks")
+		steps      = flag.Int("steps", 25, "DSMC timesteps")
+		meshFile   = flag.String("mesh", "", "load the coarse grid from this file (from meshgen -o) instead of generating")
+		densityOut = flag.String("density-vtk", "", "write the final H number-density field to this VTK file")
+		meshN      = flag.Int("mesh-n", 4, "nozzle transversal half-resolution")
+		meshNZ     = flag.Int("mesh-nz", 10, "nozzle axial cells")
+		radius     = flag.Float64("radius", 0.05, "nozzle radius (m)")
+		outletR    = flag.Float64("outlet-radius", 0, "outlet radius for a conical nozzle (0 = straight cylinder)")
+		length     = flag.Float64("length", 0.2, "nozzle length (m)")
+		injectH    = flag.Int("inject-h", 4000, "H simulation particles injected per step (global)")
+		injectIon  = flag.Int("inject-ion", 400, "H+ simulation particles injected per step (global)")
+		dt         = flag.Float64("dt", 1.2586e-6, "DSMC timestep (s)")
+		drift      = flag.Float64("drift", 10000, "inlet drift speed (m/s)")
+		strategy   = flag.String("strategy", "dc", "particle exchange strategy: dc or cc")
+		lb         = flag.Bool("lb", true, "enable the dynamic load balancer")
+		lbT        = flag.Int("lb-t", 5, "load balance check interval T (DSMC steps)")
+		lbThr      = flag.Float64("lb-threshold", 2.0, "lii threshold")
+		wcell      = flag.Int64("lb-wcell", 1, "cell weight W_cell")
+		noKM       = flag.Bool("lb-no-km", false, "disable Kuhn-Munkres remapping")
+		platform   = flag.String("platform", "tianhe2", "cost-model platform: tianhe2, bscc, tianhe3")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	strat := exchange.Distributed
+	if *strategy == "cc" {
+		strat = exchange.Centralized
+	} else if *strategy != "dc" {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	var plat commcost.Platform
+	switch *platform {
+	case "tianhe2":
+		plat = commcost.Tianhe2
+	case "bscc":
+		plat = commcost.BSCC
+	case "tianhe3":
+		plat = commcost.Tianhe3
+	default:
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+
+	var coarse *mesh.Mesh
+	var err error
+	if *meshFile != "" {
+		f, ferr := os.Open(*meshFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		coarse, err = mesh.Load(f)
+		f.Close()
+	} else if *outletR > 0 {
+		coarse, err = mesh.ConicalNozzle(*meshN, *meshNZ, *radius, *outletR, *length)
+	} else {
+		coarse, err = mesh.Nozzle(*meshN, *meshNZ, *radius, *length)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := mesh.RefineUniform(coarse)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nozzle: %d coarse cells, %d fine cells, %d fine nodes\n",
+		coarse.NumCells(), ref.Fine.NumCells(), ref.Fine.NumNodes())
+
+	cfg := core.Config{
+		Ref:              ref,
+		Steps:            *steps,
+		PICSubsteps:      2,
+		DtDSMC:           *dt,
+		InjectHPerStep:   *injectH,
+		InjectIonPerStep: *injectIon,
+		Drift:            *drift,
+		WeightH:          1e12,
+		WeightIon:        6000,
+		Wall:             dsmc.WallModel{Kind: dsmc.DiffuseWall, Temperature: 300},
+		Strategy:         strat,
+		Reactions:        dsmc.DefaultHydrogenReactions(),
+		Cost:             core.DefaultCostModel(plat, commcost.InnerFrame),
+		PoissonTol:       1e-6,
+		Seed:             *seed,
+	}
+	if *lb {
+		lbCfg := balance.DefaultConfig()
+		lbCfg.T = *lbT
+		lbCfg.Threshold = *lbThr
+		lbCfg.WCell = *wcell
+		lbCfg.UseKM = !*noKM
+		lbCfg.Strategy = strat
+		cfg.LB = &lbCfg
+	}
+
+	var density []float64
+	if *densityOut != "" {
+		cfg.OnStep = func(step int, s *core.Solver) {
+			if step != *steps-1 {
+				return
+			}
+			d := diag.GlobalDensity(s.Comm, s.St, coarse,
+				func(particle.Species) float64 { return cfg.WeightH },
+				func(sp particle.Species) bool { return sp == particle.H })
+			if s.Comm.Rank() == 0 {
+				density = d
+			}
+		}
+	}
+
+	start := time.Now()
+	stats, err := core.Run(simmpi.NewWorld(*ranks, simmpi.Options{}), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *densityOut != "" {
+		f, err := os.Create(*densityOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = vtkio.NewWriter("dsmcpic H number density", coarse).
+			AddCellScalars("number_density", density).Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *densityOut)
+	}
+	fmt.Printf("completed %d steps on %d ranks in %v (host wall time)\n",
+		*steps, *ranks, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("final particles: %d  rebalances: %d  modeled total: %.3fs\n",
+		stats.TotalParticles(), stats.Rebalances(), stats.TotalTime())
+
+	fmt.Println("\nmodeled component breakdown (max over ranks, s):")
+	type row struct {
+		name string
+		t    float64
+	}
+	var rows []row
+	for _, comp := range core.Components {
+		rows = append(rows, row{comp, stats.ComponentTime(comp)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].t > rows[j].t })
+	for _, r := range rows {
+		fmt.Printf("  %-16s %10.4f\n", r.name, r.t)
+	}
+
+	fmt.Println("\nper-rank final particle counts:")
+	for r := range stats.Ranks {
+		fmt.Printf("  rank %3d: %8d particles, %6.3fs modeled\n",
+			r, stats.Ranks[r].FinalParticles, sumTimes(stats.Ranks[r].Times))
+		if r >= 15 && len(stats.Ranks) > 18 {
+			fmt.Printf("  ... (%d more ranks)\n", len(stats.Ranks)-r-1)
+			break
+		}
+	}
+}
+
+func sumTimes(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plasmasim:", err)
+	os.Exit(1)
+}

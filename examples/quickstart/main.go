@@ -1,0 +1,54 @@
+// Quickstart: run a small coupled DSMC/PIC plasma-plume simulation on 4
+// simulated MPI ranks and print what happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dsmcpic "github.com/plasma-hpc/dsmcpic"
+)
+
+func main() {
+	// Dual nested grids for a 5 cm x 20 cm cylindrical nozzle: the coarse
+	// grid carries DSMC, its 1-to-8 refinement carries PIC.
+	grids, err := dsmcpic.BuildNozzleGrids(3, 8, 0.05, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grids: %d coarse / %d fine cells\n",
+		grids.Coarse.NumCells(), grids.Fine.NumCells())
+
+	cfg := dsmcpic.Config{
+		Ref:              grids,
+		Steps:            15,      // DSMC timesteps
+		PICSubsteps:      2,       // PIC substeps per DSMC step (paper's R)
+		DtDSMC:           1.25e-6, // seconds
+		InjectHPerStep:   1200,    // neutral H injected at the inlet per step
+		InjectIonPerStep: 240,     // H+ ions per step
+		WeightH:          1e12,    // real particles per simulation particle
+		WeightIon:        6000,
+		Wall:             dsmcpic.WallModel{Kind: dsmcpic.DiffuseWall, Temperature: 300},
+		Strategy:         dsmcpic.Distributed,
+		Reactions:        dsmcpic.DefaultReactions(),
+		LB:               dsmcpic.DefaultLoadBalance(),
+		Seed:             1,
+	}
+	cfg.LB.T = 5 // check imbalance every 5 steps for this short run
+
+	stats, err := dsmcpic.Run(dsmcpic.NewWorld(4), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("final particles: %d, rebalances: %d\n",
+		stats.TotalParticles(), stats.Rebalances())
+	fmt.Printf("modeled simulation time: %.4f s\n", stats.TotalTime())
+	for r := range stats.Ranks {
+		fmt.Printf("  rank %d holds %d particles\n", r, stats.Ranks[r].FinalParticles)
+	}
+	fmt.Println("slowest components (modeled):")
+	for _, comp := range []string{dsmcpic.CompPoisson, dsmcpic.CompDSMCMove, dsmcpic.CompInject} {
+		fmt.Printf("  %-14s %.4f s\n", comp, stats.ComponentTime(comp))
+	}
+}

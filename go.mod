@@ -1,0 +1,3 @@
+module github.com/plasma-hpc/dsmcpic
+
+go 1.22

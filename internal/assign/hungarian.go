@@ -1,0 +1,122 @@
+// Package assign implements the Kuhn-Munkres (Hungarian) algorithm for
+// maximum-weight perfect matching in a bipartite graph. The paper's load
+// balancer converts grid remapping into exactly this problem (§V-C): rows
+// are the old MPI ranks, columns are the newly computed partitions, and the
+// weight of (rank, part) is the amount of load already resident on that
+// rank that the new part would retain — maximizing the matching minimizes
+// the data migrated during re-decomposition.
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxWeight solves the maximum-weight assignment problem for the square
+// weight matrix w (w[i][j] >= is not required; any finite weights work).
+// It returns rowToCol, where rowToCol[i] is the column assigned to row i,
+// and the total weight of the optimal assignment. O(n^3).
+func MaxWeight(w [][]float64) (rowToCol []int, total float64, err error) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for i, row := range w {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("assign: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, 0, fmt.Errorf("assign: weight[%d][%d] = %v is not finite", i, j, x)
+			}
+		}
+	}
+	// Convert to a min-cost problem: cost = -weight.
+	cost := func(i, j int) float64 { return -w[i][j] }
+
+	// Hungarian algorithm with potentials and shortest augmenting paths
+	// (Jonker/e-maxx formulation, 1-based sentinel at index 0).
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1) // row potentials
+	v := make([]float64, n+1) // column potentials
+	p := make([]int, n+1)     // p[j] = row matched to column j (0 = none)
+	way := make([]int, n+1)   // back-pointers along the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += w[i][rowToCol[i]]
+	}
+	return rowToCol, total, nil
+}
+
+// MaxWeightInt is MaxWeight for integer weights (e.g. particle counts),
+// avoiding any floating-point concerns for exact counts.
+func MaxWeightInt(w [][]int64) (rowToCol []int, total int64, err error) {
+	n := len(w)
+	wf := make([][]float64, n)
+	for i, row := range w {
+		wf[i] = make([]float64, len(row))
+		for j, x := range row {
+			wf[i][j] = float64(x)
+		}
+	}
+	rowToCol, _, err = MaxWeight(wf)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range rowToCol {
+		total += w[i][rowToCol[i]]
+	}
+	return rowToCol, total, nil
+}

@@ -1,0 +1,288 @@
+package assign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// bruteForce enumerates all permutations to find the optimal assignment.
+func bruteForce(w [][]float64) float64 {
+	n := len(w)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(-1)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			var s float64
+			for i, j := range perm {
+				s += w[i][j]
+			}
+			if s > best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best
+}
+
+func TestEmpty(t *testing.T) {
+	got, total, err := MaxWeight(nil)
+	if err != nil || got != nil || total != 0 {
+		t.Errorf("empty: %v %v %v", got, total, err)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	got, total, err := MaxWeight([][]float64{{-5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || total != -5 {
+		t.Errorf("single: %v %v", got, total)
+	}
+}
+
+func TestIdentityOptimal(t *testing.T) {
+	// Diagonal dominant: identity assignment is optimal.
+	w := [][]float64{
+		{10, 1, 1},
+		{1, 10, 1},
+		{1, 1, 10},
+	}
+	rowToCol, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 30 {
+		t.Errorf("total = %v, want 30", total)
+	}
+	for i, j := range rowToCol {
+		if i != j {
+			t.Errorf("rowToCol[%d] = %d", i, j)
+		}
+	}
+}
+
+func TestAntiDiagonal(t *testing.T) {
+	w := [][]float64{
+		{0, 0, 9},
+		{0, 9, 0},
+		{9, 0, 0},
+	}
+	rowToCol, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 27 {
+		t.Errorf("total = %v", total)
+	}
+	want := []int{2, 1, 0}
+	for i := range want {
+		if rowToCol[i] != want[i] {
+			t.Errorf("rowToCol = %v, want %v", rowToCol, want)
+			break
+		}
+	}
+}
+
+func TestPaperRemappingExample(t *testing.T) {
+	// Paper Fig. 6: old ranks hold cells {1,2,3,4} variously; the KM match
+	// should keep most particles in place. Model: 2 ranks, weight = load
+	// retained if new part j lands on old rank i.
+	// New partition 0 = {1,2,4} (mostly old rank 0's cells),
+	// new partition 1 = {3,5,6} (mostly old rank 1's cells).
+	w := [][]float64{
+		{30, 5},  // old rank 0 retains 30 if it takes part 0, 5 for part 1
+		{10, 25}, // old rank 1
+	}
+	rowToCol, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowToCol[0] != 0 || rowToCol[1] != 1 {
+		t.Errorf("rowToCol = %v, want identity", rowToCol)
+	}
+	if total != 55 {
+		t.Errorf("total = %v", total)
+	}
+}
+
+func TestNegativeWeights(t *testing.T) {
+	w := [][]float64{
+		{-1, -10},
+		{-10, -2},
+	}
+	_, total, err := MaxWeight(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -3 {
+		t.Errorf("total = %v, want -3", total)
+	}
+}
+
+func TestRejectsRagged(t *testing.T) {
+	if _, _, err := MaxWeight([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestRejectsNaN(t *testing.T) {
+	if _, _, err := MaxWeight([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, _, err := MaxWeight([][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	r := rng.New(77, 0)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(6)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = math.Floor(200*r.Float64()) - 100
+			}
+		}
+		_, total, err := MaxWeight(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(w)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): KM total %v != brute force %v", trial, n, total, want)
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	r := rng.New(123, 0)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(20)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = r.Float64()
+			}
+		}
+		rowToCol, _, err := MaxWeight(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		for _, j := range rowToCol {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("not a permutation: %v", rowToCol)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+// Property: the KM total is at least the weight of the identity assignment
+// and of a random permutation (optimality lower bounds).
+func TestQuickAtLeastAnyMatching(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed, 0)
+		n := 2 + r.Intn(8)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = math.Floor(1000 * r.Float64())
+			}
+		}
+		_, total, err := MaxWeight(w)
+		if err != nil {
+			return false
+		}
+		var ident float64
+		for i := 0; i < n; i++ {
+			ident += w[i][i]
+		}
+		// Random permutation via Fisher-Yates.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		var randW float64
+		for i, j := range perm {
+			randW += w[i][j]
+		}
+		return total >= ident-1e-9 && total >= randW-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxWeightInt(t *testing.T) {
+	w := [][]int64{
+		{100, 0},
+		{0, 100},
+	}
+	rowToCol, total, err := MaxWeightInt(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 200 || rowToCol[0] != 0 || rowToCol[1] != 1 {
+		t.Errorf("int assign: %v %v", rowToCol, total)
+	}
+}
+
+func BenchmarkMaxWeight64(b *testing.B) {
+	r := rng.New(1, 0)
+	n := 64
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaxWeight(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxWeight256(b *testing.B) {
+	r := rng.New(1, 0)
+	n := 256
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaxWeight(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package balance
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/partition"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+func TestLIIBalanced(t *testing.T) {
+	times := []StepTimes{
+		{Total: 10, Migration: 1, Poisson: 2},
+		{Total: 10, Migration: 1, Poisson: 2},
+	}
+	if got := LII(times); got != 1 {
+		t.Errorf("balanced lii = %v, want 1", got)
+	}
+}
+
+func TestLIIFormula(t *testing.T) {
+	// max rank: total 20, pm 2, poi 3 -> 15. min rank: total 8, pm 1, poi 2 -> 5.
+	times := []StepTimes{
+		{Total: 20, Migration: 2, Poisson: 3},
+		{Total: 8, Migration: 1, Poisson: 2},
+		{Total: 12, Migration: 1, Poisson: 2},
+	}
+	if got := LII(times); math.Abs(got-3) > 1e-12 {
+		t.Errorf("lii = %v, want 3", got)
+	}
+}
+
+func TestLIIDegenerate(t *testing.T) {
+	if got := LII(nil); got != 1 {
+		t.Errorf("empty lii = %v", got)
+	}
+	// Idle min rank: denominator <= 0 -> +Inf.
+	times := []StepTimes{
+		{Total: 10, Migration: 1, Poisson: 1},
+		{Total: 2, Migration: 1, Poisson: 1},
+	}
+	if got := LII(times); !math.IsInf(got, 1) {
+		t.Errorf("degenerate lii = %v, want +Inf", got)
+	}
+	// Everything degenerate -> 1.
+	all0 := []StepTimes{{Total: 1, Migration: 1}, {Total: 1, Migration: 1}}
+	if got := LII(all0); got != 1 {
+		t.Errorf("all-degenerate lii = %v, want 1", got)
+	}
+}
+
+// Property: lii is positive for any non-degenerate times, and equals 1 when
+// all ranks report identical times. (The raw eq. 6 value can dip below 1
+// when the max-total rank spends more on migration/Poisson than the
+// min-total rank — the indicator compares *compute* portions.)
+func TestQuickLIIPositive(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed, 0)
+		n := int(nRaw)%6 + 2
+		times := make([]StepTimes, n)
+		for i := range times {
+			compute := 1 + 9*r.Float64()
+			pm := r.Float64()
+			poi := r.Float64()
+			times[i] = StepTimes{Total: compute + pm + poi, Migration: pm, Poisson: poi}
+		}
+		lii := LII(times)
+		if lii <= 0 {
+			return false
+		}
+		// Identical times => exactly 1.
+		same := make([]StepTimes, n)
+		for i := range same {
+			same[i] = times[0]
+		}
+		return LII(same) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildWorld prepares an n-rank test world over a box mesh where initially
+// every particle sits on rank 0 (the paper's Fig. 5 pathology).
+func buildWorld(t *testing.T, nRanks, particlesPerCell int) (*mesh.Mesh, []int32, func(rank int) *particle.Store) {
+	t.Helper()
+	m, err := mesh.Box(4, 4, 4, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := make([]int32, m.NumCells())
+	for c := range owner {
+		owner[c] = int32(c * nRanks / m.NumCells()) // block ownership
+	}
+	makeStore := func(rank int) *particle.Store {
+		st := particle.NewStore(0)
+		if rank != 0 {
+			return st
+		}
+		r := rng.New(77, 0)
+		id := int64(0)
+		// All particles concentrated in rank 0's cells.
+		for c := range owner {
+			if owner[c] != 0 {
+				continue
+			}
+			for k := 0; k < particlesPerCell; k++ {
+				sp := particle.H
+				if k%3 == 0 {
+					sp = particle.HPlus
+				}
+				st.Append(particle.Particle{
+					Pos: m.Centroids[c], Sp: sp, Cell: int32(c), ID: id,
+				})
+				id++
+				_ = r
+			}
+		}
+		return st
+	}
+	return m, owner, makeStore
+}
+
+func TestRebalanceFixesConcentration(t *testing.T) {
+	const nRanks = 4
+	m, owner, makeStore := buildWorld(t, nRanks, 50)
+	xadj, adjncy := m.DualGraph()
+	w := simmpi.NewWorld(nRanks, simmpi.Options{})
+	counts := make([]int, nRanks)
+	moved := make([]Result, nRanks)
+	err := w.Run(func(comm *simmpi.Comm) {
+		cfg := DefaultConfig()
+		cfg.T = 1 // rebalance allowed immediately
+		b := New(cfg, owner, xadj, adjncy)
+		st := makeStore(comm.Rank())
+		// Rank 0 is overloaded: fake its time high.
+		times := StepTimes{Total: 1, Migration: 0.01, Poisson: 0.01}
+		if comm.Rank() == 0 {
+			times.Total = 10
+		}
+		res, err := b.MaybeRebalance(comm, st, times)
+		if err != nil {
+			panic(err)
+		}
+		moved[comm.Rank()] = res
+		counts[comm.Rank()] = st.Len()
+		// Post-condition: every local particle is on its owning rank.
+		for i := 0; i < st.Len(); i++ {
+			if b.CellOwner[st.Cell[i]] != int32(comm.Rank()) {
+				panic(fmt.Sprintf("rank %d holds particle of rank %d", comm.Rank(), b.CellOwner[st.Cell[i]]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved[0].Rebalanced {
+		t.Fatal("rebalance did not trigger")
+	}
+	total := 0
+	maxC, minC := 0, 1<<30
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	if total == 0 {
+		t.Fatal("particles lost")
+	}
+	// Concentration resolved: before, rank 0 held 100%; after, the max
+	// rank holds far less.
+	if float64(maxC) > 0.55*float64(total) {
+		t.Errorf("still concentrated: max %d of %d (counts %v)", maxC, total, counts)
+	}
+}
+
+func TestRebalanceRespectsInterval(t *testing.T) {
+	const nRanks = 2
+	m, owner, makeStore := buildWorld(t, nRanks, 10)
+	xadj, adjncy := m.DualGraph()
+	w := simmpi.NewWorld(nRanks, simmpi.Options{})
+	err := w.Run(func(comm *simmpi.Comm) {
+		cfg := DefaultConfig()
+		cfg.T = 3
+		b := New(cfg, owner, xadj, adjncy)
+		st := makeStore(comm.Rank())
+		times := StepTimes{Total: 1}
+		if comm.Rank() == 0 {
+			times.Total = 100 // hugely imbalanced
+		}
+		// Iterations 1 and 2: below T, no rebalance even though lii >> thr.
+		for it := 0; it < 2; it++ {
+			res, err := b.MaybeRebalance(comm, st, times)
+			if err != nil {
+				panic(err)
+			}
+			if res.Rebalanced {
+				panic("rebalanced before T iterations")
+			}
+		}
+		// Iteration 3: triggers.
+		res, err := b.MaybeRebalance(comm, st, times)
+		if err != nil {
+			panic(err)
+		}
+		if !res.Rebalanced {
+			panic("did not rebalance at T")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceBelowThresholdNoop(t *testing.T) {
+	const nRanks = 2
+	m, owner, makeStore := buildWorld(t, nRanks, 10)
+	xadj, adjncy := m.DualGraph()
+	w := simmpi.NewWorld(nRanks, simmpi.Options{})
+	err := w.Run(func(comm *simmpi.Comm) {
+		cfg := DefaultConfig()
+		cfg.T = 1
+		cfg.Threshold = 2.0
+		b := New(cfg, owner, xadj, adjncy)
+		st := makeStore(comm.Rank())
+		times := StepTimes{Total: 1.1} // lii ~ 1.1/1.0 < 2
+		if comm.Rank() == 0 {
+			times.Total = 1.0
+		}
+		res, err := b.MaybeRebalance(comm, st, times)
+		if err != nil {
+			panic(err)
+		}
+		if res.Rebalanced {
+			panic("rebalanced below threshold")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// kmMigration measures migrated load with and without KM for an owner
+// layout deliberately misaligned with part ids.
+func kmMigration(t *testing.T, useKM bool) int {
+	const nRanks = 4
+	m, err := mesh.Box(4, 4, 4, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owner layout: the exact partition the balancer will recompute (same
+	// graph, same uniform weights, same seed), but with rank ids rotated by
+	// one. An identity part->rank mapping then moves nearly every cell,
+	// while KM recovers the rotation and moves almost nothing.
+	xadj, adjncy := m.DualGraph()
+	wlm := make([]int64, m.NumCells())
+	for c := range wlm {
+		wlm[c] = 21 // 20 particles + WCell, matching the balancer's input below
+	}
+	pre, err := partition.PartGraphKway(&partition.Graph{Xadj: xadj, Adjncy: adjncy, VWgt: wlm}, nRanks, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := make([]int32, m.NumCells())
+	for c := range owner {
+		owner[c] = (pre[c] + 1) % int32(nRanks)
+	}
+	w := simmpi.NewWorld(nRanks, simmpi.Options{})
+	migrated := make([]int, nRanks)
+	err = w.Run(func(comm *simmpi.Comm) {
+		cfg := DefaultConfig()
+		cfg.T = 1
+		cfg.UseKM = useKM
+		b := New(cfg, owner, xadj, adjncy)
+		// Uniform particles on owned cells.
+		st := particle.NewStore(0)
+		id := int64(comm.Rank()) << 32
+		for c := range owner {
+			if owner[c] != int32(comm.Rank()) {
+				continue
+			}
+			for k := 0; k < 20; k++ {
+				st.Append(particle.Particle{Pos: m.Centroids[c], Sp: particle.H, Cell: int32(c), ID: id})
+				id++
+			}
+		}
+		times := StepTimes{Total: 1}
+		if comm.Rank() == 0 {
+			times.Total = 10 // force trigger
+		}
+		res, err := b.MaybeRebalance(comm, st, times)
+		if err != nil {
+			panic(err)
+		}
+		if !res.Rebalanced {
+			panic("no rebalance")
+		}
+		migrated[comm.Rank()] = res.Migrated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range migrated {
+		total += m
+	}
+	return total
+}
+
+func TestKMReducesMigration(t *testing.T) {
+	with := kmMigration(t, true)
+	without := kmMigration(t, false)
+	if with >= without {
+		t.Errorf("KM migrated %d, without KM %d — KM should migrate less", with, without)
+	}
+}
+
+func TestRebalancePreservesParticles(t *testing.T) {
+	const nRanks = 3
+	m, owner, makeStore := buildWorld(t, nRanks, 30)
+	xadj, adjncy := m.DualGraph()
+	for _, strat := range []exchange.Strategy{exchange.Centralized, exchange.Distributed} {
+		w := simmpi.NewWorld(nRanks, simmpi.Options{})
+		counts := make([]int, nRanks)
+		before := make([]int, nRanks)
+		err := w.Run(func(comm *simmpi.Comm) {
+			cfg := DefaultConfig()
+			cfg.T = 1
+			cfg.Strategy = strat
+			b := New(cfg, owner, xadj, adjncy)
+			st := makeStore(comm.Rank())
+			before[comm.Rank()] = st.Len()
+			times := StepTimes{Total: 1}
+			if comm.Rank() == 0 {
+				times.Total = 50
+			}
+			if _, err := b.MaybeRebalance(comm, st, times); err != nil {
+				panic(err)
+			}
+			counts[comm.Rank()] = st.Len()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumB, sumA := 0, 0
+		for r := 0; r < nRanks; r++ {
+			sumB += before[r]
+			sumA += counts[r]
+		}
+		if sumA != sumB {
+			t.Errorf("%v: particle count changed %d -> %d", strat, sumB, sumA)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.T != 20 || cfg.Threshold != 2.0 || cfg.R != 2 || cfg.WCell != 1 || !cfg.UseKM {
+		t.Errorf("defaults diverge from paper §VII-B: %+v", cfg)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Steps = 4
+	var cp *Checkpoint
+	cfg.OnStep = func(step int, s *Solver) {
+		if step == 3 {
+			if got := CaptureCheckpoint(s, step); got != nil {
+				cp = got
+			}
+		}
+	}
+	world := simmpi.NewWorld(3, simmpi.Options{})
+	if _, err := Run(world, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || cp.Particles.Len() == 0 {
+		t.Fatal("no checkpoint captured")
+	}
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Step != cp.Step || loaded.Particles.Len() != cp.Particles.Len() {
+		t.Fatalf("header mismatch: %d/%d vs %d/%d",
+			loaded.Step, loaded.Particles.Len(), cp.Step, cp.Particles.Len())
+	}
+	for i := 0; i < cp.Particles.Len(); i++ {
+		if loaded.Particles.Get(i) != cp.Particles.Get(i) {
+			t.Fatalf("particle %d mismatch", i)
+		}
+	}
+	for i := range cp.Owner {
+		if loaded.Owner[i] != cp.Owner[i] {
+			t.Fatal("owner mismatch")
+		}
+	}
+	for i := range cp.Phi {
+		if loaded.Phi[i] != cp.Phi[i] {
+			t.Fatal("phi mismatch")
+		}
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestResumeFromCheckpoint(t *testing.T) {
+	ref := testRefinement(t)
+	const totalSteps = 8
+	const cut = 4
+
+	// Uninterrupted reference run.
+	full := testConfig(ref)
+	full.Steps = totalSteps
+	fullStats, err := Run(simmpi.NewWorld(3, simmpi.Options{}), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run to the cut, checkpoint, resume for the remainder.
+	var cp *Checkpoint
+	first := testConfig(ref)
+	first.Steps = cut
+	first.OnStep = func(step int, s *Solver) {
+		if step == cut-1 {
+			if got := CaptureCheckpoint(s, step); got != nil {
+				cp = got
+			}
+		}
+	}
+	if _, err := Run(simmpi.NewWorld(3, simmpi.Options{}), first); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint")
+	}
+
+	resumed := testConfig(ref)
+	resumed.Steps = totalSteps - cut
+	cp.Apply(&resumed)
+	resumedStats, err := Run(simmpi.NewWorld(3, simmpi.Options{}), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// RNG streams restart at the seed, so agreement is statistical: final
+	// population within 10% of the uninterrupted run.
+	nFull := fullStats.TotalParticles()
+	nResumed := resumedStats.TotalParticles()
+	if math.Abs(float64(nFull-nResumed))/float64(nFull) > 0.10 {
+		t.Errorf("resumed population %d deviates from uninterrupted %d", nResumed, nFull)
+	}
+	if nResumed <= cp.Particles.Len()/2 {
+		t.Error("resumed run lost the checkpointed population")
+	}
+}
+
+func TestInitialParticlesDistributedByOwner(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Steps = 1
+	cfg.InjectHPerStep = 0
+	cfg.InjectIonPerStep = 0
+	// Build a global population on known cells.
+	shared, c, err := Prepare(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = shared
+	c.InitialParticles = func() *particle.Store {
+		st := particle.NewStore(0)
+		for cell := 0; cell < ref.Coarse.NumCells(); cell += 7 {
+			st.Append(particle.Particle{Pos: ref.Coarse.Centroids[cell], Cell: int32(cell)})
+		}
+		return st
+	}()
+	world := simmpi.NewWorld(2, simmpi.Options{})
+	counted := make([]int, 2)
+	c.OnStep = func(step int, s *Solver) {
+		me := int32(s.Comm.Rank())
+		for i := 0; i < s.St.Len(); i++ {
+			if s.Owner()[s.St.Cell[i]] != me {
+				panic("initial particle on wrong rank")
+			}
+		}
+		counted[s.Comm.Rank()] = s.St.Len()
+	}
+	if _, err := Run(world, c); err != nil {
+		t.Fatal(err)
+	}
+	if counted[0]+counted[1] == 0 {
+		t.Error("initial particles vanished")
+	}
+}

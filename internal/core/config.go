@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/plasma-hpc/dsmcpic/internal/balance"
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/dsmc"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/pic"
+)
+
+// Config describes one coupled DSMC/PIC simulation (paper §VI-C defaults).
+type Config struct {
+	// Ref holds the nested coarse (DSMC) and fine (PIC) grids. Required.
+	Ref *mesh.Refinement
+
+	// Steps is the number of DSMC timesteps (paper: 100).
+	Steps int
+	// PICSubsteps is the number of PIC substeps per DSMC step (paper: 2).
+	PICSubsteps int
+	// DtDSMC and DtPIC are the timestep sizes in seconds. DtPIC defaults
+	// to DtDSMC / PICSubsteps.
+	DtDSMC, DtPIC float64
+
+	// InjectHPerStep / InjectIonPerStep are the *global* numbers of
+	// simulation particles injected at the inlet each DSMC step, split
+	// across ranks in proportion to owned inlet area.
+	InjectHPerStep   int
+	InjectIonPerStep int
+	// Temperature (K) of injection and walls; Drift (m/s) of the inlet
+	// beam along the inward normal (paper: 300 K, 10000 m/s).
+	Temperature float64
+	Drift       float64
+
+	// WeightH / WeightIon are the species scaling factors (real particles
+	// per simulation particle, paper Table I).
+	WeightH, WeightIon float64
+
+	// Wall selects the wall interaction model. Do not attach a
+	// WallModel.Sampler here — it would be shared (and raced on) by every
+	// rank; set SampleSurfaces instead and read the per-rank sampler via
+	// Solver.Surface.
+	Wall dsmc.WallModel
+	// SampleSurfaces enables per-rank wall surface sampling (pressure,
+	// shear, heat flux) accessible from OnStep probes via Solver.Surface.
+	SampleSurfaces bool
+	// Strategy selects the particle-migration communication scheme.
+	Strategy exchange.Strategy
+	// LB enables the dynamic load balancer when non-nil.
+	LB *balance.Config
+	// Reactions is the collision chemistry (nil = no reactions).
+	Reactions dsmc.ReactionModel
+	// BField is the constant magnetic field (paper §III-C: zero or const).
+	BField geom.Vec3
+
+	// Cost converts work counts to modeled seconds.
+	Cost CostModel
+	// PoissonTol / PoissonMaxIter bound the distributed CG.
+	PoissonTol     float64
+	PoissonMaxIter int
+	// BC sets the Poisson Dirichlet boundary values (default: all grounded).
+	BC pic.BC
+
+	// InitialOwner fixes the initial coarse-cell decomposition; nil runs
+	// the unweighted partitioner (the paper's first decomposition).
+	InitialOwner []int32
+	// InitialParticles seeds the simulation with an existing population
+	// (e.g. from a Checkpoint); each rank keeps the particles on cells it
+	// owns. The store is read-only during Run.
+	InitialParticles *particle.Store
+	// InitialPhi seeds the nodal potential (from a Checkpoint).
+	InitialPhi []float64
+	// Seed drives every stochastic element (per-rank RNG streams, initial
+	// partition).
+	Seed uint64
+
+	// OnStep, when set, is invoked by every rank after each DSMC step
+	// (step is 0-based). The solver is quiescent during the call; probes
+	// may use s.Comm for collective diagnostics, but every rank must then
+	// participate symmetrically.
+	OnStep func(step int, s *Solver)
+}
+
+// withDefaults validates and fills defaults, returning a copy.
+func (c Config) withDefaults() (Config, error) {
+	if c.Ref == nil {
+		return c, fmt.Errorf("core: Config.Ref (nested grids) is required")
+	}
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.PICSubsteps <= 0 {
+		c.PICSubsteps = 2
+	}
+	if c.DtDSMC <= 0 {
+		return c, fmt.Errorf("core: DtDSMC must be positive")
+	}
+	if c.DtPIC <= 0 {
+		c.DtPIC = c.DtDSMC / float64(c.PICSubsteps)
+	}
+	if c.Temperature <= 0 {
+		c.Temperature = 300
+	}
+	if c.Drift == 0 {
+		c.Drift = 10000
+	}
+	if c.WeightH <= 0 {
+		c.WeightH = 1
+	}
+	if c.WeightIon <= 0 {
+		c.WeightIon = 1
+	}
+	if c.Cost.MoveStep == 0 {
+		c.Cost = DefaultCostModel(commcost.Tianhe2, commcost.InnerFrame)
+	}
+	if c.PoissonTol <= 0 {
+		c.PoissonTol = 1e-8
+	}
+	if c.PoissonMaxIter <= 0 {
+		c.PoissonMaxIter = 500
+	}
+	if c.BC == nil {
+		c.BC = pic.DefaultBC()
+	}
+	if c.Wall.Kind == dsmc.DiffuseWall && c.Wall.Temperature <= 0 {
+		c.Wall.Temperature = c.Temperature
+	}
+	return c, nil
+}

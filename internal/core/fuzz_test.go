@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+)
+
+// FuzzLoadCheckpoint feeds arbitrary bytes to the checkpoint loader: it
+// must either error out or return a structurally consistent checkpoint,
+// never panic or over-allocate.
+func FuzzLoadCheckpoint(f *testing.F) {
+	cp := &Checkpoint{
+		Step:  3,
+		Owner: []int32{0, 1, 0, 1},
+		Phi:   []float64{0.5, -1},
+	}
+	cp.Particles = particle.NewStore(0)
+	cp.Particles.Append(particle.Particle{ID: 7})
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("dsmcCKP1 then junk"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		loaded, err := LoadCheckpoint(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if loaded.Particles == nil || loaded.Step < 0 {
+			t.Fatal("inconsistent checkpoint accepted")
+		}
+	})
+}

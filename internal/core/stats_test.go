@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTotalTimeIsMaxPerStep(t *testing.T) {
+	rs := &RunStats{Ranks: []RankStats{
+		{StepTotals: []float64{1, 5, 2}},
+		{StepTotals: []float64{3, 1, 1}},
+	}}
+	// Per-step max: 3, 5, 2 -> 10.
+	if got := rs.TotalTime(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("TotalTime = %v, want 10", got)
+	}
+}
+
+func TestTotalTimeEmpty(t *testing.T) {
+	if got := (&RunStats{}).TotalTime(); got != 0 {
+		t.Errorf("empty TotalTime = %v", got)
+	}
+}
+
+func TestComponentTimeMax(t *testing.T) {
+	rs := &RunStats{Ranks: []RankStats{
+		{Times: map[string]float64{"A": 1, "B": 9}},
+		{Times: map[string]float64{"A": 4, "B": 2}},
+	}}
+	if rs.ComponentTime("A") != 4 || rs.ComponentTime("B") != 9 {
+		t.Errorf("ComponentTime wrong: A=%v B=%v", rs.ComponentTime("A"), rs.ComponentTime("B"))
+	}
+	if rs.ComponentTime("missing") != 0 {
+		t.Error("missing component not zero")
+	}
+}
+
+func TestTotalParticlesAndRebalances(t *testing.T) {
+	rs := &RunStats{Ranks: []RankStats{
+		{FinalParticles: 10, Rebalances: 3},
+		{FinalParticles: 7, Rebalances: 3},
+	}}
+	if rs.TotalParticles() != 17 {
+		t.Errorf("TotalParticles = %d", rs.TotalParticles())
+	}
+	if rs.Rebalances() != 3 {
+		t.Errorf("Rebalances = %d", rs.Rebalances())
+	}
+	if (&RunStats{}).Rebalances() != 0 {
+		t.Error("empty Rebalances not zero")
+	}
+}
+
+func TestRaggedStepTotals(t *testing.T) {
+	// A rank with fewer recorded steps must not panic TotalTime.
+	rs := &RunStats{Ranks: []RankStats{
+		{StepTotals: []float64{1, 2, 3}},
+		{StepTotals: []float64{5}},
+	}}
+	if got := rs.TotalTime(); math.Abs(got-10) > 1e-12 { // 5, 2, 3
+		t.Errorf("ragged TotalTime = %v, want 10", got)
+	}
+}

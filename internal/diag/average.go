@@ -1,0 +1,83 @@
+package diag
+
+import (
+	"fmt"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+)
+
+// TimeAverager accumulates per-cell moments over many timesteps — the
+// standard DSMC practice for extracting smooth macroscopic fields from a
+// noisy instantaneous particle ensemble once the flow is (quasi-)steady.
+type TimeAverager struct {
+	mesh    *mesh.Mesh
+	samples int
+	count   []int64
+	density []float64
+	vel     []geom.Vec3
+	temp    []float64
+}
+
+// NewTimeAverager prepares accumulation buffers for the given mesh.
+func NewTimeAverager(m *mesh.Mesh) *TimeAverager {
+	n := m.NumCells()
+	return &TimeAverager{
+		mesh:    m,
+		count:   make([]int64, n),
+		density: make([]float64, n),
+		vel:     make([]geom.Vec3, n),
+		temp:    make([]float64, n),
+	}
+}
+
+// Samples returns the number of accumulated snapshots.
+func (a *TimeAverager) Samples() int { return a.samples }
+
+// Accumulate adds one snapshot of the store.
+func (a *TimeAverager) Accumulate(st *particle.Store, weight func(particle.Species) float64, filter func(particle.Species) bool) {
+	mom := CellMoments(st, a.mesh, weight, filter)
+	for c := range mom {
+		a.count[c] += mom[c].Count
+		a.density[c] += mom[c].Density
+		a.vel[c] = a.vel[c].Add(mom[c].Velocity.Scale(float64(mom[c].Count)))
+		a.temp[c] += mom[c].Temperature * float64(mom[c].Count)
+	}
+	a.samples++
+}
+
+// Mean returns the time-averaged moments. Velocity and temperature are
+// sample-count weighted (cells empty in some snapshots average only over
+// their occupied snapshots); density averages over all snapshots.
+func (a *TimeAverager) Mean() []Moments {
+	out := make([]Moments, len(a.count))
+	if a.samples == 0 {
+		return out
+	}
+	for c := range out {
+		out[c].Count = a.count[c]
+		out[c].Density = a.density[c] / float64(a.samples)
+		if a.count[c] > 0 {
+			out[c].Velocity = a.vel[c].Scale(1 / float64(a.count[c]))
+			out[c].Temperature = a.temp[c] / float64(a.count[c])
+		}
+	}
+	return out
+}
+
+// Reset clears the accumulation.
+func (a *TimeAverager) Reset() {
+	a.samples = 0
+	for c := range a.count {
+		a.count[c] = 0
+		a.density[c] = 0
+		a.vel[c] = geom.Vec3{}
+		a.temp[c] = 0
+	}
+}
+
+// String summarizes the averager state.
+func (a *TimeAverager) String() string {
+	return fmt.Sprintf("TimeAverager(%d cells, %d samples)", len(a.count), a.samples)
+}

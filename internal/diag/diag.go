@@ -1,0 +1,164 @@
+// Package diag computes macroscopic diagnostics from particle ensembles:
+// per-cell number density, bulk velocity and temperature (the standard
+// DSMC sampling moments), axis profiles for the nozzle case study, and
+// field/kinetic energy budgets. The experiment harness and the examples
+// share these implementations.
+package diag
+
+import (
+	"math"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// Moments holds one cell's sampled macroscopic state.
+type Moments struct {
+	Count       int64     // simulation particles
+	Density     float64   // real particles / m^3 (weight applied)
+	Velocity    geom.Vec3 // mass-weighted mean velocity, m/s
+	Temperature float64   // K, from peculiar velocity variance
+}
+
+// CellMoments samples per-cell moments for particles passing filter (nil =
+// all). weight maps species to its scaling factor. Local to this rank's
+// particles; use GlobalDensity (or reduce the raw accumulators yourself)
+// for world-wide fields.
+func CellMoments(st *particle.Store, m *mesh.Mesh, weight func(particle.Species) float64, filter func(particle.Species) bool) []Moments {
+	type acc struct {
+		n    int64
+		w    float64 // total real particles
+		mSum float64 // total mass (weighted)
+		mv   geom.Vec3
+		mv2  float64
+	}
+	accs := make([]acc, m.NumCells())
+	for i := 0; i < st.Len(); i++ {
+		sp := st.Sp[i]
+		if filter != nil && !filter(sp) {
+			continue
+		}
+		c := st.Cell[i]
+		wgt := weight(sp)
+		mass := particle.InfoOf(sp).Mass * wgt
+		a := &accs[c]
+		a.n++
+		a.w += wgt
+		a.mSum += mass
+		a.mv = a.mv.Add(st.Vel[i].Scale(mass))
+		a.mv2 += mass * st.Vel[i].Norm2()
+	}
+	out := make([]Moments, m.NumCells())
+	for c := range accs {
+		a := &accs[c]
+		out[c].Count = a.n
+		if a.n == 0 {
+			continue
+		}
+		out[c].Density = a.w / m.Volumes[c]
+		v := a.mv.Scale(1 / a.mSum)
+		out[c].Velocity = v
+		// Temperature from peculiar kinetic energy:
+		// 3/2 N k T = 1/2 sum m (v_i - v)^2 = 1/2 (sum m v_i^2 - M v^2).
+		ke := 0.5 * (a.mv2 - a.mSum*v.Norm2())
+		if a.w > 0 {
+			out[c].Temperature = 2 * ke / (3 * a.w * rng.KBoltzmann)
+		}
+	}
+	return out
+}
+
+// GlobalDensity reduces per-rank particle counts into a global per-cell
+// number-density field (1/m^3) on every rank. Collective.
+func GlobalDensity(comm *simmpi.Comm, st *particle.Store, m *mesh.Mesh, weight func(particle.Species) float64, filter func(particle.Species) bool) []float64 {
+	local := make([]float64, m.NumCells())
+	for i := 0; i < st.Len(); i++ {
+		sp := st.Sp[i]
+		if filter != nil && !filter(sp) {
+			continue
+		}
+		local[st.Cell[i]] += weight(sp)
+	}
+	global := comm.AllreduceFloat64(local, simmpi.OpSum)
+	for c := range global {
+		global[c] /= m.Volumes[c]
+	}
+	return global
+}
+
+// AxisProfile bins a per-cell field into nBins volume-weighted averages
+// along z over cells within rCut of the axis, for a domain of the given
+// length starting at z = 0. Returns bin centers and averages (zero where
+// no cell contributes).
+func AxisProfile(m *mesh.Mesh, field []float64, rCut, length float64, nBins int) (z, avg []float64) {
+	sum := make([]float64, nBins)
+	vol := make([]float64, nBins)
+	for c, v := range field {
+		ctr := m.Centroids[c]
+		if ctr.X*ctr.X+ctr.Y*ctr.Y > rCut*rCut {
+			continue
+		}
+		b := int(ctr.Z / length * float64(nBins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		sum[b] += v * m.Volumes[c]
+		vol[b] += m.Volumes[c]
+	}
+	z = make([]float64, nBins)
+	avg = make([]float64, nBins)
+	for b := range z {
+		z[b] = (float64(b) + 0.5) * length / float64(nBins)
+		if vol[b] > 0 {
+			avg[b] = sum[b] / vol[b]
+		}
+	}
+	return z, avg
+}
+
+// KineticEnergy returns the total kinetic energy (J) of particles passing
+// filter, weights applied.
+func KineticEnergy(st *particle.Store, weight func(particle.Species) float64, filter func(particle.Species) bool) float64 {
+	var e float64
+	for i := 0; i < st.Len(); i++ {
+		sp := st.Sp[i]
+		if filter != nil && !filter(sp) {
+			continue
+		}
+		e += 0.5 * particle.InfoOf(sp).Mass * weight(sp) * st.Vel[i].Norm2()
+	}
+	return e
+}
+
+// FieldEnergy returns the electrostatic field energy (J): sum over fine
+// cells of eps0/2 |E|^2 V.
+func FieldEnergy(fine *mesh.Mesh, e []geom.Vec3, eps0 float64) float64 {
+	var u float64
+	for c := range e {
+		u += 0.5 * eps0 * e[c].Norm2() * fine.Volumes[c]
+	}
+	return u
+}
+
+// RelativeError returns mean |a-b|/|b| over entries where |b| > floor.
+func RelativeError(a, b []float64, floor float64) float64 {
+	var sum float64
+	n := 0
+	for i := range a {
+		if math.Abs(b[i]) <= floor {
+			continue
+		}
+		sum += math.Abs(a[i]-b[i]) / math.Abs(b[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,210 @@
+package diag
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/pic"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+func boxMesh(t testing.TB) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.Box(3, 3, 3, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func unitWeight(particle.Species) float64 { return 1 }
+
+func fillMaxwell(t testing.TB, m *mesh.Mesh, n int, temp, drift float64, seed uint64) *particle.Store {
+	t.Helper()
+	r := rng.New(seed, 0)
+	st := particle.NewStore(n)
+	for k := 0; k < n; k++ {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		cell := m.FindCellBrute(p)
+		vx, vy, vz := r.Maxwell(temp, particle.HydrogenMass, drift, 0, 0)
+		st.Append(particle.Particle{Pos: p, Vel: geom.V(vx, vy, vz), Sp: particle.H, Cell: int32(cell)})
+	}
+	return st
+}
+
+func TestCellMomentsRecoverTemperatureAndDrift(t *testing.T) {
+	m := boxMesh(t)
+	const temp, drift = 450.0, 3000.0
+	st := fillMaxwell(t, m, 100000, temp, drift, 3)
+	mom := CellMoments(st, m, unitWeight, nil)
+	// Aggregate over cells weighted by count.
+	var wT, wVx, wN float64
+	var total int64
+	for _, mm := range mom {
+		if mm.Count == 0 {
+			continue
+		}
+		w := float64(mm.Count)
+		wT += w * mm.Temperature
+		wVx += w * mm.Velocity.X
+		wN += w
+		total += mm.Count
+	}
+	if total != 100000 {
+		t.Fatalf("counted %d particles", total)
+	}
+	if got := wT / wN; math.Abs(got-temp) > 0.05*temp {
+		t.Errorf("temperature = %v, want ~%v", got, temp)
+	}
+	if got := wVx / wN; math.Abs(got-drift) > 0.05*drift {
+		t.Errorf("drift = %v, want ~%v", got, drift)
+	}
+}
+
+func TestCellMomentsDensity(t *testing.T) {
+	m := boxMesh(t)
+	st := fillMaxwell(t, m, 50000, 300, 0, 5)
+	weight := func(particle.Species) float64 { return 2e10 }
+	mom := CellMoments(st, m, weight, nil)
+	var totalReal float64
+	for c, mm := range mom {
+		totalReal += mm.Density * m.Volumes[c]
+	}
+	want := 50000.0 * 2e10
+	if math.Abs(totalReal-want) > 1e-6*want {
+		t.Errorf("total real particles = %v, want %v", totalReal, want)
+	}
+}
+
+func TestCellMomentsFilter(t *testing.T) {
+	m := boxMesh(t)
+	st := particle.NewStore(0)
+	st.Append(particle.Particle{Pos: geom.V(.5, .5, .5), Sp: particle.H, Cell: int32(m.FindCellBrute(geom.V(.5, .5, .5)))})
+	st.Append(particle.Particle{Pos: geom.V(.5, .5, .5), Sp: particle.HPlus, Cell: st.Cell[0]})
+	mom := CellMoments(st, m, unitWeight, func(sp particle.Species) bool { return sp == particle.HPlus })
+	var n int64
+	for _, mm := range mom {
+		n += mm.Count
+	}
+	if n != 1 {
+		t.Errorf("filtered count = %d", n)
+	}
+}
+
+func TestGlobalDensityCollective(t *testing.T) {
+	m := boxMesh(t)
+	w := simmpi.NewWorld(3, simmpi.Options{})
+	err := w.Run(func(c *simmpi.Comm) {
+		// Each rank contributes one particle to cell 0.
+		st := particle.NewStore(1)
+		st.Append(particle.Particle{Pos: m.Centroids[0], Sp: particle.H, Cell: 0})
+		dens := GlobalDensity(c, st, m, unitWeight, nil)
+		want := 3.0 / m.Volumes[0]
+		if math.Abs(dens[0]-want) > 1e-9*want {
+			panic("wrong global density")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxisProfile(t *testing.T) {
+	m, err := mesh.Nozzle(3, 8, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Field = z coordinate of the centroid: profile should recover ~bin z.
+	field := make([]float64, m.NumCells())
+	for c := range field {
+		field[c] = m.Centroids[c].Z
+	}
+	z, avg := AxisProfile(m, field, 0.025, 0.2, 8)
+	for b := range z {
+		if avg[b] == 0 {
+			t.Fatalf("bin %d empty", b)
+		}
+		if math.Abs(avg[b]-z[b]) > 0.02 {
+			t.Errorf("bin %d: avg %v vs center %v", b, avg[b], z[b])
+		}
+	}
+}
+
+func TestKineticEnergy(t *testing.T) {
+	st := particle.NewStore(0)
+	st.Append(particle.Particle{Vel: geom.V(100, 0, 0), Sp: particle.H})
+	got := KineticEnergy(st, func(particle.Species) float64 { return 3 }, nil)
+	want := 0.5 * particle.HydrogenMass * 3 * 100 * 100
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("KE = %v, want %v", got, want)
+	}
+}
+
+func TestFieldEnergyUniformField(t *testing.T) {
+	m := boxMesh(t)
+	e := make([]geom.Vec3, m.NumCells())
+	for c := range e {
+		e[c] = geom.V(0, 0, 10)
+	}
+	got := FieldEnergy(m, e, pic.Epsilon0)
+	want := 0.5 * pic.Epsilon0 * 100 * 1.0 // |E|^2 * unit volume
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("field energy = %v, want %v", got, want)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	a := []float64{1.1, 2.2, 0}
+	b := []float64{1.0, 2.0, 0}
+	got := RelativeError(a, b, 1e-30)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("rel err = %v, want 0.1", got)
+	}
+	if RelativeError(a, []float64{0, 0, 0}, 1e-30) != 0 {
+		t.Error("all-below-floor should be 0")
+	}
+}
+
+func TestTimeAveragerReducesNoise(t *testing.T) {
+	m := boxMesh(t)
+	avg := NewTimeAverager(m)
+	const temp = 400.0
+	// Accumulate many independent snapshots of the same distribution.
+	for snap := 0; snap < 20; snap++ {
+		st := fillMaxwell(t, m, 3000, temp, 0, uint64(100+snap))
+		avg.Accumulate(st, unitWeight, nil)
+	}
+	if avg.Samples() != 20 {
+		t.Fatalf("samples = %d", avg.Samples())
+	}
+	mean := avg.Mean()
+	// Averaged per-cell temperature closer to truth than a single snapshot.
+	single := CellMoments(fillMaxwell(t, m, 3000, temp, 0, 999), m, unitWeight, nil)
+	var errAvg, errSingle float64
+	cells := 0
+	for c := range mean {
+		if mean[c].Count == 0 || single[c].Count < 5 {
+			continue
+		}
+		errAvg += math.Abs(mean[c].Temperature - temp)
+		errSingle += math.Abs(single[c].Temperature - temp)
+		cells++
+	}
+	if cells == 0 {
+		t.Fatal("no populated cells")
+	}
+	if errAvg >= errSingle {
+		t.Errorf("averaging did not reduce noise: avg %v vs single %v", errAvg/float64(cells), errSingle/float64(cells))
+	}
+	avg.Reset()
+	if avg.Samples() != 0 || avg.Mean()[0].Density != 0 {
+		t.Error("reset incomplete")
+	}
+	if avg.String() == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,205 @@
+package dsmc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+func TestH2SpeciesProperties(t *testing.T) {
+	info := particle.InfoOf(particle.H2)
+	if info.Mass != 2*particle.HydrogenMass {
+		t.Error("H2 mass wrong")
+	}
+	if particle.H2.IsCharged() {
+		t.Error("H2 should be neutral")
+	}
+	if !Neutrals(particle.H2) {
+		t.Error("H2 not matched by Neutrals filter")
+	}
+}
+
+func TestNeutralChemistryDissociationOutcome(t *testing.T) {
+	nc := DefaultNeutralChemistry()
+	nc.DissociationProb = 1
+	r := rng.New(3, 0)
+	// H2 in the A slot.
+	out, ok := nc.AttemptEx(particle.H2, particle.H, 10*ElectronVolt, r)
+	if !ok || !out.SplitA || out.Swapped || out.NewA != particle.H || out.NewB != particle.H {
+		t.Errorf("dissociation A-slot: %+v ok=%v", out, ok)
+	}
+	if out.DE >= 0 {
+		t.Error("dissociation should be endothermic")
+	}
+	// H2 in the B slot: roles swap.
+	out, ok = nc.AttemptEx(particle.HPlus, particle.H2, 10*ElectronVolt, r)
+	if !ok || !out.SplitA || !out.Swapped || out.NewA != particle.H || out.NewB != particle.HPlus {
+		t.Errorf("dissociation B-slot: %+v ok=%v", out, ok)
+	}
+	// Below threshold: nothing.
+	if _, ok := nc.AttemptEx(particle.H2, particle.H, 1*ElectronVolt, r); ok {
+		t.Error("dissociation below threshold")
+	}
+}
+
+func TestNeutralChemistryRecombinationOutcome(t *testing.T) {
+	nc := DefaultNeutralChemistry()
+	nc.RecombH2Prob = 1
+	r := rng.New(5, 0)
+	out, ok := nc.AttemptEx(particle.H, particle.H, 0.01*ElectronVolt, r)
+	if !ok || !out.MergeIntoA || out.NewA != particle.H2 {
+		t.Errorf("recombination: %+v ok=%v", out, ok)
+	}
+	// Hot H + H pair goes to the ionization channel instead.
+	nc.Ionic.IonizationProb = 1
+	out, ok = nc.AttemptEx(particle.H, particle.H, 20*ElectronVolt, r)
+	if !ok || out.MergeIntoA || out.SplitA {
+		t.Errorf("hot H+H should ionize: %+v ok=%v", out, ok)
+	}
+	ions := 0
+	if out.NewA == particle.HPlus {
+		ions++
+	}
+	if out.NewB == particle.HPlus {
+		ions++
+	}
+	if ions != 1 {
+		t.Errorf("ionization channel produced %d ions", ions)
+	}
+}
+
+// chemStore builds a box of H2 molecules plus fast H impactors.
+func chemStore(t *testing.T, m *mesh.Mesh, nMol, nFast int, seed uint64) *particle.Store {
+	t.Helper()
+	r := rng.New(seed, 0)
+	st := particle.NewStore(0)
+	for k := 0; k < nMol; k++ {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		vx, vy, vz := r.Maxwell(300, 2*particle.HydrogenMass, 0, 0, 0)
+		st.Append(particle.Particle{Pos: p, Vel: geom.V(vx, vy, vz),
+			Sp: particle.H2, Cell: int32(m.FindCellBrute(p))})
+	}
+	for k := 0; k < nFast; k++ {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		v := 40000.0 // 0.5*mr*cr^2 ~ 11 eV against cold H2 -> above 4.52 eV
+		if k%2 == 0 {
+			v = -v
+		}
+		st.Append(particle.Particle{Pos: p, Vel: geom.V(v, 0, 0),
+			Sp: particle.H, Cell: int32(m.FindCellBrute(p))})
+	}
+	return st
+}
+
+func TestDissociationCreatesParticlesConservingMomentum(t *testing.T) {
+	m := boxMesh(t)
+	st := chemStore(t, m, 300, 300, 7)
+	momentum := func() geom.Vec3 {
+		var s geom.Vec3
+		for i := 0; i < st.Len(); i++ {
+			s = s.Add(st.Vel[i].Scale(particle.InfoOf(st.Sp[i]).Mass))
+		}
+		return s
+	}
+	p0 := momentum()
+	n0 := st.Len()
+	nc := DefaultNeutralChemistry()
+	nc.DissociationProb = 1
+	nc.RecombH2Prob = 0
+	nc.Ionic.IonizationProb = 0
+	nc.Ionic.RecombProb = 0
+	co := NewCollider(m.NumCells(), 1e16, nc)
+	groups := GroupByCell(st, m.NumCells(), nil)
+	stats := co.Collide(st, groups, m.Volumes, 1e-5, rng.New(11, 0))
+	if stats.Created == 0 {
+		t.Fatalf("no dissociations (collisions=%d)", stats.Collisions)
+	}
+	if st.Len() != n0+stats.Created-stats.Removed {
+		t.Errorf("count bookkeeping: %d -> %d with created=%d removed=%d",
+			n0, st.Len(), stats.Created, stats.Removed)
+	}
+	p1 := momentum()
+	scale := p0.Norm() + 1e-30
+	if geom.Dist(p0, p1) > 1e-9*scale {
+		t.Errorf("momentum drift after dissociations: %v -> %v", p0, p1)
+	}
+	// H2 population decreased, H increased.
+	counts := st.CountBySpecies()
+	if counts[particle.H2] >= 300 {
+		t.Errorf("H2 population did not shrink: %d", counts[particle.H2])
+	}
+}
+
+func TestRecombinationRemovesParticlesConservingMomentum(t *testing.T) {
+	m := boxMesh(t)
+	// Cold, dense H gas recombines into H2.
+	r := rng.New(13, 0)
+	st := particle.NewStore(0)
+	for k := 0; k < 800; k++ {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		vx, vy, vz := r.Maxwell(150, particle.HydrogenMass, 0, 0, 0)
+		st.Append(particle.Particle{Pos: p, Vel: geom.V(vx, vy, vz),
+			Sp: particle.H, Cell: int32(m.FindCellBrute(p))})
+	}
+	momentum := func() geom.Vec3 {
+		var s geom.Vec3
+		for i := 0; i < st.Len(); i++ {
+			s = s.Add(st.Vel[i].Scale(particle.InfoOf(st.Sp[i]).Mass))
+		}
+		return s
+	}
+	p0 := momentum()
+	n0 := st.Len()
+	nc := DefaultNeutralChemistry()
+	nc.RecombH2Prob = 1
+	nc.RecombH2Energy = 10 * ElectronVolt // accept everything
+	nc.Ionic.IonizationProb = 0
+	nc.Ionic.RecombProb = 0
+	nc.DissociationProb = 0
+	co := NewCollider(m.NumCells(), 1e16, nc)
+	groups := GroupByCell(st, m.NumCells(), nil)
+	stats := co.Collide(st, groups, m.Volumes, 1e-5, rng.New(17, 0))
+	if stats.Removed == 0 {
+		t.Fatalf("no recombinations (collisions=%d)", stats.Collisions)
+	}
+	if st.Len() != n0-stats.Removed {
+		t.Errorf("count bookkeeping: %d -> %d removed=%d", n0, st.Len(), stats.Removed)
+	}
+	p1 := momentum()
+	if geom.Dist(p0, p1) > 1e-9*(p0.Norm()+1e-25) {
+		t.Errorf("momentum drift after recombinations: %v -> %v", p0, p1)
+	}
+	if st.CountBySpecies()[particle.H2] != stats.Removed {
+		t.Errorf("H2 created %d != removed %d", st.CountBySpecies()[particle.H2], stats.Removed)
+	}
+}
+
+func TestChemistryMassConservation(t *testing.T) {
+	m := boxMesh(t)
+	st := chemStore(t, m, 400, 400, 19)
+	mass := func() float64 {
+		var s float64
+		for i := 0; i < st.Len(); i++ {
+			s += particle.InfoOf(st.Sp[i]).Mass
+		}
+		return s
+	}
+	m0 := mass()
+	nc := DefaultNeutralChemistry()
+	nc.DissociationProb = 1
+	nc.RecombH2Prob = 1
+	nc.RecombH2Energy = 0.5 * ElectronVolt
+	co := NewCollider(m.NumCells(), 1e16, nc)
+	r := rng.New(23, 0)
+	for sweep := 0; sweep < 3; sweep++ {
+		groups := GroupByCell(st, m.NumCells(), nil)
+		co.Collide(st, groups, m.Volumes, 1e-5, r)
+	}
+	if m1 := mass(); math.Abs(m1-m0) > 1e-9*m0 {
+		t.Errorf("total mass drift: %v -> %v", m0, m1)
+	}
+}

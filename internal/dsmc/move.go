@@ -1,0 +1,174 @@
+// Package dsmc implements the Direct Simulation Monte Carlo pipeline of the
+// coupled solver (Bird's algorithm): ballistic particle movement across the
+// unstructured coarse grid with wall interaction, No-Time-Counter collision
+// pair selection with the Variable Hard Sphere model, and the collision-
+// driven chemical reactions of the hydrogen plume (ionization of H,
+// recombination of H+).
+package dsmc
+
+import (
+	"math"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// WallKind selects the reflection model for solid walls.
+type WallKind int
+
+const (
+	// SpecularWall reflects the velocity about the wall plane.
+	SpecularWall WallKind = iota
+	// DiffuseWall re-emits particles with a half-Maxwellian at the wall
+	// temperature (full thermal accommodation).
+	DiffuseWall
+)
+
+// WallModel configures wall interaction.
+type WallModel struct {
+	Kind        WallKind
+	Temperature float64 // K, used by DiffuseWall
+	// Sampler, when non-nil, records every wall interaction (momentum and
+	// energy transfer) for surface diagnostics.
+	Sampler *SurfaceSampler
+	// Weight maps species to scaling factors for the sampler (nil = 1).
+	Weight func(particle.Species) float64
+}
+
+// MoveStats summarizes one movement sweep.
+type MoveStats struct {
+	Moved     int // particles processed
+	Escaped   int // left through outlet or inlet (removed)
+	WallHits  int // wall reflections performed
+	Lost      int // abandoned after exceeding the traversal step cap
+	Crossings int // cell-to-cell face crossings
+}
+
+// maxTraversalSteps caps face crossings per particle per move; particles
+// exceeding it (degenerate geometry loops) are dropped and counted as Lost.
+const maxTraversalSteps = 10000
+
+// Move advances every particle in st by dt along straight lines (DSMC_Move
+// / PIC_Move geometry): particles cross cell faces, reflect off walls, and
+// are removed when they exit through the inlet or outlet. The store's Cell
+// fields are updated to the final containing cell. Particles whose species
+// does not satisfy filter are skipped (DSMC moves neutrals, PIC moves
+// charged particles — paper §III-B).
+//
+// Removals are done in a single Filter pass after the sweep, preserving
+// relative order (important for deterministic collisions downstream).
+func Move(st *particle.Store, m *mesh.Mesh, dt float64, wall WallModel, filter func(particle.Species) bool, r *rng.Rand) MoveStats {
+	var stats MoveStats
+	dead := make([]bool, st.Len())
+	for i := 0; i < st.Len(); i++ {
+		if filter != nil && !filter(st.Sp[i]) {
+			continue
+		}
+		stats.Moved++
+		alive := moveOne(st, i, m, dt, wall, r, &stats)
+		if !alive {
+			dead[i] = true
+		}
+	}
+	if stats.Escaped+stats.Lost > 0 {
+		st.Filter(func(i int) bool { return !dead[i] })
+	}
+	return stats
+}
+
+// moveOne advances particle i; returns false if it left the domain.
+func moveOne(st *particle.Store, i int, m *mesh.Mesh, dt float64, wall WallModel, r *rng.Rand, stats *MoveStats) bool {
+	pos := st.Pos[i]
+	vel := st.Vel[i]
+	cell := int(st.Cell[i])
+	remaining := dt
+	info := particle.InfoOf(st.Sp[i])
+	for step := 0; step < maxTraversalSteps; step++ {
+		if remaining <= 0 {
+			break
+		}
+		tet := m.Tet(cell)
+		face, tExit := tet.ExitFace(pos, vel, remaining)
+		if face < 0 {
+			// Stays in this cell for the rest of the step.
+			pos = pos.Add(vel.Scale(remaining))
+			remaining = 0
+			break
+		}
+		pos = pos.Add(vel.Scale(tExit))
+		remaining -= tExit
+		n := m.Neighbors[cell][face]
+		if n != mesh.NoNeighbor {
+			cell = int(n)
+			stats.Crossings++
+			continue
+		}
+		switch m.FaceTags[cell][face] {
+		case mesh.Outlet, mesh.Inlet:
+			stats.Escaped++
+			return false
+		default: // Wall
+			stats.WallHits++
+			normal := tet.FaceNormal(face) // outward
+			vIn := vel
+			vel = reflect(vel, normal, wall, info.Mass, r)
+			if wall.Sampler != nil {
+				w := 1.0
+				if wall.Weight != nil {
+					w = wall.Weight(st.Sp[i])
+				}
+				wall.Sampler.record(cell, face, st.Sp[i], w, vIn, vel)
+			}
+			// Nudge off the wall along the new velocity to escape the
+			// face plane.
+			pos = pos.Add(vel.Scale(1e-12 * dt))
+		}
+	}
+	if remaining > 0 {
+		// Traversal cap hit: drop the particle rather than loop forever.
+		stats.Lost++
+		return false
+	}
+	st.Pos[i] = pos
+	st.Vel[i] = vel
+	st.Cell[i] = int32(cell)
+	return true
+}
+
+// reflect returns the post-wall velocity. The outward normal points out of
+// the domain; the reflected velocity must point inward.
+func reflect(v, outward geom.Vec3, wall WallModel, mass float64, r *rng.Rand) geom.Vec3 {
+	switch wall.Kind {
+	case DiffuseWall:
+		// Re-emit from a wall-temperature half-Maxwellian: normal component
+		// Rayleigh-distributed, tangentials Gaussian.
+		sigma := math.Sqrt(rng.KBoltzmann * wall.Temperature / mass)
+		inward := outward.Scale(-1)
+		t1 := perpTo(inward)
+		t2 := inward.Cross(t1)
+		vn := sigma * math.Sqrt(-2*math.Log(1-r.Float64()+1e-300))
+		return inward.Scale(vn).
+			Add(t1.Scale(sigma * r.NormFloat64())).
+			Add(t2.Scale(sigma * r.NormFloat64()))
+	default: // SpecularWall
+		return v.Sub(outward.Scale(2 * v.Dot(outward)))
+	}
+}
+
+func perpTo(n geom.Vec3) geom.Vec3 {
+	if math.Abs(n.X) < 0.9 {
+		return n.Cross(geom.V(1, 0, 0)).Normalize()
+	}
+	return n.Cross(geom.V(0, 1, 0)).Normalize()
+}
+
+// Neutrals is the Move filter selecting DSMC species.
+func Neutrals(sp particle.Species) bool { return !sp.IsCharged() }
+
+// Charged is the Move filter selecting PIC species.
+func Charged(sp particle.Species) bool { return sp.IsCharged() }
+
+// All moves every species.
+func All(particle.Species) bool { return true }

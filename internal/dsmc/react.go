@@ -1,0 +1,174 @@
+package dsmc
+
+import (
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// ElectronVolt in joules.
+const ElectronVolt = 1.602176634e-19
+
+// ReactionModel decides whether an accepted collision between species a and
+// b with collision energy ec (J) reacts, and if so what the products are
+// and the reaction energy dE (J, negative = endothermic: energy removed
+// from relative motion).
+type ReactionModel interface {
+	Attempt(a, b particle.Species, ec float64, r *rng.Rand) (newA, newB particle.Species, dE float64, ok bool)
+}
+
+// HydrogenReactions implements the two channels of the paper's plume
+// chemistry (§VI-C: "the dissociation of H and the recombination of H+"),
+// in the simplified TCE-style form documented in DESIGN.md:
+//
+//   - collisional ionization: H + H -> H + H+ (+e-, not tracked) when the
+//     collision energy exceeds IonizationEnergy; the energy is absorbed.
+//   - recombination: H+ + H -> H + H (the ion captures an electron from
+//     the background; its charge neutralizes) for slow collisions below
+//     RecombEnergy; the binding energy is released.
+//
+// Free electrons are not tracked as particles (the paper's solver also only
+// simulates H and H+); charge bookkeeping happens through the species flip.
+type HydrogenReactions struct {
+	IonizationEnergy float64 // J, threshold for H + H -> H + H+
+	IonizationProb   float64 // acceptance probability above threshold
+	RecombEnergy     float64 // J, ceiling for H+ + H recombination
+	RecombProb       float64 // acceptance probability below ceiling
+}
+
+// DefaultHydrogenReactions returns the model with the physical 13.6 eV
+// ionization threshold and modest steric factors.
+func DefaultHydrogenReactions() *HydrogenReactions {
+	return &HydrogenReactions{
+		IonizationEnergy: 13.6 * ElectronVolt,
+		IonizationProb:   0.5,
+		RecombEnergy:     0.2 * ElectronVolt,
+		RecombProb:       0.1,
+	}
+}
+
+// Attempt implements ReactionModel.
+func (h *HydrogenReactions) Attempt(a, b particle.Species, ec float64, r *rng.Rand) (particle.Species, particle.Species, float64, bool) {
+	switch {
+	case a == particle.H && b == particle.H:
+		if ec > h.IonizationEnergy && r.Float64() < h.IonizationProb {
+			// One of the pair ionizes; pick uniformly for symmetry.
+			if r.Float64() < 0.5 {
+				return particle.HPlus, particle.H, -h.IonizationEnergy, true
+			}
+			return particle.H, particle.HPlus, -h.IonizationEnergy, true
+		}
+	case (a == particle.HPlus && b == particle.H) || (a == particle.H && b == particle.HPlus):
+		if ec < h.RecombEnergy && r.Float64() < h.RecombProb {
+			return particle.H, particle.H, +h.RecombEnergy, true
+		}
+	}
+	return a, b, 0, false
+}
+
+// NoReactions is a ReactionModel that never reacts; useful for isolating
+// collision mechanics in tests and ablations.
+type NoReactions struct{}
+
+// Attempt implements ReactionModel.
+func (NoReactions) Attempt(a, b particle.Species, _ float64, _ *rng.Rand) (particle.Species, particle.Species, float64, bool) {
+	return a, b, 0, false
+}
+
+// Outcome describes a reaction in the extended (number-changing) model.
+type Outcome struct {
+	// NewA / NewB replace the collision partners' species.
+	NewA, NewB particle.Species
+	// DE is the reaction energy added to the relative motion (J; negative
+	// = endothermic).
+	DE float64
+	// SplitA, when true, dissociates partner A into two particles of
+	// species NewA (NewA is duplicated); the pair shares A's momentum and
+	// the post-reaction energy partition (e.g. H2 + M -> H + H + M).
+	SplitA bool
+	// MergeIntoA, when true, removes partner B and replaces A with NewA at
+	// the pair's center-of-mass velocity (e.g. H + H -> H2).
+	MergeIntoA bool
+	// Swapped tells the collider the outcome's A/B roles refer to its
+	// (j, i) pair order instead of (i, j); set by models that normalize
+	// which partner splits.
+	Swapped bool
+}
+
+// ExtendedReactionModel is a ReactionModel whose reactions may change the
+// particle count (dissociation, recombination to molecules). The collider
+// prefers this interface when implemented.
+type ExtendedReactionModel interface {
+	ReactionModel
+	// AttemptEx returns the extended outcome of an accepted collision.
+	AttemptEx(a, b particle.Species, ec float64, r *rng.Rand) (Outcome, bool)
+}
+
+// NeutralChemistry implements the neutral-particle combination and
+// dissociation reactions of the paper's refs [24, 25] on top of the
+// H/H+ channels of HydrogenReactions:
+//
+//   - dissociation: H2 + M -> H + H + M above DissociationEnergy
+//     (endothermic; M is any partner);
+//   - recombination: H + H -> H2 below RecombH2Energy (the third-body
+//     energy sink is modeled by dropping the binding energy, documented
+//     simplification);
+//   - the ionization/recombination channels of HydrogenReactions for
+//     H/H+ pairs.
+type NeutralChemistry struct {
+	Ionic *HydrogenReactions
+
+	DissociationEnergy float64 // J, H2 + M threshold (4.52 eV)
+	DissociationProb   float64
+	RecombH2Energy     float64 // J, ceiling for H + H -> H2
+	RecombH2Prob       float64
+}
+
+// DefaultNeutralChemistry returns the model with the physical 4.52 eV H2
+// bond energy and modest steric factors.
+func DefaultNeutralChemistry() *NeutralChemistry {
+	return &NeutralChemistry{
+		Ionic:              DefaultHydrogenReactions(),
+		DissociationEnergy: 4.52 * ElectronVolt,
+		DissociationProb:   0.5,
+		RecombH2Energy:     0.3 * ElectronVolt,
+		RecombH2Prob:       0.05,
+	}
+}
+
+// Attempt implements the plain ReactionModel (species flips only) so the
+// model still works with colliders unaware of the extended interface.
+func (nc *NeutralChemistry) Attempt(a, b particle.Species, ec float64, r *rng.Rand) (particle.Species, particle.Species, float64, bool) {
+	return nc.Ionic.Attempt(a, b, ec, r)
+}
+
+// AttemptEx implements ExtendedReactionModel.
+func (nc *NeutralChemistry) AttemptEx(a, b particle.Species, ec float64, r *rng.Rand) (Outcome, bool) {
+	switch {
+	case a == particle.H2 || b == particle.H2:
+		// Dissociation of the molecule by any partner.
+		if ec > nc.DissociationEnergy && r.Float64() < nc.DissociationProb {
+			out := Outcome{DE: -nc.DissociationEnergy, SplitA: true, NewA: particle.H}
+			if a == particle.H2 {
+				out.NewB = b
+			} else {
+				// Normalize: the splitting H2 takes the A role.
+				out.NewB = a
+				out.Swapped = true
+			}
+			return out, true
+		}
+	case a == particle.H && b == particle.H:
+		if ec < nc.RecombH2Energy && r.Float64() < nc.RecombH2Prob {
+			return Outcome{NewA: particle.H2, NewB: particle.H, DE: 0, MergeIntoA: true}, true
+		}
+		// Fall through to ionization at high energy.
+		if na, nb, de, ok := nc.Ionic.Attempt(a, b, ec, r); ok {
+			return Outcome{NewA: na, NewB: nb, DE: de}, true
+		}
+	default:
+		if na, nb, de, ok := nc.Ionic.Attempt(a, b, ec, r); ok {
+			return Outcome{NewA: na, NewB: nb, DE: de}, true
+		}
+	}
+	return Outcome{NewA: a, NewB: b}, false
+}

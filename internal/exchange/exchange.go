@@ -1,0 +1,212 @@
+// Package exchange implements the two parallel communication strategies of
+// the paper (§IV-B) for migrating particles among arbitrary ranks after a
+// movement sweep:
+//
+//   - Centralized: a designated root gathers every migrating particle,
+//     classifies by destination, and scatters packed batches — 2N
+//     transactions, ~2M particle transfers.
+//   - Distributed: every pair exchanges directly in two synchronized
+//     rounds ordered by rank to avoid deadlock (the paper's ordering
+//     trick) — ~N(N-1) transactions, ~M particle transfers.
+//
+// Neither strategy assumes neighbor-only migration: a particle may hop to
+// any rank, which is why the ghost-cell method of traditional CFD does not
+// apply (paper §IV-B).
+package exchange
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// Strategy selects the communication scheme.
+type Strategy int
+
+const (
+	// Centralized routes all migrations through rank 0 (gather, classify,
+	// scatter — paper Fig. 3).
+	Centralized Strategy = iota
+	// Distributed exchanges directly between every pair in two ordered
+	// rounds (paper Fig. 4).
+	Distributed
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Centralized:
+		return "CC"
+	case Distributed:
+		return "DC"
+	default:
+		return "strategy(?)"
+	}
+}
+
+// Stats summarizes one exchange.
+type Stats struct {
+	Sent     int // particles shipped to other ranks
+	Received int // particles received from other ranks
+}
+
+// root is the centralized strategy's coordinator rank.
+const root = 0
+
+// Exchange migrates particles whose destination (destOf per particle index)
+// differs from this rank. Outgoing particles are removed from st; incoming
+// ones are appended. All ranks must call Exchange collectively with the
+// same strategy. destOf must return a valid rank for every particle.
+func Exchange(comm *simmpi.Comm, st *particle.Store, destOf func(i int) int, strategy Strategy) (Stats, error) {
+	n := comm.Size()
+	me := comm.Rank()
+
+	// Classify and pack outgoing particles per destination.
+	outIdx := make([][]int, n)
+	dest := make([]int, st.Len())
+	for i := 0; i < st.Len(); i++ {
+		d := destOf(i)
+		if d < 0 || d >= n {
+			return Stats{}, fmt.Errorf("exchange: particle %d routed to invalid rank %d", i, d)
+		}
+		dest[i] = d
+		if d != me {
+			outIdx[d] = append(outIdx[d], i)
+		}
+	}
+	var stats Stats
+	payloads := make([][]byte, n)
+	for d, idx := range outIdx {
+		if len(idx) > 0 {
+			payloads[d] = st.Encode(idx)
+			stats.Sent += len(idx)
+		}
+	}
+	if stats.Sent > 0 {
+		st.Filter(func(i int) bool { return dest[i] == me })
+	}
+
+	var err error
+	switch strategy {
+	case Centralized:
+		stats.Received, err = centralized(comm, st, payloads)
+	case Distributed:
+		stats.Received, err = distributed(comm, st, payloads)
+	default:
+		err = fmt.Errorf("exchange: unknown strategy %d", strategy)
+	}
+	return stats, err
+}
+
+// centralized implements gather -> classify -> scatter through root.
+func centralized(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int, error) {
+	n := comm.Size()
+	// Gather stage: every rank ships all its outgoing particles (for all
+	// destinations) to root as [dest:int32][len:int32][bytes]... sections.
+	blob := packSections(payloads)
+	gathered := comm.Gatherv(root, blob)
+
+	// Classify stage (root only): regroup by destination.
+	var outbound [][]byte
+	if comm.Rank() == root {
+		perDest := make([][]byte, n)
+		for _, g := range gathered {
+			if err := unpackSections(g, func(dst int, data []byte) error {
+				if dst < 0 || dst >= n {
+					return fmt.Errorf("exchange: gathered section for invalid rank %d", dst)
+				}
+				perDest[dst] = append(perDest[dst], data...)
+				return nil
+			}); err != nil {
+				return 0, err
+			}
+		}
+		outbound = perDest
+	}
+
+	// Scatter stage: packed batches go to their destinations.
+	mine := comm.Scatterv(root, outbound)
+	return st.DecodeAppend(mine)
+}
+
+// distributed implements the paper's two-round ordered pairwise exchange.
+// Round 1 moves the (low -> high) pairs: each rank first receives from all
+// lower ranks (ascending), then sends to all higher ranks (ascending).
+// Round 2 moves (high -> low): receive from higher ranks (descending), then
+// send to lower ranks (descending). The paper's deadlock-avoidance ordering
+// — send small-rank destinations first, receive large-rank sources first —
+// is realized by this schedule.
+func distributed(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int, error) {
+	n := comm.Size()
+	me := comm.Rank()
+	const tag = 0x7e
+	received := 0
+	// Round 1: low -> high.
+	for src := 0; src < me; src++ {
+		k, err := st.DecodeAppend(comm.Recv(src, tag))
+		if err != nil {
+			return received, err
+		}
+		received += k
+	}
+	for dst := me + 1; dst < n; dst++ {
+		comm.Send(dst, tag, payloads[dst])
+	}
+	// Round 2: high -> low.
+	for src := n - 1; src > me; src-- {
+		k, err := st.DecodeAppend(comm.Recv(src, tag))
+		if err != nil {
+			return received, err
+		}
+		received += k
+	}
+	for dst := me - 1; dst >= 0; dst-- {
+		comm.Send(dst, tag, payloads[dst])
+	}
+	return received, nil
+}
+
+// packSections serializes non-empty per-destination payloads as
+// [dest:int32][len:int32][bytes] sections.
+func packSections(payloads [][]byte) []byte {
+	size := 0
+	for _, p := range payloads {
+		if len(p) > 0 {
+			size += 8 + len(p)
+		}
+	}
+	out := make([]byte, 0, size)
+	var hdr [8]byte
+	for d, p := range payloads {
+		if len(p) == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(d))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// unpackSections walks the sections of a packed blob.
+func unpackSections(blob []byte, fn func(dst int, data []byte) error) error {
+	off := 0
+	for off < len(blob) {
+		if off+8 > len(blob) {
+			return fmt.Errorf("exchange: truncated section header")
+		}
+		dst := int(binary.LittleEndian.Uint32(blob[off:]))
+		l := int(binary.LittleEndian.Uint32(blob[off+4:]))
+		off += 8
+		if off+l > len(blob) {
+			return fmt.Errorf("exchange: truncated section body")
+		}
+		if err := fn(dst, blob[off:off+l]); err != nil {
+			return err
+		}
+		off += l
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package exchange
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// makeParticles builds k particles on rank `me` destined for round-robin
+// ranks, with identifying payloads.
+func makeParticles(me, k, n int) *particle.Store {
+	st := particle.NewStore(k)
+	for i := 0; i < k; i++ {
+		st.Append(particle.Particle{
+			Pos:  geom.V(float64(me), float64(i), 0),
+			Vel:  geom.V(1, 2, 3),
+			Sp:   particle.Species(i % 2),
+			Cell: int32((me*k + i) % n), // destination = Cell % n below
+			ID:   int64(me*1000000 + i),
+		})
+	}
+	return st
+}
+
+// runExchange executes one collective exchange on n ranks and returns the
+// resulting per-rank particle ID sets and stats.
+func runExchange(t *testing.T, n, perRank int, s Strategy, perturb bool) ([][]int64, []Stats) {
+	t.Helper()
+	w := simmpi.NewWorld(n, simmpi.Options{PerturbDelivery: perturb, PerturbSeed: 7})
+	ids := make([][]int64, n)
+	stats := make([]Stats, n)
+	err := w.Run(func(c *simmpi.Comm) {
+		st := makeParticles(c.Rank(), perRank, n)
+		destOf := func(i int) int { return int(st.Cell[i]) % n }
+		got, err := Exchange(c, st, destOf, s)
+		if err != nil {
+			panic(err)
+		}
+		stats[c.Rank()] = got
+		out := make([]int64, st.Len())
+		copy(out, st.ID)
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		ids[c.Rank()] = out
+		// Every particle now local: destination must be this rank.
+		for i := 0; i < st.Len(); i++ {
+			if int(st.Cell[i])%n != c.Rank() {
+				panic(fmt.Sprintf("rank %d holds foreign particle cell=%d", c.Rank(), st.Cell[i]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, stats
+}
+
+func TestStrategiesDeliverAndConserve(t *testing.T) {
+	for _, s := range []Strategy{Centralized, Distributed} {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			const perRank = 40
+			ids, stats := runExchange(t, n, perRank, s, false)
+			total := 0
+			seen := map[int64]bool{}
+			for r := 0; r < n; r++ {
+				total += len(ids[r])
+				for _, id := range ids[r] {
+					if seen[id] {
+						t.Fatalf("%v n=%d: particle %d duplicated", s, n, id)
+					}
+					seen[id] = true
+				}
+			}
+			if total != n*perRank {
+				t.Fatalf("%v n=%d: %d particles after exchange, want %d", s, n, total, n*perRank)
+			}
+			// Conservation per stats: global sent == global received.
+			var sent, recv int
+			for _, st := range stats {
+				sent += st.Sent
+				recv += st.Received
+			}
+			if sent != recv {
+				t.Fatalf("%v n=%d: sent %d != received %d", s, n, sent, recv)
+			}
+		}
+	}
+}
+
+func TestStrategiesProduceIdenticalPlacement(t *testing.T) {
+	const n, perRank = 6, 50
+	idsCC, _ := runExchange(t, n, perRank, Centralized, false)
+	idsDC, _ := runExchange(t, n, perRank, Distributed, false)
+	for r := 0; r < n; r++ {
+		if len(idsCC[r]) != len(idsDC[r]) {
+			t.Fatalf("rank %d: CC has %d, DC has %d", r, len(idsCC[r]), len(idsDC[r]))
+		}
+		for k := range idsCC[r] {
+			if idsCC[r][k] != idsDC[r][k] {
+				t.Fatalf("rank %d: particle sets differ", r)
+			}
+		}
+	}
+}
+
+func TestExchangeUnderPerturbedDelivery(t *testing.T) {
+	for _, s := range []Strategy{Centralized, Distributed} {
+		ids, _ := runExchange(t, 5, 30, s, true)
+		total := 0
+		for _, l := range ids {
+			total += len(l)
+		}
+		if total != 5*30 {
+			t.Fatalf("%v: lost particles under perturbation: %d", s, total)
+		}
+	}
+}
+
+func TestExchangeNoMigration(t *testing.T) {
+	// All particles already home: no sends at all.
+	w := simmpi.NewWorld(4, simmpi.Options{})
+	err := w.Run(func(c *simmpi.Comm) {
+		st := particle.NewStore(10)
+		for i := 0; i < 10; i++ {
+			st.Append(particle.Particle{Cell: int32(c.Rank()), ID: int64(i)})
+		}
+		stats, err := Exchange(c, st, func(i int) int { return c.Rank() }, Distributed)
+		if err != nil {
+			panic(err)
+		}
+		if stats.Sent != 0 || stats.Received != 0 {
+			panic(fmt.Sprintf("spurious migration: %+v", stats))
+		}
+		if st.Len() != 10 {
+			panic("particles lost without migration")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeInvalidDestination(t *testing.T) {
+	w := simmpi.NewWorld(2, simmpi.Options{})
+	errs := make([]error, 2)
+	_ = w.Run(func(c *simmpi.Comm) {
+		st := particle.NewStore(1)
+		st.Append(particle.Particle{})
+		_, errs[c.Rank()] = Exchange(c, st, func(i int) int { return 99 }, Centralized)
+	})
+	if errs[0] == nil || errs[1] == nil {
+		t.Error("invalid destination not rejected")
+	}
+}
+
+func TestTrafficShapeMatchesAnalysis(t *testing.T) {
+	// Paper §IV-B3: centralized ~ 2N transactions and ~2M data volume;
+	// distributed ~ N(N-1) transactions and ~M volume.
+	const n, perRank = 6, 50
+	wCC := simmpi.NewWorld(n, simmpi.Options{})
+	err := wCC.Run(func(c *simmpi.Comm) {
+		c.SetPhase("exc")
+		st := makeParticles(c.Rank(), perRank, n)
+		if _, err := Exchange(c, st, func(i int) int { return int(st.Cell[i]) % n }, Centralized); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wDC := simmpi.NewWorld(n, simmpi.Options{})
+	err = wDC.Run(func(c *simmpi.Comm) {
+		c.SetPhase("exc")
+		st := makeParticles(c.Rank(), perRank, n)
+		if _, err := Exchange(c, st, func(i int) int { return int(st.Cell[i]) % n }, Distributed); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccTotal, _ := simmpi.AggregatePhase(wCC.Counters(), "exc")
+	dcTotal, _ := simmpi.AggregatePhase(wDC.Counters(), "exc")
+	// Transactions: CC ~ 2(N-1), DC = N(N-1).
+	if ccTotal.Messages != int64(2*(n-1)) {
+		t.Errorf("CC transactions = %d, want %d", ccTotal.Messages, 2*(n-1))
+	}
+	if dcTotal.Messages != int64(n*(n-1)) {
+		t.Errorf("DC transactions = %d, want %d", dcTotal.Messages, n*(n-1))
+	}
+	// Data volume: CC carries every migrating particle twice (to root and
+	// back), DC once — except root's own inbound/outbound particles, which
+	// skip the network, so the observed ratio is a bit under 2x for small
+	// N. Require clearly-more-than-DC (>= 1.5x) and at most 2.2x.
+	ratio := float64(ccTotal.Bytes) / float64(dcTotal.Bytes)
+	if ratio < 1.5 || ratio > 2.2 {
+		t.Errorf("CC/DC byte ratio = %.2f (CC %d, DC %d), want ~2", ratio, ccTotal.Bytes, dcTotal.Bytes)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Centralized.String() != "CC" || Distributed.String() != "DC" || Strategy(9).String() != "strategy(?)" {
+		t.Error("Strategy.String wrong")
+	}
+}
+
+func BenchmarkExchangeDistributed8(b *testing.B) {
+	const n = 8
+	w := simmpi.NewWorld(n, simmpi.Options{})
+	err := w.Run(func(c *simmpi.Comm) {
+		for i := 0; i < b.N; i++ {
+			st := makeParticles(c.Rank(), 500, n)
+			if _, err := Exchange(c, st, func(i int) int { return int(st.Cell[i]) % n }, Distributed); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkExchangeCentralized8(b *testing.B) {
+	const n = 8
+	w := simmpi.NewWorld(n, simmpi.Options{})
+	err := w.Run(func(c *simmpi.Comm) {
+		for i := 0; i < b.N; i++ {
+			st := makeParticles(c.Rank(), 500, n)
+			if _, err := Exchange(c, st, func(i int) int { return int(st.Cell[i]) % n }, Centralized); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+)
+
+// Fig11Result reproduces paper Fig. 11: total times and exchange-only
+// times for the distributed and centralized strategies on the BSCC
+// platform with the particle-light DS3, where the centralized strategy
+// overtakes at high rank counts.
+type Fig11Result struct {
+	Ranks      []int
+	DCTotal    []float64
+	CCTotal    []float64
+	DCExchange []float64
+	CCExchange []float64
+}
+
+// Fig11 runs DS3 with LB enabled under both strategies on the BSCC model.
+func Fig11(p Preset) (*Fig11Result, error) {
+	res := &Fig11Result{Ranks: p.Ranks}
+	for _, strat := range []exchange.Strategy{exchange.Distributed, exchange.Centralized} {
+		for _, n := range p.Ranks {
+			stats, err := Run(RunSpec{
+				Dataset: DS3, Ranks: n, Steps: p.Steps, Strategy: strat,
+				LB:       defaultLB(strat),
+				Platform: commcost.BSCC, Placement: commcost.InnerFrame,
+			})
+			if err != nil {
+				return nil, err
+			}
+			exc := stats.ComponentTime(core.CompDSMCExchange) + stats.ComponentTime(core.CompPICExchange)
+			if strat == exchange.Distributed {
+				res.DCTotal = append(res.DCTotal, stats.TotalTime())
+				res.DCExchange = append(res.DCExchange, exc)
+			} else {
+				res.CCTotal = append(res.CCTotal, stats.TotalTime())
+				res.CCExchange = append(res.CCExchange, exc)
+			}
+		}
+	}
+	return res, nil
+}
+
+// CCWinsAtScale reports whether the centralized strategy's exchange cost
+// drops below the distributed one at the largest rank count while being
+// comparable or worse at the smallest (the paper's crossover).
+func (r *Fig11Result) CCWinsAtScale() bool {
+	last := len(r.Ranks) - 1
+	return r.CCExchange[last] < r.DCExchange[last]
+}
+
+// Table renders Fig. 11 as a table.
+func (r *Fig11Result) Table() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — DC vs CC on BSCC, DS3 (few particles), LB enabled\n")
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, n := range r.Ranks {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteByte('\n')
+	rows := []struct {
+		name string
+		vals []float64
+	}{
+		{"DC total", r.DCTotal},
+		{"CC total", r.CCTotal},
+		{"DC_exchange", r.DCExchange},
+		{"CC_exchange", r.CCExchange},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-14s", row.name)
+		for _, t := range row.vals {
+			fmt.Fprintf(&b, "%10.4f", t)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

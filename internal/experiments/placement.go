@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+)
+
+// Fig14Result reproduces paper Fig. 14: total times under the three MPI
+// rank placements (inner-frame / inner-rack / inter-rack) for CC and DC
+// with load balancing on Tianhe-2. The paper finds only 1-2% differences.
+type Fig14Result struct {
+	Ranks []int
+	// Times["DC"/"CC"][placement][rankIdx] modeled seconds.
+	Times map[string]map[commcost.Placement][]float64
+}
+
+// Placements in display order.
+var placements = []commcost.Placement{commcost.InnerFrame, commcost.InnerRack, commcost.InterRack}
+
+// Fig14 runs DS2 up to the preset's rank cap (the paper uses up to 96)
+// under each placement. The placement only affects the cost model, but the
+// balancer reacts to modeled times, so each placement is a separate run.
+func Fig14(p Preset) (*Fig14Result, error) {
+	ranks := p.Ranks
+	if len(ranks) > 3 {
+		ranks = ranks[:3] // paper measures placement up to 96 procs
+	}
+	res := &Fig14Result{Ranks: ranks, Times: map[string]map[commcost.Placement][]float64{
+		"DC": {}, "CC": {},
+	}}
+	for _, strat := range []exchange.Strategy{exchange.Distributed, exchange.Centralized} {
+		for _, pl := range placements {
+			for _, n := range ranks {
+				stats, err := Run(RunSpec{
+					Dataset: DS2, Ranks: n, Steps: p.Steps, Strategy: strat,
+					LB:       defaultLB(strat),
+					Platform: commcost.Tianhe2, Placement: pl,
+				})
+				if err != nil {
+					return nil, err
+				}
+				key := strat.String()
+				res.Times[key][pl] = append(res.Times[key][pl], stats.TotalTime())
+			}
+		}
+	}
+	return res, nil
+}
+
+// MaxSpread returns the largest relative spread between placements over
+// all strategies and rank counts (paper: ~1-2%).
+func (r *Fig14Result) MaxSpread() float64 {
+	var worst float64
+	for _, per := range r.Times {
+		for ri := range r.Ranks {
+			lo, hi := per[placements[0]][ri], per[placements[0]][ri]
+			for _, pl := range placements {
+				t := per[pl][ri]
+				if t < lo {
+					lo = t
+				}
+				if t > hi {
+					hi = t
+				}
+			}
+			if lo > 0 && (hi-lo)/lo > worst {
+				worst = (hi - lo) / lo
+			}
+		}
+	}
+	return worst
+}
+
+// InnerFrameFastest reports whether inner-frame placement is never slower
+// than inter-rack for both strategies.
+func (r *Fig14Result) InnerFrameFastest() bool {
+	for _, per := range r.Times {
+		for ri := range r.Ranks {
+			if per[commcost.InnerFrame][ri] > per[commcost.InterRack][ri]*1.001 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Table renders Fig. 14.
+func (r *Fig14Result) Table() string {
+	var b strings.Builder
+	b.WriteString("Fig. 14 — MPI rank placement impact (total modeled s), DS2, LB on\n")
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, n := range r.Ranks {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteByte('\n')
+	for _, strat := range []string{"DC", "CC"} {
+		for _, pl := range placements {
+			fmt.Fprintf(&b, "%-22s", strat+" "+pl.String())
+			for _, t := range r.Times[strat][pl] {
+				fmt.Fprintf(&b, "%10.4f", t)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "max spread between placements: %.2f%%\n", 100*r.MaxSpread())
+	return b.String()
+}

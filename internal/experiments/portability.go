@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+)
+
+// Fig15Result reproduces paper Fig. 15: strong scaling of the two
+// communication strategies (with LB) on Tianhe-2 and the ARM Tianhe-3
+// prototype, across four datasets. Panels (a)/(b) are Tianhe-2 on
+// DS2+DS4 / DS5+DS6, panels (c)/(d) the same on Tianhe-3.
+type Fig15Result struct {
+	Ranks []int
+	// Times[platform][dataset][strategy][rankIdx] modeled seconds.
+	Times map[string]map[string]map[string][]float64
+}
+
+// Fig15 sweeps platforms x datasets x strategies. The rank sweep is capped
+// at 384: the panel covers 2 platforms x 4 datasets x 2 strategies = 16
+// scaling curves, and the big-grid datasets (DS5/DS6) at 1536 goroutine
+// ranks would dominate the whole harness's runtime for no additional
+// shape information.
+func Fig15(p Preset) (*Fig15Result, error) {
+	for len(p.Ranks) > 0 && p.Ranks[len(p.Ranks)-1] > 384 {
+		p.Ranks = p.Ranks[:len(p.Ranks)-1]
+	}
+	res := &Fig15Result{Ranks: p.Ranks, Times: map[string]map[string]map[string][]float64{}}
+	for _, platform := range []commcost.Platform{commcost.Tianhe2, commcost.Tianhe3} {
+		res.Times[platform.Name] = map[string]map[string][]float64{}
+		for _, ds := range []Dataset{DS2, DS4, DS5, DS6} {
+			res.Times[platform.Name][ds.Name] = map[string][]float64{}
+			for _, strat := range []exchange.Strategy{exchange.Distributed, exchange.Centralized} {
+				for _, n := range p.Ranks {
+					stats, err := Run(RunSpec{
+						Dataset: ds, Ranks: n, Steps: p.Steps, Strategy: strat,
+						LB:       defaultLB(strat),
+						Platform: platform, Placement: commcost.InnerFrame,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res.Times[platform.Name][ds.Name][strat.String()] = append(
+						res.Times[platform.Name][ds.Name][strat.String()], stats.TotalTime())
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// StrategyGap returns |DC-CC|/DC averaged over rank counts for one
+// platform/dataset; the paper observes smaller gaps on the larger grids
+// (DS5/DS6) than on DS2/DS4.
+func (r *Fig15Result) StrategyGap(platform, dataset string) float64 {
+	dc := r.Times[platform][dataset]["DC"]
+	cc := r.Times[platform][dataset]["CC"]
+	var sum float64
+	for i := range dc {
+		if dc[i] > 0 {
+			gap := cc[i] - dc[i]
+			if gap < 0 {
+				gap = -gap
+			}
+			sum += gap / dc[i]
+		}
+	}
+	return sum / float64(len(dc))
+}
+
+// ScalesOnBothPlatforms reports whether total time decreases from the
+// smallest to the largest rank count for every platform/dataset/strategy.
+func (r *Fig15Result) ScalesOnBothPlatforms() bool {
+	for _, per := range r.Times {
+		for _, ds := range per {
+			for _, ts := range ds {
+				if len(ts) >= 2 && ts[len(ts)-1] >= ts[0] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Table renders Fig. 15.
+func (r *Fig15Result) Table() string {
+	var b strings.Builder
+	b.WriteString("Fig. 15 — portability: total modeled time (s), LB on\n")
+	for _, platform := range []string{commcost.Tianhe2.Name, commcost.Tianhe3.Name} {
+		fmt.Fprintf(&b, "-- %s --\n", platform)
+		fmt.Fprintf(&b, "%-12s", "")
+		for _, n := range r.Ranks {
+			fmt.Fprintf(&b, "%10d", n)
+		}
+		b.WriteByte('\n')
+		for _, ds := range []string{"DS2", "DS4", "DS5", "DS6"} {
+			for _, strat := range []string{"DC", "CC"} {
+				fmt.Fprintf(&b, "%-12s", ds+" "+strat)
+				for _, t := range r.Times[platform][ds][strat] {
+					fmt.Fprintf(&b, "%10.3f", t)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+)
+
+// Variant is one of the four implementations compared in paper Fig. 10 /
+// Table II.
+type Variant struct {
+	Name     string
+	Strategy exchange.Strategy
+	LB       bool
+}
+
+// Variants lists the paper's four implementations.
+var Variants = []Variant{
+	{Name: "DC+LB", Strategy: exchange.Distributed, LB: true},
+	{Name: "DC-Only", Strategy: exchange.Distributed, LB: false},
+	{Name: "CC+LB", Strategy: exchange.Centralized, LB: true},
+	{Name: "CC-Only", Strategy: exchange.Centralized, LB: false},
+}
+
+// Table2Result reproduces Table II / Fig. 10: total modeled execution time
+// for each variant across the rank sweep.
+type Table2Result struct {
+	Ranks []int
+	// Times[variant][rankIdx] in modeled seconds.
+	Times map[string][]float64
+}
+
+// variantSpec builds the RunSpec for one variant at one rank count.
+func variantSpec(ds Dataset, v Variant, n, steps int) RunSpec {
+	spec := RunSpec{
+		Dataset: ds, Ranks: n, Steps: steps, Strategy: v.Strategy,
+		Platform: commcost.Tianhe2, Placement: commcost.InnerFrame,
+	}
+	if v.LB {
+		spec.LB = defaultLB(v.Strategy)
+	}
+	return spec
+}
+
+// Table2 runs the strong-scaling comparison on DS2 (paper §VII-B).
+func Table2(p Preset) (*Table2Result, error) {
+	res := &Table2Result{Ranks: p.Ranks, Times: map[string][]float64{}}
+	for _, v := range Variants {
+		for _, n := range p.Ranks {
+			stats, err := Run(variantSpec(DS2, v, n, p.Steps))
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s n=%d: %w", v.Name, n, err)
+			}
+			res.Times[v.Name] = append(res.Times[v.Name], stats.TotalTime())
+		}
+	}
+	return res, nil
+}
+
+// Speedup returns variant time at the base rank count divided by its time
+// at each rank count.
+func (r *Table2Result) Speedup(variant string) []float64 {
+	ts := r.Times[variant]
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		if t > 0 {
+			out[i] = ts[0] / t
+		}
+	}
+	return out
+}
+
+// LBImprovement returns the percentage improvement of LB over no-LB for
+// the given strategy prefix ("DC" or "CC") at each rank count.
+func (r *Table2Result) LBImprovement(prefix string) []float64 {
+	with := r.Times[prefix+"+LB"]
+	without := r.Times[prefix+"-Only"]
+	out := make([]float64, len(with))
+	for i := range with {
+		if without[i] > 0 {
+			out[i] = 100 * (without[i] - with[i]) / without[i]
+		}
+	}
+	return out
+}
+
+// Table renders Table II.
+func (r *Table2Result) Table() string {
+	var b strings.Builder
+	b.WriteString("Table II / Fig. 10 — total modeled execution time (s), DS2 on Tianhe-2\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, n := range r.Ranks {
+		fmt.Fprintf(&b, "%9d", n)
+	}
+	b.WriteByte('\n')
+	for _, v := range Variants {
+		fmt.Fprintf(&b, "%-8s", v.Name)
+		for _, t := range r.Times[v.Name] {
+			fmt.Fprintf(&b, "%9.2f", t)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-8s", "DC LB %")
+	for _, imp := range r.LBImprovement("DC") {
+		fmt.Fprintf(&b, "%8.1f%%", imp)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Table3Result reproduces Table III: DSMC_Move and PIC_Move times with and
+// without dynamic load balance (DC strategy).
+type Table3Result struct {
+	Ranks []int
+	// Times[row][rankIdx]; rows are "DSMC_Move LB", "DSMC_Move noLB",
+	// "PIC_Move LB", "PIC_Move noLB".
+	Times map[string][]float64
+}
+
+// Table3 extracts the movement components from the DS2 runs.
+func Table3(p Preset) (*Table3Result, error) {
+	res := &Table3Result{Ranks: p.Ranks, Times: map[string][]float64{}}
+	for _, v := range []Variant{Variants[0], Variants[1]} { // DC+LB, DC-Only
+		suffix := "LB"
+		if !v.LB {
+			suffix = "noLB"
+		}
+		for _, n := range p.Ranks {
+			stats, err := Run(variantSpec(DS2, v, n, p.Steps))
+			if err != nil {
+				return nil, err
+			}
+			res.Times["DSMC_Move "+suffix] = append(res.Times["DSMC_Move "+suffix],
+				stats.ComponentTime(core.CompDSMCMove))
+			res.Times["PIC_Move "+suffix] = append(res.Times["PIC_Move "+suffix],
+				stats.ComponentTime(core.CompPICMove))
+		}
+	}
+	return res, nil
+}
+
+// Table renders Table III.
+func (r *Table3Result) Table() string {
+	var b strings.Builder
+	b.WriteString("Table III — movement times (s) with/without load balance, DC, DS2\n")
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, n := range r.Ranks {
+		fmt.Fprintf(&b, "%9d", n)
+	}
+	b.WriteByte('\n')
+	for _, row := range []string{"DSMC_Move LB", "DSMC_Move noLB", "PIC_Move LB", "PIC_Move noLB"} {
+		fmt.Fprintf(&b, "%-16s", row)
+		for _, t := range r.Times[row] {
+			fmt.Fprintf(&b, "%9.3f", t)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table4Result reproduces Table IV: the per-procedure breakdown for DC+LB.
+type Table4Result struct {
+	Ranks []int
+	// Times[component][rankIdx] modeled seconds.
+	Times map[string][]float64
+}
+
+// Table4 extracts the component breakdown from the DS2 DC+LB runs.
+func Table4(p Preset) (*Table4Result, error) {
+	res := &Table4Result{Ranks: p.Ranks, Times: map[string][]float64{}}
+	for _, n := range p.Ranks {
+		stats, err := Run(variantSpec(DS2, Variants[0], n, p.Steps))
+		if err != nil {
+			return nil, err
+		}
+		for _, comp := range core.Components {
+			res.Times[comp] = append(res.Times[comp], stats.ComponentTime(comp))
+		}
+	}
+	return res, nil
+}
+
+// PoissonScalesWorst reports whether Poisson_Solve has the worst scaling
+// ratio (first/last time) of all major components — the paper's Table IV
+// conclusion.
+func (r *Table4Result) PoissonScalesWorst() bool {
+	ratio := func(comp string) float64 {
+		ts := r.Times[comp]
+		if len(ts) == 0 || ts[len(ts)-1] <= 0 {
+			return 0
+		}
+		return ts[0] / ts[len(ts)-1] // higher = better scaling
+	}
+	pr := ratio(core.CompPoisson)
+	for _, comp := range []string{core.CompDSMCMove, core.CompInject, core.CompReindex, core.CompPICMove} {
+		if ratio(comp) <= pr {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders Table IV.
+func (r *Table4Result) Table() string {
+	var b strings.Builder
+	b.WriteString("Table IV — per-procedure breakdown (s), DC+LB, DS2 on Tianhe-2\n")
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, n := range r.Ranks {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteByte('\n')
+	for _, comp := range core.Components {
+		fmt.Fprintf(&b, "%-16s", comp)
+		for _, t := range r.Times[comp] {
+			fmt.Fprintf(&b, "%10.4f", t)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/balance"
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+)
+
+// Table5Result reproduces paper Table V: the modeled overhead of the
+// Rebalance component with and without the Kuhn-Munkres remapping, for
+// both communication strategies.
+type Table5Result struct {
+	Ranks []int
+	// Overhead["DC with KM"] etc., modeled seconds.
+	Overhead map[string][]float64
+	// Rebalances counts rebalance events per configuration/rank count.
+	Rebalances map[string][]int
+}
+
+// Table5 sweeps the KM ablation on DS2.
+func Table5(p Preset) (*Table5Result, error) {
+	res := &Table5Result{
+		Ranks:      p.Ranks,
+		Overhead:   map[string][]float64{},
+		Rebalances: map[string][]int{},
+	}
+	for _, strat := range []exchange.Strategy{exchange.Distributed, exchange.Centralized} {
+		for _, useKM := range []bool{true, false} {
+			name := strat.String() + " with KM"
+			if !useKM {
+				name = strat.String() + " without KM"
+			}
+			for _, n := range p.Ranks {
+				lb := defaultLB(strat)
+				lb.UseKM = useKM
+				stats, err := Run(RunSpec{
+					Dataset: DS2, Ranks: n, Steps: p.Steps, Strategy: strat, LB: lb,
+					Platform: commcost.Tianhe2, Placement: commcost.InnerFrame,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res.Overhead[name] = append(res.Overhead[name], stats.ComponentTime(core.CompRebalance))
+				res.Rebalances[name] = append(res.Rebalances[name], stats.Rebalances())
+			}
+		}
+	}
+	return res, nil
+}
+
+// KMHelps reports whether KM reduces (or matches) the rebalance overhead
+// for the given strategy at the smallest rank count, where rebalancing is
+// most frequent (the paper's Table V trend).
+func (r *Table5Result) KMHelps(strategy string) bool {
+	with := r.Overhead[strategy+" with KM"]
+	without := r.Overhead[strategy+" without KM"]
+	if len(with) == 0 || len(without) == 0 {
+		return false
+	}
+	return with[0] <= without[0]*1.05
+}
+
+// Table renders Table V.
+func (r *Table5Result) Table() string {
+	var b strings.Builder
+	b.WriteString("Table V — rebalance overhead (s) with/without Kuhn-Munkres, DS2\n")
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, n := range r.Ranks {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteByte('\n')
+	for _, row := range []string{"DC with KM", "DC without KM", "CC with KM", "CC without KM"} {
+		fmt.Fprintf(&b, "%-16s", row)
+		for i, t := range r.Overhead[row] {
+			fmt.Fprintf(&b, "%7.4f(%d)", t, r.Rebalances[row][i])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(value = modeled seconds, parenthesis = rebalance events)\n")
+	return b.String()
+}
+
+// SweepResult holds total times for a one-parameter sensitivity sweep
+// (Fig. 12: T, Fig. 13: Threshold, Table VI: W_cell).
+type SweepResult struct {
+	Name   string
+	Ranks  []int
+	Labels []string
+	// Times[labelIdx][rankIdx] total modeled seconds.
+	Times [][]float64
+}
+
+// sweepLB runs DS2 with DC and a per-label modified balancer config.
+func sweepLB(p Preset, name string, labels []string, modify func(i int, lb *balanceConfig)) (*SweepResult, error) {
+	res := &SweepResult{Name: name, Ranks: p.Ranks, Labels: labels}
+	for i := range labels {
+		var times []float64
+		for _, n := range p.Ranks {
+			lb := defaultLB(exchange.Distributed)
+			modify(i, lb)
+			stats, err := Run(RunSpec{
+				Dataset: DS2, Ranks: n, Steps: p.Steps, Strategy: exchange.Distributed, LB: lb,
+				Platform: commcost.Tianhe2, Placement: commcost.InnerFrame,
+			})
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, stats.TotalTime())
+		}
+		res.Times = append(res.Times, times)
+	}
+	return res, nil
+}
+
+// balanceConfig aliases the balancer config for the sweep closures.
+type balanceConfig = balance.Config
+
+// Fig12 sweeps the rebalance interval T (paper uses {10, 20, 30} over 100
+// steps; scaled to the preset's step budget).
+func Fig12(p Preset) (*SweepResult, error) {
+	ts := []int{p.Steps / 10, p.Steps / 5, p.Steps * 3 / 10}
+	for i := range ts {
+		if ts[i] < 1 {
+			ts[i] = 1
+		}
+	}
+	labels := make([]string, len(ts))
+	for i, t := range ts {
+		labels[i] = fmt.Sprintf("T=%d", t)
+	}
+	return sweepLB(p, "Fig. 12 — impact of rebalance interval T", labels, func(i int, lb *balanceConfig) {
+		lb.T = ts[i]
+	})
+}
+
+// Fig13 sweeps the lii Threshold {1.5, 2.0, 2.5}.
+func Fig13(p Preset) (*SweepResult, error) {
+	thrs := []float64{1.5, 2.0, 2.5}
+	labels := []string{"Thr=1.5", "Thr=2.0", "Thr=2.5"}
+	return sweepLB(p, "Fig. 13 — impact of Threshold", labels, func(i int, lb *balanceConfig) {
+		lb.Threshold = thrs[i]
+	})
+}
+
+// Table6 sweeps W_cell over {1, 10, 100, 1000, 10000}.
+func Table6(p Preset) (*SweepResult, error) {
+	ws := []int64{1, 10, 100, 1000, 10000}
+	labels := make([]string, len(ws))
+	for i, w := range ws {
+		labels[i] = fmt.Sprintf("Wcell=%d", w)
+	}
+	return sweepLB(p, "Table VI — impact of W_cell", labels, func(i int, lb *balanceConfig) {
+		lb.WCell = ws[i]
+	})
+}
+
+// Spread returns, per rank count, (max-min)/min over the sweep labels — a
+// measure of how sensitive total time is to the parameter.
+func (r *SweepResult) Spread() []float64 {
+	out := make([]float64, len(r.Ranks))
+	for ri := range r.Ranks {
+		lo, hi := r.Times[0][ri], r.Times[0][ri]
+		for li := range r.Labels {
+			t := r.Times[li][ri]
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+		if lo > 0 {
+			out[ri] = (hi - lo) / lo
+		}
+	}
+	return out
+}
+
+// Table renders a sweep.
+func (r *SweepResult) Table() string {
+	var b strings.Builder
+	b.WriteString(r.Name + " — total modeled time (s), DC+LB, DS2\n")
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, n := range r.Ranks {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteByte('\n')
+	for li, label := range r.Labels {
+		fmt.Fprintf(&b, "%-14s", label)
+		for _, t := range r.Times[li] {
+			fmt.Fprintf(&b, "%10.3f", t)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

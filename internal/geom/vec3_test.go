@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVecAddSub(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-4, 5, 0.5}
+	if got := a.Add(b); got != (Vec3{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Add/Sub roundtrip = %v, want %v", got, a)
+	}
+}
+
+func TestVecScale(t *testing.T) {
+	a := Vec3{1, -2, 4}
+	if got := a.Scale(-0.5); got != (Vec3{-0.5, 1, -2}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Scale(0); got != (Vec3{}) {
+		t.Errorf("Scale(0) = %v", got)
+	}
+}
+
+func TestDotCrossIdentities(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -1, 2}
+	if got := a.Dot(b); got != 1*4+2*(-1)+3*2 {
+		t.Errorf("Dot = %v", got)
+	}
+	c := a.Cross(b)
+	if !almostEq(c.Dot(a), 0, 1e-12) || !almostEq(c.Dot(b), 0, 1e-12) {
+		t.Errorf("Cross not orthogonal: %v", c)
+	}
+	// a x b = -(b x a)
+	if got := b.Cross(a); !vecAlmostEq(got, c.Scale(-1), 1e-12) {
+		t.Errorf("anticommutativity: %v vs %v", got, c)
+	}
+}
+
+func TestNormNormalize(t *testing.T) {
+	a := Vec3{3, 4, 12}
+	if !almostEq(a.Norm(), 13, 1e-12) {
+		t.Errorf("Norm = %v", a.Norm())
+	}
+	if !almostEq(a.Norm2(), 169, 1e-12) {
+		t.Errorf("Norm2 = %v", a.Norm2())
+	}
+	u := a.Normalize()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Normalize norm = %v", u.Norm())
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize zero = %v", got)
+	}
+}
+
+func TestLerpMidDist(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{2, 4, 6}
+	if got := a.Lerp(b, 0.5); got != (Vec3{1, 2, 3}) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := Mid(a, b); got != (Vec3{1, 2, 3}) {
+		t.Errorf("Mid = %v", got)
+	}
+	if !almostEq(Dist(a, b), b.Norm(), 1e-12) {
+		t.Errorf("Dist = %v", Dist(a, b))
+	}
+}
+
+// Property: the scalar triple product is invariant under cyclic permutation.
+func TestTripleProductCyclic(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		c := Vec3{clamp(cx), clamp(cy), clamp(cz)}
+		t1 := a.Dot(b.Cross(c))
+		t2 := b.Dot(c.Cross(a))
+		t3 := c.Dot(a.Cross(b))
+		scale := math.Abs(t1) + math.Abs(t2) + math.Abs(t3) + 1
+		return almostEq(t1, t2, 1e-9*scale) && almostEq(t2, t3, 1e-9*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |a x b|^2 + (a.b)^2 = |a|^2 |b|^2 (Lagrange identity).
+func TestLagrangeIdentity(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		lhs := a.Cross(b).Norm2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Norm2() * b.Norm2()
+		return almostEq(lhs, rhs, 1e-9*(math.Abs(rhs)+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp maps arbitrary float64s (incl. NaN/Inf from quick) to a sane range.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Mod(x, 1e3)
+}

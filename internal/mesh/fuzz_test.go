@@ -1,0 +1,38 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the binary mesh loader: it must either
+// return an error or a mesh passing Check, never panic.
+func FuzzLoad(f *testing.F) {
+	m, err := Box(1, 1, 1, 1, 1, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("dsmcMSH1 garbage"))
+	// Corrupt a node id.
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 200 {
+		corrupt[190] = 0xff
+	}
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		loaded, err := Load(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		if err := loaded.Check(); err != nil {
+			t.Fatalf("loaded mesh fails invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+// kuhnTets lists the 6 tetrahedra of the Kuhn triangulation of the unit
+// cube, as paths from corner 0 to corner 7. Corner numbering encodes the
+// (x, y, z) bits: corner = x + 2y + 4z. Because every cube is subdivided the
+// same way (diagonals oriented along the global axes), faces of adjacent
+// cubes triangulate identically, producing a conforming global mesh.
+var kuhnTets = [6][4]int{
+	{0, 1, 3, 7},
+	{0, 1, 5, 7},
+	{0, 2, 3, 7},
+	{0, 2, 6, 7},
+	{0, 4, 5, 7},
+	{0, 4, 6, 7},
+}
+
+// Box builds a conforming tetrahedral mesh of the axis-aligned box
+// [0,lx]x[0,ly]x[0,lz] with nx x ny x nz hexahedral cells, each split into 6
+// tetrahedra (6*nx*ny*nz cells total). Boundary faces are tagged Wall;
+// re-tag with TagBoundary as needed.
+func Box(nx, ny, nz int, lx, ly, lz float64) (*Mesh, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("mesh: box resolution must be >= 1, got %dx%dx%d", nx, ny, nz)
+	}
+	keep := func(i, j, k int) bool { return true }
+	return lattice(nx, ny, nz, lx, ly, lz, geom.Vec3{}, keep)
+}
+
+// Nozzle builds the 3D cylindrical-nozzle mesh of the paper's case study: a
+// cylinder of radius r and length l aligned with +z, inlet disk at z=0,
+// outlet disk at z=l, lateral surface tagged Wall. The cylinder cross
+// section is approximated by the stair-step set of lattice cells whose
+// centers lie within the radius (a documented substitution for the SALOME
+// body-fitted grid; the solver only needs tagged conforming tetrahedra).
+// n controls resolution: the lattice is (2n) x (2n) x nzAxial cells over the
+// bounding box, so cell size is r/n transversally.
+func Nozzle(n, nzAxial int, r, l float64) (*Mesh, error) {
+	if n < 2 || nzAxial < 1 {
+		return nil, fmt.Errorf("mesh: nozzle resolution too small (n=%d nz=%d)", n, nzAxial)
+	}
+	nx, ny := 2*n, 2*n
+	h := r / float64(n)
+	origin := geom.Vec3{X: -r, Y: -r, Z: 0}
+	keep := func(i, j, k int) bool {
+		cx := origin.X + (float64(i)+0.5)*h
+		cy := origin.Y + (float64(j)+0.5)*h
+		return cx*cx+cy*cy <= r*r
+	}
+	m, err := lattice(nx, ny, nzAxial, 2*r, 2*r, l, origin, keep)
+	if err != nil {
+		return nil, err
+	}
+	// Tag boundary faces by position: z=0 -> inlet, z=l -> outlet, else wall.
+	ztol := 1e-9 * l
+	m.TagBoundary(func(c, normal geom.Vec3) BoundaryTag {
+		switch {
+		case c.Z <= ztol && normal.Z < -0.5:
+			return Inlet
+		case c.Z >= l-ztol && normal.Z > 0.5:
+			return Outlet
+		default:
+			return Wall
+		}
+	})
+	return m, nil
+}
+
+// ConicalNozzle builds a diverging (or converging) nozzle: the stair-step
+// cross-section radius varies linearly from rInlet at z=0 to rOutlet at
+// z=l. n sets the transversal resolution relative to the larger radius.
+// Boundary tagging matches Nozzle: inlet disk at z=0, outlet at z=l,
+// lateral surface walls.
+func ConicalNozzle(n, nzAxial int, rInlet, rOutlet, l float64) (*Mesh, error) {
+	if n < 2 || nzAxial < 1 {
+		return nil, fmt.Errorf("mesh: nozzle resolution too small (n=%d nz=%d)", n, nzAxial)
+	}
+	if rInlet <= 0 || rOutlet <= 0 {
+		return nil, fmt.Errorf("mesh: radii must be positive")
+	}
+	rMax := math.Max(rInlet, rOutlet)
+	nx, ny := 2*n, 2*n
+	h := rMax / float64(n)
+	origin := geom.Vec3{X: -rMax, Y: -rMax, Z: 0}
+	keep := func(i, j, k int) bool {
+		cx := origin.X + (float64(i)+0.5)*h
+		cy := origin.Y + (float64(j)+0.5)*h
+		// Layer radius at the cell-center height.
+		t := (float64(k) + 0.5) / float64(nzAxial)
+		r := rInlet + t*(rOutlet-rInlet)
+		return cx*cx+cy*cy <= r*r
+	}
+	m, err := lattice(nx, ny, nzAxial, 2*rMax, 2*rMax, l, origin, keep)
+	if err != nil {
+		return nil, err
+	}
+	ztol := 1e-9 * l
+	m.TagBoundary(func(c, normal geom.Vec3) BoundaryTag {
+		switch {
+		case c.Z <= ztol && normal.Z < -0.5:
+			return Inlet
+		case c.Z >= l-ztol && normal.Z > 0.5:
+			return Outlet
+		default:
+			return Wall
+		}
+	})
+	return m, nil
+}
+
+// lattice builds a Kuhn-triangulated tetrahedral mesh over the cells of an
+// nx x ny x nz hexahedral lattice for which keep(i,j,k) is true. Nodes are
+// shared between neighboring kept cells, so the result is conforming.
+func lattice(nx, ny, nz int, lx, ly, lz float64, origin geom.Vec3, keep func(i, j, k int) bool) (*Mesh, error) {
+	hx, hy, hz := lx/float64(nx), ly/float64(ny), lz/float64(nz)
+	nodeID := make(map[[3]int]int32)
+	m := &Mesh{}
+	getNode := func(i, j, k int) int32 {
+		key := [3]int{i, j, k}
+		if id, ok := nodeID[key]; ok {
+			return id
+		}
+		id := int32(len(m.Nodes))
+		m.Nodes = append(m.Nodes, geom.Vec3{
+			X: origin.X + float64(i)*hx,
+			Y: origin.Y + float64(j)*hy,
+			Z: origin.Z + float64(k)*hz,
+		})
+		nodeID[key] = id
+		return id
+	}
+	var corners [8]int32
+	kept := 0
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if !keep(i, j, k) {
+					continue
+				}
+				kept++
+				for c := 0; c < 8; c++ {
+					di, dj, dk := c&1, (c>>1)&1, (c>>2)&1
+					corners[c] = getNode(i+di, j+dj, k+dk)
+				}
+				for _, t := range kuhnTets {
+					m.Cells = append(m.Cells, [4]int32{
+						corners[t[0]], corners[t[1]], corners[t[2]], corners[t[3]],
+					})
+				}
+			}
+		}
+	}
+	if kept == 0 {
+		return nil, fmt.Errorf("mesh: keep function rejected every lattice cell")
+	}
+	if err := m.Finalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CylinderVolume returns the exact volume of the cylinder the nozzle mesh
+// approximates; useful for convergence diagnostics.
+func CylinderVolume(r, l float64) float64 { return math.Pi * r * r * l }

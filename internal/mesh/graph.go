@@ -1,0 +1,29 @@
+package mesh
+
+// DualGraph returns the cell-adjacency graph of the mesh in CSR form
+// (two cells are adjacent when they share a face), the input format of the
+// graph partitioner — the same contract as METIS's (xadj, adjncy).
+func (m *Mesh) DualGraph() (xadj []int32, adjncy []int32) {
+	xadj = make([]int32, len(m.Cells)+1)
+	for c := range m.Cells {
+		deg := int32(0)
+		for f := 0; f < 4; f++ {
+			if m.Neighbors[c][f] != NoNeighbor {
+				deg++
+			}
+		}
+		xadj[c+1] = xadj[c] + deg
+	}
+	adjncy = make([]int32, xadj[len(m.Cells)])
+	pos := make([]int32, len(m.Cells))
+	copy(pos, xadj[:len(m.Cells)])
+	for c := range m.Cells {
+		for f := 0; f < 4; f++ {
+			if n := m.Neighbors[c][f]; n != NoNeighbor {
+				adjncy[pos[c]] = n
+				pos[c]++
+			}
+		}
+	}
+	return xadj, adjncy
+}

@@ -1,0 +1,144 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+// Binary mesh format: magic, node count, cell count, node coordinates,
+// cell node ids, boundary face tags. Topology and geometry are rebuilt on
+// load (they are derived data).
+
+var meshMagic = [8]byte{'d', 's', 'm', 'c', 'M', 'S', 'H', '1'}
+
+// Save writes the mesh in the library's compact binary format. The mesh
+// must be finalized (positive cell orientation guarantees face numbering
+// survives the reload's re-finalization).
+func (m *Mesh) Save(w io.Writer) error {
+	if m.FaceTags == nil {
+		return fmt.Errorf("mesh: Save requires a finalized mesh")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(meshMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var hdr [8]byte
+	le.PutUint32(hdr[0:], uint32(m.NumNodes()))
+	le.PutUint32(hdr[4:], uint32(m.NumCells()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [24]byte
+	for _, p := range m.Nodes {
+		le.PutUint64(buf[0:], math.Float64bits(p.X))
+		le.PutUint64(buf[8:], math.Float64bits(p.Y))
+		le.PutUint64(buf[16:], math.Float64bits(p.Z))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for _, c := range m.Cells {
+		for _, n := range c {
+			le.PutUint32(buf[0:], uint32(n))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	// Boundary tags: one byte per cell face (Interior for shared faces).
+	for c := range m.Cells {
+		var tags [4]byte
+		for f := 0; f < 4; f++ {
+			tags[f] = byte(m.FaceTags[c][f])
+		}
+		if _, err := bw.Write(tags[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a mesh written by Save and finalizes it (geometry + topology
+// rebuilt, saved boundary tags restored).
+func Load(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("mesh: reading magic: %w", err)
+	}
+	if magic != meshMagic {
+		return nil, fmt.Errorf("mesh: bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	nNodes := int(le.Uint32(hdr[0:]))
+	nCells := int(le.Uint32(hdr[4:]))
+	const maxEntities = 1 << 26
+	if nNodes < 0 || nCells <= 0 || nNodes > maxEntities || nCells > maxEntities {
+		return nil, fmt.Errorf("mesh: implausible sizes %d nodes / %d cells", nNodes, nCells)
+	}
+	// Grow incrementally rather than trusting the header sizes upfront: a
+	// corrupt header must not trigger a giant allocation before the body
+	// fails to materialize.
+	mesh := &Mesh{}
+	var buf [24]byte
+	for i := 0; i < nNodes; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		mesh.Nodes = append(mesh.Nodes, geom.V(
+			math.Float64frombits(le.Uint64(buf[0:])),
+			math.Float64frombits(le.Uint64(buf[8:])),
+			math.Float64frombits(le.Uint64(buf[16:])),
+		))
+	}
+	for c := 0; c < nCells; c++ {
+		var cell [4]int32
+		for v := 0; v < 4; v++ {
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return nil, err
+			}
+			id := int32(le.Uint32(buf[:4]))
+			if id < 0 || int(id) >= nNodes {
+				return nil, fmt.Errorf("mesh: cell %d references node %d out of range", c, id)
+			}
+			cell[v] = id
+		}
+		mesh.Cells = append(mesh.Cells, cell)
+	}
+	var savedTags [][4]BoundaryTag
+	for c := 0; c < nCells; c++ {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, err
+		}
+		var tags [4]BoundaryTag
+		for f := 0; f < 4; f++ {
+			tags[f] = BoundaryTag(buf[f])
+		}
+		savedTags = append(savedTags, tags)
+	}
+	if err := mesh.Finalize(); err != nil {
+		return nil, err
+	}
+	// Restore saved boundary tags. Finalize may have flipped vertex order
+	// of negatively oriented cells, which permutes face numbering — but
+	// Save always runs on finalized meshes (positive orientation), and the
+	// node order is preserved byte-for-byte, so face numbering matches.
+	for c := range savedTags {
+		for f := 0; f < 4; f++ {
+			if mesh.Neighbors[c][f] == NoNeighbor && savedTags[c][f] != Interior {
+				mesh.FaceTags[c][f] = savedTags[c][f]
+			}
+		}
+	}
+	return mesh, nil
+}

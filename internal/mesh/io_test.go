@@ -1,0 +1,118 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := mustNozzle(t, 3, 6, 0.05, 0.2)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != orig.NumNodes() || loaded.NumCells() != orig.NumCells() {
+		t.Fatalf("sizes: %d/%d vs %d/%d", loaded.NumNodes(), loaded.NumCells(), orig.NumNodes(), orig.NumCells())
+	}
+	for i := range orig.Nodes {
+		if loaded.Nodes[i] != orig.Nodes[i] {
+			t.Fatalf("node %d moved", i)
+		}
+	}
+	for c := range orig.Cells {
+		if loaded.Cells[c] != orig.Cells[c] {
+			t.Fatalf("cell %d changed", c)
+		}
+	}
+	// Boundary tags survive (inlet/outlet/wall counts identical).
+	for _, tag := range []BoundaryTag{Inlet, Outlet, Wall} {
+		if got, want := len(loaded.BoundaryFaces(tag)), len(orig.BoundaryFaces(tag)); got != want {
+			t.Errorf("%v faces: %d vs %d", tag, got, want)
+		}
+	}
+	if err := loaded.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a mesh"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid magic but truncated body.
+	var buf bytes.Buffer
+	m := mustBox(t, 1, 1, 1, 1, 1, 1)
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated mesh accepted")
+	}
+}
+
+func TestSaveRequiresFinalized(t *testing.T) {
+	m := &Mesh{}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Error("unfinalized mesh saved")
+	}
+}
+
+func TestQualityRegularTet(t *testing.T) {
+	// Regular tetrahedron: aspect 1, min dihedral ~70.53 degrees.
+	m := &Mesh{
+		Nodes: []geom.Vec3{geom.V(1, 1, 1), geom.V(1, -1, -1), geom.V(-1, 1, -1), geom.V(-1, -1, 1)},
+		Cells: [][4]int32{{0, 1, 2, 3}},
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	q := m.Quality(0)
+	if q.AspectRatio < 0.99 || q.AspectRatio > 1.01 {
+		t.Errorf("regular tet aspect = %v, want 1", q.AspectRatio)
+	}
+	if q.MinDihedralDeg < 70 || q.MinDihedralDeg > 71 {
+		t.Errorf("regular tet min dihedral = %v, want ~70.53", q.MinDihedralDeg)
+	}
+}
+
+func TestQualitySliverWorse(t *testing.T) {
+	sliver := &Mesh{
+		Nodes: []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0), geom.V(0.5, 0.5, 0.01)},
+		Cells: [][4]int32{{0, 1, 2, 3}},
+	}
+	if err := sliver.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	q := sliver.Quality(0)
+	if q.AspectRatio < 5 {
+		t.Errorf("sliver aspect = %v, want >> 1", q.AspectRatio)
+	}
+	if q.MinDihedralDeg > 20 {
+		t.Errorf("sliver min dihedral = %v, want small", q.MinDihedralDeg)
+	}
+}
+
+func TestQualitySummaryNozzle(t *testing.T) {
+	m := mustNozzle(t, 3, 6, 0.05, 0.2)
+	s := m.QualitySummary()
+	// Kuhn path tetrahedra are uniform with min dihedral ~26.6 degrees
+	// (arctan of the unit-cube diagonal geometry) — not regular, but far
+	// from slivers.
+	if s.WorstAspect > 4 || s.MeanAspect > 3 {
+		t.Errorf("nozzle quality degraded: %v", s)
+	}
+	if s.WorstDihedralDeg < 25 || s.WorstDihedralDeg > 35 {
+		t.Errorf("nozzle min dihedral %v, want ~26.6 (Kuhn tets)", s.WorstDihedralDeg)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}

@@ -1,0 +1,82 @@
+package mesh
+
+import "github.com/plasma-hpc/dsmcpic/internal/geom"
+
+// locateEps is the barycentric tolerance for containment tests during point
+// location; points within this tolerance of a face count as inside.
+const locateEps = 1e-10
+
+// FindCellWalk locates the cell containing p by walking from startCell
+// across faces, always crossing the face with the most negative barycentric
+// coordinate. It returns the containing cell, or -1 if the walk exits the
+// domain through a boundary face or fails to converge within maxSteps
+// (non-convex stair-step domains can require a brute-force fallback).
+func (m *Mesh) FindCellWalk(startCell int, p geom.Vec3, maxSteps int) int {
+	c := startCell
+	if c < 0 || c >= len(m.Cells) {
+		return -1
+	}
+	for step := 0; step < maxSteps; step++ {
+		w := m.Tet(c).Barycentric(p)
+		worst, worstW := -1, -locateEps
+		for f := 0; f < 4; f++ {
+			if w[f] < worstW {
+				worstW = w[f]
+				worst = f
+			}
+		}
+		if worst < 0 {
+			return c // all coordinates >= -eps: inside
+		}
+		n := m.Neighbors[c][worst]
+		if n == NoNeighbor {
+			return -1 // walked out of the domain
+		}
+		c = int(n)
+	}
+	return -1
+}
+
+// FindCellBrute locates the cell containing p by linear scan. O(cells); use
+// only for initialization or as a fallback after FindCellWalk fails on
+// non-convex domains.
+func (m *Mesh) FindCellBrute(p geom.Vec3) int {
+	for c := range m.Cells {
+		if m.Tet(c).Contains(p, locateEps) {
+			return c
+		}
+	}
+	return -1
+}
+
+// FindFineCell locates which of the ChildrenPerCell fine cells nested in
+// coarse cell c contains p. Returns the fine cell index, or -1 if p is not
+// in any child (p outside the coarse cell). The nesting is exact, so
+// checking the 8 children suffices — no walking needed. Ties on shared
+// child faces resolve to the lowest index, deterministically.
+func (r *Refinement) FindFineCell(coarseCell int, p geom.Vec3) int {
+	lo, hi := r.FineCells(coarseCell)
+	best, bestW := -1, -1e30
+	for f := lo; f < hi; f++ {
+		w := r.Fine.Tet(f).Barycentric(p)
+		minW := w[0]
+		for i := 1; i < 4; i++ {
+			if w[i] < minW {
+				minW = w[i]
+			}
+		}
+		if minW >= -locateEps {
+			return f
+		}
+		if minW > bestW {
+			bestW = minW
+			best = f
+		}
+	}
+	// Floating-point jitter can leave p marginally outside every child even
+	// though it is inside the parent; accept the nearest child in that case.
+	if bestW > -1e-6 {
+		return best
+	}
+	return -1
+}

@@ -1,0 +1,279 @@
+// Package mesh implements the dual nested unstructured tetrahedral grids of
+// the coupled DSMC/PIC solver: a coarse grid whose cell size is constrained
+// by the particle mean free path (DSMC) and a fine grid — every coarse cell
+// split into 8 children — constrained by the Debye length (PIC). It also
+// provides the cylindrical-nozzle generator used by the paper's case study
+// (replacing SALOME), face topology, boundary tagging, the dual graph used
+// for partitioning, and point location by cell walking.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+// BoundaryTag classifies a boundary face of the computational domain.
+type BoundaryTag uint8
+
+const (
+	// Interior marks a face shared by two cells (not a boundary).
+	Interior BoundaryTag = iota
+	// Inlet is the particle injection surface (z = 0 disk of the nozzle).
+	Inlet
+	// Outlet is the free outflow surface (z = L disk); particles crossing
+	// it leave the computational domain.
+	Outlet
+	// Wall is a solid surface; particles reflect (diffuse or specular).
+	Wall
+)
+
+func (t BoundaryTag) String() string {
+	switch t {
+	case Interior:
+		return "interior"
+	case Inlet:
+		return "inlet"
+	case Outlet:
+		return "outlet"
+	case Wall:
+		return "wall"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(t))
+	}
+}
+
+// NoNeighbor marks a boundary face in the Neighbors array.
+const NoNeighbor int32 = -1
+
+// Mesh is an unstructured tetrahedral mesh. Cells store node indices;
+// Neighbors[c][f] is the cell sharing face f of cell c (or NoNeighbor), with
+// face f being the face opposite local vertex f as in geom.FaceVerts.
+type Mesh struct {
+	Nodes []geom.Vec3
+	Cells [][4]int32
+
+	// Topology (filled by BuildTopology):
+	Neighbors [][4]int32
+	FaceTags  [][4]BoundaryTag
+
+	// Derived geometry (filled by BuildGeometry):
+	Volumes   []float64
+	Centroids []geom.Vec3
+}
+
+// NumCells returns the number of tetrahedral cells.
+func (m *Mesh) NumCells() int { return len(m.Cells) }
+
+// NumNodes returns the number of nodes.
+func (m *Mesh) NumNodes() int { return len(m.Nodes) }
+
+// Tet returns the geometric tetrahedron of cell c.
+func (m *Mesh) Tet(c int) geom.Tet {
+	cell := m.Cells[c]
+	return geom.Tet{
+		A: m.Nodes[cell[0]],
+		B: m.Nodes[cell[1]],
+		C: m.Nodes[cell[2]],
+		D: m.Nodes[cell[3]],
+	}
+}
+
+// faceKey is a canonical (sorted) identifier for a triangular face.
+type faceKey [3]int32
+
+func makeFaceKey(a, b, c int32) faceKey {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return faceKey{a, b, c}
+}
+
+// faceNodes returns the three node ids of face f of cell c.
+func (m *Mesh) faceNodes(c, f int) (int32, int32, int32) {
+	fv := geom.FaceVerts[f]
+	cell := m.Cells[c]
+	return cell[fv[0]], cell[fv[1]], cell[fv[2]]
+}
+
+// BuildTopology computes the Neighbors array by matching faces, and
+// initializes FaceTags (boundary faces get Wall by default; callers such as
+// the nozzle generator overwrite inlet/outlet tags afterwards via TagBoundary).
+func (m *Mesh) BuildTopology() error {
+	type half struct {
+		cell int32
+		face int8
+	}
+	faces := make(map[faceKey]half, 2*len(m.Cells))
+	m.Neighbors = make([][4]int32, len(m.Cells))
+	m.FaceTags = make([][4]BoundaryTag, len(m.Cells))
+	for c := range m.Cells {
+		for f := 0; f < 4; f++ {
+			m.Neighbors[c][f] = NoNeighbor
+		}
+	}
+	for c := range m.Cells {
+		for f := 0; f < 4; f++ {
+			a, b, d := m.faceNodes(c, f)
+			key := makeFaceKey(a, b, d)
+			if other, ok := faces[key]; ok {
+				if m.Neighbors[other.cell][other.face] != NoNeighbor {
+					return fmt.Errorf("mesh: face %v shared by more than two cells", key)
+				}
+				m.Neighbors[c][f] = other.cell
+				m.Neighbors[other.cell][other.face] = int32(c)
+				delete(faces, key)
+			} else {
+				faces[key] = half{cell: int32(c), face: int8(f)}
+			}
+		}
+	}
+	// Remaining unmatched faces are boundary faces.
+	for _, h := range faces {
+		m.FaceTags[h.cell][h.face] = Wall
+	}
+	return nil
+}
+
+// BuildGeometry precomputes cell volumes and centroids and fixes cell vertex
+// ordering so every cell has positive signed volume (the face-walking code
+// and the FEM assembly rely on consistent orientation).
+func (m *Mesh) BuildGeometry() error {
+	m.Volumes = make([]float64, len(m.Cells))
+	m.Centroids = make([]geom.Vec3, len(m.Cells))
+	for c := range m.Cells {
+		t := m.Tet(c)
+		sv := t.SignedVolume()
+		if sv < 0 {
+			// Swap two vertices to flip orientation.
+			m.Cells[c][0], m.Cells[c][1] = m.Cells[c][1], m.Cells[c][0]
+			t = m.Tet(c)
+			sv = t.SignedVolume()
+		}
+		if sv <= 0 {
+			return fmt.Errorf("mesh: cell %d is degenerate (volume %g)", c, sv)
+		}
+		m.Volumes[c] = sv
+		m.Centroids[c] = t.Centroid()
+	}
+	return nil
+}
+
+// Finalize builds topology and geometry in the right order. Orientation
+// fixes in BuildGeometry permute local vertices, which changes face
+// numbering, so geometry runs first and topology second.
+func (m *Mesh) Finalize() error {
+	if err := m.BuildGeometry(); err != nil {
+		return err
+	}
+	return m.BuildTopology()
+}
+
+// TagBoundary reclassifies every boundary face using the supplied function,
+// which receives the face centroid and the outward face normal and returns
+// the desired tag.
+func (m *Mesh) TagBoundary(classify func(centroid, normal geom.Vec3) BoundaryTag) {
+	for c := range m.Cells {
+		t := m.Tet(c)
+		for f := 0; f < 4; f++ {
+			if m.Neighbors[c][f] != NoNeighbor {
+				continue
+			}
+			fv := geom.FaceVerts[f]
+			p0 := t.Vertex(fv[0])
+			p1 := t.Vertex(fv[1])
+			p2 := t.Vertex(fv[2])
+			centroid := p0.Add(p1).Add(p2).Scale(1.0 / 3)
+			m.FaceTags[c][f] = classify(centroid, t.FaceNormal(f))
+		}
+	}
+}
+
+// TotalVolume returns the sum of all cell volumes.
+func (m *Mesh) TotalVolume() float64 {
+	var v float64
+	for _, cv := range m.Volumes {
+		v += cv
+	}
+	return v
+}
+
+// BoundaryFaces returns, for each tag, the list of (cell, face) pairs
+// carrying it. Useful for injection (Inlet) and diagnostics.
+func (m *Mesh) BoundaryFaces(tag BoundaryTag) [][2]int32 {
+	var out [][2]int32
+	for c := range m.Cells {
+		for f := 0; f < 4; f++ {
+			if m.Neighbors[c][f] == NoNeighbor && m.FaceTags[c][f] == tag {
+				out = append(out, [2]int32{int32(c), int32(f)})
+			}
+		}
+	}
+	return out
+}
+
+// Check validates mesh invariants: positive volumes, symmetric neighbor
+// relation, boundary faces tagged, node indices in range. Intended for tests
+// and tooling, not hot paths.
+func (m *Mesh) Check() error {
+	for c, cell := range m.Cells {
+		for _, n := range cell {
+			if n < 0 || int(n) >= len(m.Nodes) {
+				return fmt.Errorf("cell %d references node %d out of range", c, n)
+			}
+		}
+	}
+	if m.Volumes != nil {
+		for c, v := range m.Volumes {
+			if v <= 0 {
+				return fmt.Errorf("cell %d has non-positive volume %g", c, v)
+			}
+		}
+	}
+	if m.Neighbors != nil {
+		for c := range m.Cells {
+			for f := 0; f < 4; f++ {
+				n := m.Neighbors[c][f]
+				if n == NoNeighbor {
+					if m.FaceTags[c][f] == Interior {
+						return fmt.Errorf("cell %d face %d: boundary face tagged interior", c, f)
+					}
+					continue
+				}
+				// Symmetry: n must list c as one of its neighbors.
+				found := false
+				for g := 0; g < 4; g++ {
+					if m.Neighbors[n][g] == int32(c) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("asymmetric neighbors: %d->%d", c, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NodeCells returns, for every node, the sorted list of cells touching it.
+func (m *Mesh) NodeCells() [][]int32 {
+	out := make([][]int32, len(m.Nodes))
+	for c, cell := range m.Cells {
+		for _, n := range cell {
+			out[n] = append(out[n], int32(c))
+		}
+	}
+	for n := range out {
+		sort.Slice(out[n], func(i, j int) bool { return out[n][i] < out[n][j] })
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+func mustBox(t testing.TB, nx, ny, nz int, lx, ly, lz float64) *Mesh {
+	t.Helper()
+	m, err := Box(nx, ny, nz, lx, ly, lz)
+	if err != nil {
+		t.Fatalf("Box: %v", err)
+	}
+	return m
+}
+
+func mustNozzle(t testing.TB, n, nz int, r, l float64) *Mesh {
+	t.Helper()
+	m, err := Nozzle(n, nz, r, l)
+	if err != nil {
+		t.Fatalf("Nozzle: %v", err)
+	}
+	return m
+}
+
+func TestBoxCellCount(t *testing.T) {
+	m := mustBox(t, 2, 3, 4, 1, 1, 1)
+	if got, want := m.NumCells(), 6*2*3*4; got != want {
+		t.Errorf("NumCells = %d, want %d", got, want)
+	}
+	if got, want := m.NumNodes(), 3*4*5; got != want {
+		t.Errorf("NumNodes = %d, want %d", got, want)
+	}
+}
+
+func TestBoxVolumeExact(t *testing.T) {
+	m := mustBox(t, 3, 2, 5, 2.0, 1.5, 3.0)
+	want := 2.0 * 1.5 * 3.0
+	if got := m.TotalVolume(); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("TotalVolume = %v, want %v", got, want)
+	}
+}
+
+func TestBoxCheckInvariants(t *testing.T) {
+	m := mustBox(t, 3, 3, 3, 1, 1, 1)
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxBoundaryFaceCount(t *testing.T) {
+	// A box surface of n x n squares, each square split into 2 triangles by
+	// the Kuhn triangulation; total = 2 * (2*(nx*ny + ny*nz + nx*nz)).
+	m := mustBox(t, 2, 3, 4, 1, 1, 1)
+	want := 2 * 2 * (2*3 + 3*4 + 2*4)
+	got := len(m.BoundaryFaces(Wall))
+	if got != want {
+		t.Errorf("boundary faces = %d, want %d", got, want)
+	}
+}
+
+func TestBoxInteriorNeighborSymmetry(t *testing.T) {
+	m := mustBox(t, 2, 2, 2, 1, 1, 1)
+	interior := 0
+	for c := range m.Cells {
+		for f := 0; f < 4; f++ {
+			if m.Neighbors[c][f] != NoNeighbor {
+				interior++
+			}
+		}
+	}
+	// Each interior face is counted twice; total faces = 4*cells.
+	boundary := len(m.BoundaryFaces(Wall))
+	if interior+boundary != 4*m.NumCells() {
+		t.Errorf("face accounting: interior=%d boundary=%d cells=%d", interior, boundary, m.NumCells())
+	}
+	if interior%2 != 0 {
+		t.Errorf("interior half-faces odd: %d", interior)
+	}
+}
+
+func TestBoxRejectsBadResolution(t *testing.T) {
+	if _, err := Box(0, 1, 1, 1, 1, 1); err == nil {
+		t.Error("Box(0,...) succeeded, want error")
+	}
+}
+
+func TestNozzleTags(t *testing.T) {
+	const r, l = 0.05, 0.2
+	m := mustNozzle(t, 4, 8, r, l)
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	inlet := m.BoundaryFaces(Inlet)
+	outlet := m.BoundaryFaces(Outlet)
+	wall := m.BoundaryFaces(Wall)
+	if len(inlet) == 0 || len(outlet) == 0 || len(wall) == 0 {
+		t.Fatalf("missing boundary classes: inlet=%d outlet=%d wall=%d", len(inlet), len(outlet), len(wall))
+	}
+	// Inlet faces lie at z=0 with outward normal -z; outlet at z=l.
+	for _, cf := range inlet {
+		tet := m.Tet(int(cf[0]))
+		n := tet.FaceNormal(int(cf[1]))
+		if n.Z > -0.9 {
+			t.Fatalf("inlet face normal %v not -z", n)
+		}
+	}
+	for _, cf := range outlet {
+		tet := m.Tet(int(cf[0]))
+		n := tet.FaceNormal(int(cf[1]))
+		if n.Z < 0.9 {
+			t.Fatalf("outlet face normal %v not +z", n)
+		}
+	}
+	// Inlet and outlet areas are equal (same stair-step cross-section).
+	area := func(fs [][2]int32) float64 {
+		var a float64
+		for _, cf := range fs {
+			a += m.Tet(int(cf[0])).FaceArea(int(cf[1]))
+		}
+		return a
+	}
+	ain, aout := area(inlet), area(outlet)
+	if math.Abs(ain-aout) > 1e-9*ain {
+		t.Errorf("inlet area %v != outlet area %v", ain, aout)
+	}
+	// Stair-step cross-section area approaches pi r^2 from within ~30%.
+	if ain < 0.6*math.Pi*r*r || ain > 1.2*math.Pi*r*r {
+		t.Errorf("inlet area %v implausible vs pi r^2 = %v", ain, math.Pi*r*r)
+	}
+}
+
+func TestNozzleVolumeConverges(t *testing.T) {
+	const r, l = 1.0, 2.0
+	exact := CylinderVolume(r, l)
+	coarse := mustNozzle(t, 4, 4, r, l).TotalVolume()
+	fine := mustNozzle(t, 12, 4, r, l).TotalVolume()
+	errCoarse := math.Abs(coarse - exact)
+	errFine := math.Abs(fine - exact)
+	if errFine >= errCoarse {
+		t.Errorf("volume error did not shrink with resolution: %v -> %v", errCoarse, errFine)
+	}
+	if errFine/exact > 0.10 {
+		t.Errorf("fine volume error %v%% too large", 100*errFine/exact)
+	}
+}
+
+func TestTagBoundaryOverride(t *testing.T) {
+	m := mustBox(t, 2, 2, 2, 1, 1, 1)
+	m.TagBoundary(func(c, n geom.Vec3) BoundaryTag {
+		if n.Z < -0.5 {
+			return Inlet
+		}
+		return Wall
+	})
+	if len(m.BoundaryFaces(Inlet)) != 2*2*2 {
+		t.Errorf("inlet faces = %d, want 8", len(m.BoundaryFaces(Inlet)))
+	}
+}
+
+func TestBoundaryTagString(t *testing.T) {
+	cases := map[BoundaryTag]string{Interior: "interior", Inlet: "inlet", Outlet: "outlet", Wall: "wall", BoundaryTag(9): "tag(9)"}
+	for tag, want := range cases {
+		if got := tag.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", tag, got, want)
+		}
+	}
+}
+
+func TestNodeCells(t *testing.T) {
+	m := mustBox(t, 1, 1, 1, 1, 1, 1)
+	nc := m.NodeCells()
+	total := 0
+	for _, cells := range nc {
+		total += len(cells)
+		for i := 1; i < len(cells); i++ {
+			if cells[i-1] >= cells[i] {
+				t.Fatal("NodeCells not sorted ascending")
+			}
+		}
+	}
+	if total != 4*m.NumCells() {
+		t.Errorf("sum of node-cell incidences = %d, want %d", total, 4*m.NumCells())
+	}
+}
+
+func TestDualGraph(t *testing.T) {
+	m := mustBox(t, 2, 2, 2, 1, 1, 1)
+	xadj, adjncy := m.DualGraph()
+	if len(xadj) != m.NumCells()+1 {
+		t.Fatalf("xadj length %d", len(xadj))
+	}
+	// Symmetry: u in adj(v) <=> v in adj(u).
+	adjSet := func(v int32) map[int32]bool {
+		s := map[int32]bool{}
+		for _, u := range adjncy[xadj[v]:xadj[v+1]] {
+			s[u] = true
+		}
+		return s
+	}
+	for v := int32(0); int(v) < m.NumCells(); v++ {
+		for _, u := range adjncy[xadj[v]:xadj[v+1]] {
+			if u == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			if !adjSet(u)[v] {
+				t.Fatalf("asymmetric edge %d-%d", v, u)
+			}
+		}
+	}
+}
+
+func TestFindCellWalk(t *testing.T) {
+	m := mustBox(t, 4, 4, 4, 1, 1, 1)
+	targets := []geom.Vec3{
+		geom.V(0.1, 0.1, 0.1), geom.V(0.9, 0.9, 0.9),
+		geom.V(0.5, 0.25, 0.75), geom.V(0.01, 0.99, 0.5),
+	}
+	for _, p := range targets {
+		want := m.FindCellBrute(p)
+		if want < 0 {
+			t.Fatalf("brute failed to find %v", p)
+		}
+		got := m.FindCellWalk(0, p, 10000)
+		if got < 0 {
+			t.Fatalf("walk failed for %v", p)
+		}
+		if !m.Tet(got).Contains(p, 1e-9) {
+			t.Fatalf("walk returned cell %d not containing %v", got, p)
+		}
+	}
+}
+
+func TestFindCellWalkOutside(t *testing.T) {
+	m := mustBox(t, 2, 2, 2, 1, 1, 1)
+	if c := m.FindCellWalk(0, geom.V(2, 2, 2), 1000); c != -1 {
+		t.Errorf("walk to outside point returned %d, want -1", c)
+	}
+	if c := m.FindCellBrute(geom.V(-1, 0, 0)); c != -1 {
+		t.Errorf("brute outside returned %d, want -1", c)
+	}
+	if c := m.FindCellWalk(-5, geom.V(.5, .5, .5), 10); c != -1 {
+		t.Errorf("bad start cell returned %d, want -1", c)
+	}
+}
+
+func BenchmarkBuildNozzle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Nozzle(6, 12, 0.05, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindCellWalk(b *testing.B) {
+	m := mustBox(b, 8, 8, 8, 1, 1, 1)
+	p := geom.V(0.73, 0.21, 0.55)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := m.FindCellWalk(0, p, 10000); c < 0 {
+			b.Fatal("walk failed")
+		}
+	}
+}
+
+func TestConicalNozzle(t *testing.T) {
+	m, err := ConicalNozzle(4, 10, 0.02, 0.06, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	inlet := m.BoundaryFaces(Inlet)
+	outlet := m.BoundaryFaces(Outlet)
+	if len(inlet) == 0 || len(outlet) == 0 {
+		t.Fatal("missing inlet/outlet")
+	}
+	// Diverging nozzle: outlet area exceeds inlet area.
+	area := func(fs [][2]int32) float64 {
+		var a float64
+		for _, cf := range fs {
+			a += m.Tet(int(cf[0])).FaceArea(int(cf[1]))
+		}
+		return a
+	}
+	if area(outlet) <= 2*area(inlet) {
+		t.Errorf("outlet area %v not much larger than inlet %v", area(outlet), area(inlet))
+	}
+	// Refinement works on the conical grid too.
+	if _, err := RefineUniform(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConicalNozzleConverging(t *testing.T) {
+	m, err := ConicalNozzle(4, 8, 0.06, 0.02, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := func(tag BoundaryTag) float64 {
+		var a float64
+		for _, cf := range m.BoundaryFaces(tag) {
+			a += m.Tet(int(cf[0])).FaceArea(int(cf[1]))
+		}
+		return a
+	}
+	if area(Inlet) <= area(Outlet) {
+		t.Error("converging nozzle should have larger inlet")
+	}
+}
+
+func TestConicalNozzleRejectsBadArgs(t *testing.T) {
+	if _, err := ConicalNozzle(1, 8, 0.02, 0.06, 0.2); err == nil {
+		t.Error("tiny n accepted")
+	}
+	if _, err := ConicalNozzle(4, 8, -0.02, 0.06, 0.2); err == nil {
+		t.Error("negative radius accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+// CellQuality holds shape metrics of one tetrahedron.
+type CellQuality struct {
+	// AspectRatio is longest edge / inradius, normalized so the regular
+	// tetrahedron scores 1 (values grow with distortion).
+	AspectRatio float64
+	// MinDihedralDeg is the smallest dihedral angle between faces, in
+	// degrees (70.53 for the regular tetrahedron; sliver cells approach 0).
+	MinDihedralDeg float64
+}
+
+// regularAspect is longest-edge/inradius of the regular tetrahedron
+// (sqrt(24)), used to normalize AspectRatio to 1 for the ideal shape.
+var regularAspect = math.Sqrt(24)
+
+// Quality computes shape metrics of cell c.
+func (m *Mesh) Quality(c int) CellQuality {
+	t := m.Tet(c)
+	verts := [4]geom.Vec3{t.A, t.B, t.C, t.D}
+	// Longest edge.
+	var longest float64
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if d := geom.Dist(verts[i], verts[j]); d > longest {
+				longest = d
+			}
+		}
+	}
+	// Inradius = 3V / total face area.
+	var area float64
+	for f := 0; f < 4; f++ {
+		area += t.FaceArea(f)
+	}
+	inradius := 3 * t.Volume() / area
+	q := CellQuality{MinDihedralDeg: 180}
+	if inradius > 0 {
+		q.AspectRatio = longest / inradius / regularAspect
+	} else {
+		q.AspectRatio = math.Inf(1)
+	}
+	// Dihedral angles between all face pairs: angle between inward normals.
+	var normals [4]geom.Vec3
+	for f := 0; f < 4; f++ {
+		normals[f] = t.FaceNormal(f)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			// Dihedral = pi - angle(outward normals).
+			cos := normals[i].Dot(normals[j])
+			if cos > 1 {
+				cos = 1
+			}
+			if cos < -1 {
+				cos = -1
+			}
+			dihedral := 180 - math.Acos(cos)*180/math.Pi
+			if dihedral < q.MinDihedralDeg {
+				q.MinDihedralDeg = dihedral
+			}
+		}
+	}
+	return q
+}
+
+// QualitySummary aggregates quality over the whole mesh.
+type QualitySummary struct {
+	WorstAspect      float64
+	MeanAspect       float64
+	WorstDihedralDeg float64 // smallest min-dihedral over cells
+}
+
+func (s QualitySummary) String() string {
+	return fmt.Sprintf("aspect mean %.2f worst %.2f; min dihedral %.1f deg",
+		s.MeanAspect, s.WorstAspect, s.WorstDihedralDeg)
+}
+
+// QualitySummary scans every cell.
+func (m *Mesh) QualitySummary() QualitySummary {
+	s := QualitySummary{WorstDihedralDeg: 180}
+	for c := range m.Cells {
+		q := m.Quality(c)
+		if q.AspectRatio > s.WorstAspect {
+			s.WorstAspect = q.AspectRatio
+		}
+		s.MeanAspect += q.AspectRatio
+		if q.MinDihedralDeg < s.WorstDihedralDeg {
+			s.WorstDihedralDeg = q.MinDihedralDeg
+		}
+	}
+	if len(m.Cells) > 0 {
+		s.MeanAspect /= float64(len(m.Cells))
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package mesh
+
+import (
+	"fmt"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+// ChildrenPerCell is the number of fine cells nested in one coarse cell
+// (paper Fig. 2: each coarse tetrahedron is split into 8 by halving edges).
+const ChildrenPerCell = 8
+
+// Refinement couples a coarse DSMC mesh with its uniformly refined fine PIC
+// mesh. Fine cell f is nested in coarse cell f / ChildrenPerCell; the fine
+// mesh reuses the coarse node ids 0..len(coarse.Nodes)-1 and appends edge
+// midpoints after them.
+type Refinement struct {
+	Coarse *Mesh
+	Fine   *Mesh
+}
+
+// CoarseOf returns the coarse cell containing fine cell f.
+func (r *Refinement) CoarseOf(f int) int { return f / ChildrenPerCell }
+
+// FineCells returns the index range [lo, hi) of fine cells nested in coarse
+// cell c.
+func (r *Refinement) FineCells(c int) (lo, hi int) {
+	return c * ChildrenPerCell, (c + 1) * ChildrenPerCell
+}
+
+// RefineUniform performs one level of red (1-to-8) refinement of every cell:
+// the four corner tetrahedra at the original vertices plus four tetrahedra
+// from the interior octahedron, split along the m02–m13 diagonal (Bey's
+// rule). Edge midpoints are shared between cells, so the fine mesh is
+// conforming whenever the coarse mesh is.
+func RefineUniform(coarse *Mesh) (*Refinement, error) {
+	if coarse.Volumes == nil || coarse.Neighbors == nil {
+		return nil, fmt.Errorf("mesh: refine requires a finalized coarse mesh")
+	}
+	fine := &Mesh{}
+	fine.Nodes = make([]geom.Vec3, len(coarse.Nodes), len(coarse.Nodes)+6*len(coarse.Cells)/2)
+	copy(fine.Nodes, coarse.Nodes)
+
+	type edgeKey struct{ a, b int32 }
+	mids := make(map[edgeKey]int32, 3*len(coarse.Cells))
+	midpoint := func(a, b int32) int32 {
+		if a > b {
+			a, b = b, a
+		}
+		key := edgeKey{a, b}
+		if id, ok := mids[key]; ok {
+			return id
+		}
+		id := int32(len(fine.Nodes))
+		fine.Nodes = append(fine.Nodes, geom.Mid(coarse.Nodes[a], coarse.Nodes[b]))
+		mids[key] = id
+		return id
+	}
+
+	fine.Cells = make([][4]int32, 0, ChildrenPerCell*len(coarse.Cells))
+	for _, cell := range coarse.Cells {
+		v0, v1, v2, v3 := cell[0], cell[1], cell[2], cell[3]
+		m01 := midpoint(v0, v1)
+		m02 := midpoint(v0, v2)
+		m03 := midpoint(v0, v3)
+		m12 := midpoint(v1, v2)
+		m13 := midpoint(v1, v3)
+		m23 := midpoint(v2, v3)
+		children := [ChildrenPerCell][4]int32{
+			// Corner tetrahedra.
+			{v0, m01, m02, m03},
+			{v1, m01, m12, m13},
+			{v2, m02, m12, m23},
+			{v3, m03, m13, m23},
+			// Octahedron split along the m02–m13 diagonal.
+			{m01, m02, m03, m13},
+			{m01, m02, m12, m13},
+			{m02, m03, m13, m23},
+			{m02, m12, m13, m23},
+		}
+		fine.Cells = append(fine.Cells, children[:]...)
+	}
+	if err := fine.Finalize(); err != nil {
+		return nil, err
+	}
+	// Fine boundary faces lie on coarse boundary faces; inherit their tags
+	// geometrically: a fine boundary face centroid lies on exactly one
+	// coarse boundary face, the one of its parent cell it is flush with.
+	inheritTags(coarse, fine)
+	return &Refinement{Coarse: coarse, Fine: fine}, nil
+}
+
+// inheritTags copies inlet/outlet/wall tags from coarse boundary faces to
+// the fine boundary faces nested in them. For each fine boundary face we
+// test which parent-cell face plane it lies on via barycentric coordinates.
+func inheritTags(coarse, fine *Mesh) {
+	for fc := range fine.Cells {
+		parent := fc / ChildrenPerCell
+		pt := coarse.Tet(parent)
+		for ff := 0; ff < 4; ff++ {
+			if fine.Neighbors[fc][ff] != NoNeighbor {
+				continue
+			}
+			fv := geom.FaceVerts[ff]
+			cell := fine.Cells[fc]
+			p0 := fine.Nodes[cell[fv[0]]]
+			p1 := fine.Nodes[cell[fv[1]]]
+			p2 := fine.Nodes[cell[fv[2]]]
+			centroid := p0.Add(p1).Add(p2).Scale(1.0 / 3)
+			w := pt.Barycentric(centroid)
+			// The coarse face the centroid lies on is the one whose
+			// barycentric coordinate vanishes.
+			best, bestW := -1, 1.0
+			for pf := 0; pf < 4; pf++ {
+				aw := w[pf]
+				if aw < bestW {
+					bestW = aw
+					best = pf
+				}
+			}
+			const tol = 1e-9
+			if best >= 0 && bestW < tol && bestW > -tol && coarse.Neighbors[parent][best] == NoNeighbor {
+				fine.FaceTags[fc][ff] = coarse.FaceTags[parent][best]
+			}
+			// Otherwise keep the default Wall tag from BuildTopology; this
+			// only happens for degenerate geometry and is conservative.
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+func mustRefine(t testing.TB, coarse *Mesh) *Refinement {
+	t.Helper()
+	ref, err := RefineUniform(coarse)
+	if err != nil {
+		t.Fatalf("RefineUniform: %v", err)
+	}
+	return ref
+}
+
+func TestRefineCounts(t *testing.T) {
+	coarse := mustBox(t, 2, 2, 2, 1, 1, 1)
+	ref := mustRefine(t, coarse)
+	if got, want := ref.Fine.NumCells(), ChildrenPerCell*coarse.NumCells(); got != want {
+		t.Errorf("fine cells = %d, want %d", got, want)
+	}
+	if err := ref.Fine.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineVolumeConservation(t *testing.T) {
+	coarse := mustNozzle(t, 3, 4, 0.5, 1.0)
+	ref := mustRefine(t, coarse)
+	// Each coarse cell's volume equals the sum of its 8 children exactly.
+	for c := 0; c < coarse.NumCells(); c++ {
+		lo, hi := ref.FineCells(c)
+		var sum float64
+		for f := lo; f < hi; f++ {
+			sum += ref.Fine.Volumes[f]
+		}
+		if math.Abs(sum-coarse.Volumes[c]) > 1e-12*coarse.Volumes[c] {
+			t.Fatalf("cell %d: children volume %v != parent %v", c, sum, coarse.Volumes[c])
+		}
+	}
+}
+
+func TestRefineNesting(t *testing.T) {
+	coarse := mustBox(t, 2, 2, 2, 1, 1, 1)
+	ref := mustRefine(t, coarse)
+	// Every fine cell centroid lies inside its coarse parent.
+	for f := 0; f < ref.Fine.NumCells(); f++ {
+		parent := ref.CoarseOf(f)
+		if !coarse.Tet(parent).Contains(ref.Fine.Centroids[f], 1e-9) {
+			t.Fatalf("fine cell %d centroid outside parent %d", f, parent)
+		}
+	}
+}
+
+func TestRefineNodesShared(t *testing.T) {
+	coarse := mustBox(t, 2, 2, 2, 1, 1, 1)
+	ref := mustRefine(t, coarse)
+	// The first len(coarse.Nodes) fine nodes coincide with the coarse nodes.
+	for i, p := range coarse.Nodes {
+		if ref.Fine.Nodes[i] != p {
+			t.Fatalf("fine node %d moved: %v != %v", i, ref.Fine.Nodes[i], p)
+		}
+	}
+	// A conforming refinement of a conforming mesh: node count is
+	// coarse nodes + unique edges, strictly less than coarse nodes + 6*cells.
+	if len(ref.Fine.Nodes) >= len(coarse.Nodes)+6*coarse.NumCells() {
+		t.Error("edge midpoints were not deduplicated across cells")
+	}
+}
+
+func TestRefineBoundaryTagInheritance(t *testing.T) {
+	coarse := mustNozzle(t, 3, 4, 0.5, 1.0)
+	ref := mustRefine(t, coarse)
+	// Fine inlet area equals coarse inlet area (faces are split 1->4).
+	area := func(m *Mesh, tag BoundaryTag) float64 {
+		var a float64
+		for _, cf := range m.BoundaryFaces(tag) {
+			a += m.Tet(int(cf[0])).FaceArea(int(cf[1]))
+		}
+		return a
+	}
+	for _, tag := range []BoundaryTag{Inlet, Outlet, Wall} {
+		ca, fa := area(coarse, tag), area(ref.Fine, tag)
+		if math.Abs(ca-fa) > 1e-9*(ca+1e-30) {
+			t.Errorf("%v area: coarse %v fine %v", tag, ca, fa)
+		}
+	}
+	// Fine inlet face count is 4x the coarse count.
+	if got, want := len(ref.Fine.BoundaryFaces(Inlet)), 4*len(coarse.BoundaryFaces(Inlet)); got != want {
+		t.Errorf("fine inlet faces = %d, want %d", got, want)
+	}
+}
+
+func TestFindFineCell(t *testing.T) {
+	coarse := mustBox(t, 2, 2, 2, 1, 1, 1)
+	ref := mustRefine(t, coarse)
+	r := rng.New(99, 0)
+	for trial := 0; trial < 500; trial++ {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		c := coarse.FindCellBrute(p)
+		if c < 0 {
+			continue
+		}
+		f := ref.FindFineCell(c, p)
+		if f < 0 {
+			t.Fatalf("FindFineCell failed for %v in coarse %d", p, c)
+		}
+		if ref.CoarseOf(f) != c {
+			t.Fatalf("fine cell %d not nested in coarse %d", f, c)
+		}
+		if !ref.Fine.Tet(f).Contains(p, 1e-6) {
+			t.Fatalf("fine cell %d does not contain %v", f, p)
+		}
+	}
+}
+
+func TestFindFineCellOutsideParent(t *testing.T) {
+	coarse := mustBox(t, 1, 1, 1, 1, 1, 1)
+	ref := mustRefine(t, coarse)
+	// A point far from coarse cell 0 must not be claimed by its children.
+	if f := ref.FindFineCell(0, geom.V(5, 5, 5)); f != -1 {
+		t.Errorf("FindFineCell claimed far point: %d", f)
+	}
+}
+
+func TestRefineRequiresFinalized(t *testing.T) {
+	m := &Mesh{
+		Nodes: []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 0, 0), geom.V(0, 1, 0), geom.V(0, 0, 1)},
+		Cells: [][4]int32{{0, 1, 2, 3}},
+	}
+	if _, err := RefineUniform(m); err == nil {
+		t.Error("RefineUniform accepted a non-finalized mesh")
+	}
+}
+
+func BenchmarkRefineUniform(b *testing.B) {
+	coarse := mustNozzle(b, 4, 8, 0.05, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RefineUniform(coarse); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

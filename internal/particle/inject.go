@@ -1,0 +1,127 @@
+package particle
+
+import (
+	"math"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// InjectorFace is one inlet face with its precomputed sampling data.
+type InjectorFace struct {
+	Cell   int32     // cell owning the face
+	P0     geom.Vec3 // triangle vertices
+	P1, P2 geom.Vec3
+	Normal geom.Vec3 // inward unit normal (into the domain)
+	Area   float64
+}
+
+// Injector creates new particles at the inlet each DSMC step (paper's
+// Inject component): positions uniform over the inlet faces, inward
+// velocity component from the flux-Maxwellian at the drift speed, and
+// tangential components thermal. Velocities are "perpendicular to the
+// inlet" on average, complying with the Maxwell distribution (paper
+// §III-B).
+type Injector struct {
+	Faces     []InjectorFace
+	TotalArea float64
+	cumArea   []float64
+}
+
+// NewInjector gathers the Inlet faces of m belonging to the given cell set
+// (nil = all cells) and prepares area-weighted sampling.
+func NewInjector(m *mesh.Mesh, ownedCells func(c int32) bool) *Injector {
+	inj := &Injector{}
+	for _, cf := range m.BoundaryFaces(mesh.Inlet) {
+		c, f := cf[0], int(cf[1])
+		if ownedCells != nil && !ownedCells(c) {
+			continue
+		}
+		t := m.Tet(int(c))
+		fv := geom.FaceVerts[f]
+		face := InjectorFace{
+			Cell:   c,
+			P0:     t.Vertex(fv[0]),
+			P1:     t.Vertex(fv[1]),
+			P2:     t.Vertex(fv[2]),
+			Normal: t.FaceNormal(f).Scale(-1), // inward
+			Area:   t.FaceArea(f),
+		}
+		inj.Faces = append(inj.Faces, face)
+		inj.TotalArea += face.Area
+		inj.cumArea = append(inj.cumArea, inj.TotalArea)
+	}
+	return inj
+}
+
+// SampleSpec describes one species' injection for a step.
+type SampleSpec struct {
+	Sp          Species
+	Count       int     // simulation particles to inject this step
+	Temperature float64 // K
+	Drift       float64 // m/s along the inward normal
+}
+
+// Inject appends spec.Count particles to dst, sampled over the inlet
+// faces. Particles start epsilon inside the domain to avoid boundary
+// ambiguity. Returns the number injected (0 when the injector owns no
+// inlet faces).
+func (inj *Injector) Inject(dst *Store, spec SampleSpec, r *rng.Rand) int {
+	if len(inj.Faces) == 0 || spec.Count <= 0 {
+		return 0
+	}
+	info := InfoOf(spec.Sp)
+	beta := rng.ThermalSpeed(spec.Temperature, info.Mass) // sqrt(2kT/m)
+	sigma := beta / math.Sqrt2                            // sqrt(kT/m)
+	for k := 0; k < spec.Count; k++ {
+		face := inj.pickFace(r)
+		pos := samplePointInTriangle(face.P0, face.P1, face.P2, r)
+		// Build an orthonormal frame (t1, t2, n) with n the inward normal.
+		n := face.Normal
+		t1 := perpendicular(n)
+		t2 := n.Cross(t1)
+		vn := r.FluxMaxwellInward(spec.Drift, beta)
+		v := n.Scale(vn).
+			Add(t1.Scale(sigma * r.NormFloat64())).
+			Add(t2.Scale(sigma * r.NormFloat64()))
+		// Nudge inside the cell to keep point location unambiguous.
+		pos = pos.Add(n.Scale(1e-9 * math.Sqrt(face.Area)))
+		dst.Append(Particle{Pos: pos, Vel: v, Sp: spec.Sp, Cell: face.Cell, ID: -1})
+	}
+	return spec.Count
+}
+
+// pickFace samples a face with probability proportional to its area.
+func (inj *Injector) pickFace(r *rng.Rand) *InjectorFace {
+	x := r.Float64() * inj.TotalArea
+	lo, hi := 0, len(inj.cumArea)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if inj.cumArea[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &inj.Faces[lo]
+}
+
+// samplePointInTriangle returns a uniform point in the triangle (p0,p1,p2).
+func samplePointInTriangle(p0, p1, p2 geom.Vec3, r *rng.Rand) geom.Vec3 {
+	u := r.Float64()
+	v := r.Float64()
+	if u+v > 1 {
+		u = 1 - u
+		v = 1 - v
+	}
+	return p0.Add(p1.Sub(p0).Scale(u)).Add(p2.Sub(p0).Scale(v))
+}
+
+// perpendicular returns a unit vector perpendicular to n.
+func perpendicular(n geom.Vec3) geom.Vec3 {
+	if math.Abs(n.X) < 0.9 {
+		return n.Cross(geom.V(1, 0, 0)).Normalize()
+	}
+	return n.Cross(geom.V(0, 1, 0)).Normalize()
+}

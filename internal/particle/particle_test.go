@@ -1,0 +1,312 @@
+package particle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+func TestSpeciesInfo(t *testing.T) {
+	if InfoOf(H).Charge != 0 || H.IsCharged() {
+		t.Error("H should be neutral")
+	}
+	if InfoOf(HPlus).Charge != ElectronCharge || !HPlus.IsCharged() {
+		t.Error("H+ should carry +e")
+	}
+	if InfoOf(H).Mass != HydrogenMass {
+		t.Error("H mass wrong")
+	}
+	if H.String() != "H" || HPlus.String() != "H+" {
+		t.Error("species names wrong")
+	}
+	if Species(7).String() != "species(7)" {
+		t.Error("unknown species string")
+	}
+}
+
+func sampleParticle(i int) Particle {
+	return Particle{
+		Pos:  geom.V(float64(i), float64(2*i), float64(3*i)),
+		Vel:  geom.V(-float64(i), 0.5, 1e4),
+		Sp:   Species(i % 2),
+		Cell: int32(i * 7),
+		ID:   int64(i * 1000),
+	}
+}
+
+func TestStoreAppendGetSet(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 10; i++ {
+		if idx := s.Append(sampleParticle(i)); idx != i {
+			t.Fatalf("Append returned %d, want %d", idx, i)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Get(i); got != sampleParticle(i) {
+			t.Fatalf("Get(%d) = %+v", i, got)
+		}
+	}
+	p := sampleParticle(99)
+	s.Set(3, p)
+	if s.Get(3) != p {
+		t.Error("Set failed")
+	}
+}
+
+func TestStoreSwapRemove(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 5; i++ {
+		s.Append(sampleParticle(i))
+	}
+	s.SwapRemove(1)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Get(1) != sampleParticle(4) {
+		t.Error("SwapRemove did not move last particle")
+	}
+}
+
+func TestStoreFilter(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 10; i++ {
+		s.Append(sampleParticle(i))
+	}
+	removed := s.Filter(func(i int) bool { return s.ID[i]%2000 == 0 }) // even i
+	if removed != 5 {
+		t.Fatalf("removed %d, want 5", removed)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Get(i) != sampleParticle(2*i) {
+			t.Fatalf("order not preserved at %d: %+v", i, s.Get(i))
+		}
+	}
+}
+
+func TestCountBySpecies(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 7; i++ {
+		s.Append(Particle{Sp: H})
+	}
+	for i := 0; i < 3; i++ {
+		s.Append(Particle{Sp: HPlus})
+	}
+	c := s.CountBySpecies()
+	if c[H] != 7 || c[HPlus] != 3 {
+		t.Errorf("counts = %v", c)
+	}
+	if s.CountCharged() != 3 {
+		t.Errorf("charged = %d", s.CountCharged())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 20; i++ {
+		s.Append(sampleParticle(i))
+	}
+	blob := s.Encode([]int{3, 7, 11})
+	if len(blob) != EncodedSize(3) {
+		t.Fatalf("encoded size %d, want %d", len(blob), EncodedSize(3))
+	}
+	dst := NewStore(0)
+	n, err := dst.DecodeAppend(blob)
+	if err != nil || n != 3 {
+		t.Fatalf("decode: %v n=%d", err, n)
+	}
+	for k, i := range []int{3, 7, 11} {
+		if dst.Get(k) != s.Get(i) {
+			t.Fatalf("roundtrip mismatch at %d: %+v vs %+v", k, dst.Get(k), s.Get(i))
+		}
+	}
+}
+
+func TestDecodeRejectsBadLength(t *testing.T) {
+	s := NewStore(0)
+	if _, err := s.DecodeAppend(make([]byte, 13)); err == nil {
+		t.Error("bad payload length accepted")
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 5; i++ {
+		s.Append(sampleParticle(i))
+	}
+	dst := NewStore(0)
+	if _, err := dst.DecodeAppend(s.EncodeAll()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 5 {
+		t.Fatalf("len %d", dst.Len())
+	}
+}
+
+// Property: encode/decode round-trips arbitrary particles bit-exactly.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(px, py, pz, vx, vy, vz float64, sp uint8, cell int32, id int64) bool {
+		if math.IsNaN(px) || math.IsNaN(py) || math.IsNaN(pz) ||
+			math.IsNaN(vx) || math.IsNaN(vy) || math.IsNaN(vz) {
+			return true // NaN != NaN; skip
+		}
+		p := Particle{
+			Pos: geom.V(px, py, pz), Vel: geom.V(vx, vy, vz),
+			Sp: Species(sp % uint8(NumSpecies)), Cell: cell, ID: id,
+		}
+		s := NewStore(1)
+		s.Append(p)
+		dst := NewStore(1)
+		if _, err := dst.DecodeAppend(s.EncodeAll()); err != nil {
+			return false
+		}
+		return dst.Get(0) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignIDs(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 5; i++ {
+		s.Append(Particle{ID: -1})
+	}
+	s.AssignIDs(1000)
+	for i := 0; i < 5; i++ {
+		if s.ID[i] != int64(1000+i) {
+			t.Fatalf("ID[%d] = %d", i, s.ID[i])
+		}
+	}
+}
+
+func buildNozzle(t testing.TB) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.Nozzle(4, 8, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInjectorCoversInlet(t *testing.T) {
+	m := buildNozzle(t)
+	inj := NewInjector(m, nil)
+	if len(inj.Faces) != len(m.BoundaryFaces(mesh.Inlet)) {
+		t.Fatalf("injector faces %d != inlet faces %d", len(inj.Faces), len(m.BoundaryFaces(mesh.Inlet)))
+	}
+	if inj.TotalArea <= 0 {
+		t.Fatal("no inlet area")
+	}
+}
+
+func TestInjectorOwnedSubset(t *testing.T) {
+	m := buildNozzle(t)
+	all := NewInjector(m, nil)
+	// Kuhn triangulation: inlet faces belong to cells congruent to 0 or 2
+	// mod 6, so keep only the 0-mod-6 ones to test the ownership filter.
+	half := NewInjector(m, func(c int32) bool { return c%6 == 0 })
+	if len(half.Faces) >= len(all.Faces) || len(half.Faces) == 0 {
+		t.Fatalf("owned filter not applied: %d of %d", len(half.Faces), len(all.Faces))
+	}
+}
+
+func TestInjectParticlesInsideDomainMovingIn(t *testing.T) {
+	m := buildNozzle(t)
+	inj := NewInjector(m, nil)
+	r := rng.New(3, 0)
+	s := NewStore(0)
+	n := inj.Inject(s, SampleSpec{Sp: H, Count: 500, Temperature: 300, Drift: 10000}, r)
+	if n != 500 || s.Len() != 500 {
+		t.Fatalf("injected %d", n)
+	}
+	for i := 0; i < s.Len(); i++ {
+		p := s.Get(i)
+		// Inside the owning cell.
+		if !m.Tet(int(p.Cell)).Contains(p.Pos, 1e-6) {
+			t.Fatalf("particle %d outside its cell", i)
+		}
+		// Moving into the domain (+z for the nozzle inlet).
+		if p.Vel.Z <= 0 {
+			t.Fatalf("particle %d moving outward: vz = %v", i, p.Vel.Z)
+		}
+		if p.Sp != H {
+			t.Fatalf("wrong species")
+		}
+	}
+}
+
+func TestInjectVelocityMoments(t *testing.T) {
+	m := buildNozzle(t)
+	inj := NewInjector(m, nil)
+	r := rng.New(5, 0)
+	s := NewStore(0)
+	const drift = 10000.0
+	inj.Inject(s, SampleSpec{Sp: H, Count: 20000, Temperature: 300, Drift: drift}, r)
+	var sz, sx float64
+	for i := 0; i < s.Len(); i++ {
+		sz += s.Vel[i].Z
+		sx += s.Vel[i].X
+	}
+	meanZ := sz / float64(s.Len())
+	meanX := sx / float64(s.Len())
+	// Strong drift: mean normal velocity ~ drift (within thermal width).
+	if math.Abs(meanZ-drift) > 0.05*drift {
+		t.Errorf("mean vz = %v, want ~%v", meanZ, drift)
+	}
+	// Tangential symmetric around zero.
+	sigma := math.Sqrt(rng.KBoltzmann * 300 / HydrogenMass)
+	if math.Abs(meanX) > 0.05*sigma {
+		t.Errorf("mean vx = %v not ~0 (sigma %v)", meanX, sigma)
+	}
+}
+
+func TestInjectZeroCountOrNoFaces(t *testing.T) {
+	m := buildNozzle(t)
+	inj := NewInjector(m, nil)
+	s := NewStore(0)
+	if n := inj.Inject(s, SampleSpec{Sp: H, Count: 0}, rng.New(1, 0)); n != 0 {
+		t.Error("zero count injected particles")
+	}
+	empty := NewInjector(m, func(int32) bool { return false })
+	if n := empty.Inject(s, SampleSpec{Sp: H, Count: 10}, rng.New(1, 0)); n != 0 {
+		t.Error("faceless injector injected particles")
+	}
+}
+
+func BenchmarkInject(b *testing.B) {
+	m, err := mesh.Nozzle(4, 8, 0.05, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj := NewInjector(m, nil)
+	r := rng.New(1, 0)
+	s := NewStore(100000)
+	spec := SampleSpec{Sp: H, Count: 1000, Temperature: 300, Drift: 10000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Clear()
+		inj.Inject(s, spec, r)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	s := NewStore(0)
+	for i := 0; i < 10000; i++ {
+		s.Append(sampleParticle(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := s.EncodeAll()
+		dst := NewStore(10000)
+		if _, err := dst.DecodeAppend(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

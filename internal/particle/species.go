@@ -1,0 +1,88 @@
+// Package particle provides the particle model of the coupled DSMC/PIC
+// solver: species definitions (hydrogen atoms H and ions H+), a
+// structure-of-arrays particle store, binary serialization for migration
+// between ranks, inlet injection with flux-Maxwellian sampling, and the
+// renumbering pass (paper's Reindex component).
+package particle
+
+import "fmt"
+
+// Physical constants (SI).
+const (
+	// ElectronCharge is the elementary charge in coulombs.
+	ElectronCharge = 1.602176634e-19
+	// HydrogenMass is the mass of a hydrogen atom in kg.
+	HydrogenMass = 1.6735575e-27
+)
+
+// Species identifies a particle species.
+type Species uint8
+
+const (
+	// H is a neutral hydrogen atom, simulated by DSMC.
+	H Species = iota
+	// HPlus is a hydrogen ion, additionally pushed by PIC.
+	HPlus
+	// H2 is a neutral hydrogen molecule, produced by recombination of two
+	// H atoms and consumed by collision-induced dissociation (the neutral
+	// chemistry of the paper's refs [24, 25]).
+	H2
+	// NumSpecies is the number of defined species.
+	NumSpecies
+)
+
+func (s Species) String() string {
+	switch s {
+	case H:
+		return "H"
+	case HPlus:
+		return "H+"
+	case H2:
+		return "H2"
+	default:
+		return fmt.Sprintf("species(%d)", uint8(s))
+	}
+}
+
+// Info describes the physics of one species.
+type Info struct {
+	Name   string
+	Mass   float64 // kg
+	Charge float64 // coulombs
+	// VHS collision model parameters (Bird): reference diameter at TRef and
+	// the viscosity-temperature exponent omega.
+	DRef  float64 // m
+	TRef  float64 // K
+	Omega float64
+}
+
+var speciesTable = [NumSpecies]Info{
+	H: {
+		Name:  "H",
+		Mass:  HydrogenMass,
+		DRef:  2.92e-10,
+		TRef:  273,
+		Omega: 0.67,
+	},
+	HPlus: {
+		Name:   "H+",
+		Mass:   HydrogenMass, // electron mass difference negligible
+		Charge: ElectronCharge,
+		DRef:   2.92e-10,
+		TRef:   273,
+		Omega:  0.67,
+	},
+	H2: {
+		Name:  "H2",
+		Mass:  2 * HydrogenMass,
+		DRef:  2.88e-10, // VHS reference diameter for molecular hydrogen
+		TRef:  273,
+		Omega: 0.67,
+	},
+}
+
+// InfoOf returns the physics of species s.
+func InfoOf(s Species) Info { return speciesTable[s] }
+
+// IsCharged reports whether the species carries charge (is pushed by PIC).
+func (s Species) IsCharged() bool { return speciesTable[s].Charge != 0 }

@@ -1,0 +1,213 @@
+package particle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+)
+
+// Particle is the AoS view of one simulation particle, used at API
+// boundaries; bulk storage is the SoA Store.
+type Particle struct {
+	Pos  geom.Vec3
+	Vel  geom.Vec3
+	Sp   Species
+	Cell int32 // global coarse-grid cell containing the particle
+	ID   int64 // globally unique index assigned by Reindex
+}
+
+// Store holds particles in structure-of-arrays layout for cache-friendly
+// sweeps over positions and velocities.
+type Store struct {
+	Pos  []geom.Vec3
+	Vel  []geom.Vec3
+	Sp   []Species
+	Cell []int32
+	ID   []int64
+}
+
+// NewStore returns a store with the given capacity hint.
+func NewStore(capacity int) *Store {
+	return &Store{
+		Pos:  make([]geom.Vec3, 0, capacity),
+		Vel:  make([]geom.Vec3, 0, capacity),
+		Sp:   make([]Species, 0, capacity),
+		Cell: make([]int32, 0, capacity),
+		ID:   make([]int64, 0, capacity),
+	}
+}
+
+// Len returns the number of particles.
+func (s *Store) Len() int { return len(s.Pos) }
+
+// Append adds a particle and returns its index.
+func (s *Store) Append(p Particle) int {
+	s.Pos = append(s.Pos, p.Pos)
+	s.Vel = append(s.Vel, p.Vel)
+	s.Sp = append(s.Sp, p.Sp)
+	s.Cell = append(s.Cell, p.Cell)
+	s.ID = append(s.ID, p.ID)
+	return len(s.Pos) - 1
+}
+
+// Get returns particle i as an AoS value.
+func (s *Store) Get(i int) Particle {
+	return Particle{Pos: s.Pos[i], Vel: s.Vel[i], Sp: s.Sp[i], Cell: s.Cell[i], ID: s.ID[i]}
+}
+
+// Set overwrites particle i.
+func (s *Store) Set(i int, p Particle) {
+	s.Pos[i] = p.Pos
+	s.Vel[i] = p.Vel
+	s.Sp[i] = p.Sp
+	s.Cell[i] = p.Cell
+	s.ID[i] = p.ID
+}
+
+// SwapRemove removes particle i by swapping in the last particle. Order is
+// not preserved; index i afterwards holds what was the last particle.
+func (s *Store) SwapRemove(i int) {
+	last := len(s.Pos) - 1
+	s.Pos[i] = s.Pos[last]
+	s.Vel[i] = s.Vel[last]
+	s.Sp[i] = s.Sp[last]
+	s.Cell[i] = s.Cell[last]
+	s.ID[i] = s.ID[last]
+	s.Truncate(last)
+}
+
+// Truncate shortens the store to n particles.
+func (s *Store) Truncate(n int) {
+	s.Pos = s.Pos[:n]
+	s.Vel = s.Vel[:n]
+	s.Sp = s.Sp[:n]
+	s.Cell = s.Cell[:n]
+	s.ID = s.ID[:n]
+}
+
+// Clear removes all particles, keeping capacity.
+func (s *Store) Clear() { s.Truncate(0) }
+
+// Filter removes every particle for which keep returns false, preserving
+// the relative order of survivors, and returns the number removed.
+func (s *Store) Filter(keep func(i int) bool) int {
+	w := 0
+	n := len(s.Pos)
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			if w != i {
+				s.Pos[w] = s.Pos[i]
+				s.Vel[w] = s.Vel[i]
+				s.Sp[w] = s.Sp[i]
+				s.Cell[w] = s.Cell[i]
+				s.ID[w] = s.ID[i]
+			}
+			w++
+		}
+	}
+	s.Truncate(w)
+	return n - w
+}
+
+// CountBySpecies returns the particle count per species.
+func (s *Store) CountBySpecies() [NumSpecies]int {
+	var c [NumSpecies]int
+	for _, sp := range s.Sp {
+		c[sp]++
+	}
+	return c
+}
+
+// CountCharged returns the number of charged particles.
+func (s *Store) CountCharged() int {
+	n := 0
+	for _, sp := range s.Sp {
+		if sp.IsCharged() {
+			n++
+		}
+	}
+	return n
+}
+
+// recordSize is the wire size of one particle: 6 float64 + species byte +
+// cell int32 + id int64.
+const recordSize = 6*8 + 1 + 4 + 8
+
+// EncodedSize returns the wire size of n particles.
+func EncodedSize(n int) int { return n * recordSize }
+
+// Encode serializes the particles at the given indices into a compact
+// little-endian byte slice for migration.
+func (s *Store) Encode(indices []int) []byte {
+	out := make([]byte, 0, len(indices)*recordSize)
+	var buf [recordSize]byte
+	for _, i := range indices {
+		encodeInto(buf[:], s.Get(i))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// EncodeAll serializes every particle in the store.
+func (s *Store) EncodeAll() []byte {
+	idx := make([]int, s.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return s.Encode(idx)
+}
+
+func encodeInto(buf []byte, p Particle) {
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], math.Float64bits(p.Pos.X))
+	le.PutUint64(buf[8:], math.Float64bits(p.Pos.Y))
+	le.PutUint64(buf[16:], math.Float64bits(p.Pos.Z))
+	le.PutUint64(buf[24:], math.Float64bits(p.Vel.X))
+	le.PutUint64(buf[32:], math.Float64bits(p.Vel.Y))
+	le.PutUint64(buf[40:], math.Float64bits(p.Vel.Z))
+	buf[48] = byte(p.Sp)
+	le.PutUint32(buf[49:], uint32(p.Cell))
+	le.PutUint64(buf[53:], uint64(p.ID))
+}
+
+// DecodeAppend deserializes particles from b (produced by Encode) and
+// appends them to the store, returning the number appended.
+func (s *Store) DecodeAppend(b []byte) (int, error) {
+	if len(b)%recordSize != 0 {
+		return 0, fmt.Errorf("particle: payload length %d not a multiple of record size %d", len(b), recordSize)
+	}
+	n := len(b) / recordSize
+	le := binary.LittleEndian
+	for k := 0; k < n; k++ {
+		buf := b[k*recordSize:]
+		p := Particle{
+			Pos: geom.V(
+				math.Float64frombits(le.Uint64(buf[0:])),
+				math.Float64frombits(le.Uint64(buf[8:])),
+				math.Float64frombits(le.Uint64(buf[16:])),
+			),
+			Vel: geom.V(
+				math.Float64frombits(le.Uint64(buf[24:])),
+				math.Float64frombits(le.Uint64(buf[32:])),
+				math.Float64frombits(le.Uint64(buf[40:])),
+			),
+			Sp:   Species(buf[48]),
+			Cell: int32(le.Uint32(buf[49:])),
+			ID:   int64(le.Uint64(buf[53:])),
+		}
+		s.Append(p)
+	}
+	return n, nil
+}
+
+// AssignIDs renumbers all particles sequentially starting at start. This is
+// the per-rank half of the paper's Reindex component: the solver computes
+// each rank's exclusive prefix of the global particle count and calls
+// AssignIDs with it, giving every particle in the world a unique index.
+func (s *Store) AssignIDs(start int64) {
+	for i := range s.ID {
+		s.ID[i] = start + int64(i)
+	}
+}

@@ -1,0 +1,362 @@
+package partition
+
+import "github.com/plasma-hpc/dsmcpic/internal/rng"
+
+// bisect splits g into side 0 (target weight frac*total) and side 1 using
+// the multilevel scheme. Returns a 0/1 side per vertex.
+func bisect(g *Graph, frac float64, o Options, r *rng.Rand) []int8 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if n <= o.CoarsenTo {
+		side := growBisection(g, frac, r)
+		refineFM(g, side, frac, o)
+		return side
+	}
+	coarse, cmap := coarsen(g, r)
+	// If matching failed to shrink the graph meaningfully, stop recursing.
+	if coarse.NumVertices() > n*9/10 {
+		side := growBisection(g, frac, r)
+		refineFM(g, side, frac, o)
+		return side
+	}
+	coarseSide := bisect(coarse, frac, o, r)
+	// Project to the fine level and refine.
+	side := make([]int8, n)
+	for v := 0; v < n; v++ {
+		side[v] = coarseSide[cmap[v]]
+	}
+	refineFM(g, side, frac, o)
+	return side
+}
+
+// coarsen contracts a heavy-edge matching of g, returning the coarse graph
+// and the fine->coarse vertex map. Matched pairs merge vertex weights and
+// accumulate parallel edge weights.
+func coarsen(g *Graph, r *rng.Rand) (*Graph, []int32) {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit vertices in random order; match each unmatched vertex with its
+	// heaviest-edge unmatched neighbor.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	cmap := make([]int32, n)
+	nc := int32(0)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if match[u] < 0 && u != v && g.ewgt(e) > bestW {
+				bestW = g.ewgt(e)
+				best = u
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+			cmap[v] = nc
+			cmap[best] = nc
+		} else {
+			match[v] = v
+			cmap[v] = nc
+		}
+		nc++
+	}
+	// Build the coarse graph.
+	coarse := &Graph{
+		Xadj: make([]int32, nc+1),
+		VWgt: make([]int64, nc),
+	}
+	for v := int32(0); int(v) < n; v++ {
+		coarse.VWgt[cmap[v]] += g.vwgt(v)
+	}
+	// Accumulate coarse adjacency with a per-vertex scratch map.
+	var adj []int32
+	var ew []int64
+	acc := make(map[int32]int64)
+	members := make([][]int32, nc)
+	for v := int32(0); int(v) < n; v++ {
+		members[cmap[v]] = append(members[cmap[v]], v)
+	}
+	for cv := int32(0); cv < nc; cv++ {
+		clear(acc)
+		for _, v := range members[cv] {
+			for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+				cu := cmap[g.Adjncy[e]]
+				if cu != cv {
+					acc[cu] += g.ewgt(e)
+				}
+			}
+		}
+		// Deterministic order: ascending coarse neighbor id.
+		start := len(adj)
+		for cu := range acc {
+			adj = append(adj, cu)
+		}
+		sortInt32(adj[start:])
+		for _, cu := range adj[start:] {
+			ew = append(ew, acc[cu])
+		}
+		coarse.Xadj[cv+1] = int32(len(adj))
+	}
+	coarse.Adjncy = adj
+	coarse.EWgt = ew
+	return coarse, cmap
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort: neighbor lists are short (mesh dual graphs have
+	// degree <= 4 before coarsening, small after).
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// growBisection seeds side 0 with a random vertex and grows it by BFS,
+// preferring high-gain frontier vertices, until side 0 reaches the target
+// weight. Disconnected graphs are handled by reseeding.
+func growBisection(g *Graph, frac float64, r *rng.Rand) []int8 {
+	n := g.NumVertices()
+	side := make([]int8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	target := int64(frac * float64(g.TotalVWgt()))
+	if target <= 0 {
+		target = 1
+	}
+	var w0 int64
+	inQueue := make([]bool, n)
+	var queue []int32
+	seed := int32(r.Intn(n))
+	queue = append(queue, seed)
+	inQueue[seed] = true
+	for w0 < target {
+		if len(queue) == 0 {
+			// Disconnected: seed a new component.
+			found := false
+			for v := int32(0); int(v) < n; v++ {
+				if side[v] == 1 && !inQueue[v] {
+					queue = append(queue, v)
+					inQueue[v] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		v := queue[0]
+		queue = queue[1:]
+		if side[v] == 0 {
+			continue
+		}
+		side[v] = 0
+		w0 += g.vwgt(v)
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if side[u] == 1 && !inQueue[u] {
+				queue = append(queue, u)
+				inQueue[u] = true
+			}
+		}
+	}
+	return side
+}
+
+// refineFM runs Fiduccia–Mattheyses-style passes: repeatedly move the
+// boundary vertex with the best cut gain that keeps the bisection within
+// the balance tolerance, with hill-climbing (sequences of negative-gain
+// moves are rolled back unless they lead to a better state).
+func refineFM(g *Graph, side []int8, frac float64, o Options) {
+	n := g.NumVertices()
+	total := g.TotalVWgt()
+	target0 := int64(frac * float64(total))
+	tol := int64(o.Tolerance * float64(total))
+	if tol < 1 {
+		tol = 1
+	}
+	var w0 int64
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			w0 += g.vwgt(int32(v))
+		}
+	}
+	// gain[v] = cut reduction if v switches sides.
+	gain := make([]int64, n)
+	computeGain := func(v int32) int64 {
+		var same, other int64
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			if side[g.Adjncy[e]] == side[v] {
+				same += g.ewgt(e)
+			} else {
+				other += g.ewgt(e)
+			}
+		}
+		return other - same
+	}
+	locked := make([]bool, n)
+	inCand := make([]bool, n)
+	type move struct {
+		v    int32
+		gain int64
+	}
+	isBoundary := func(v int32) bool {
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			if side[g.Adjncy[e]] != side[v] {
+				return true
+			}
+		}
+		return false
+	}
+	// Forced-balance phase: if the bisection starts outside the tolerance
+	// window (grow overshoot, projection drift), migrate best-gain boundary
+	// vertices from the heavy side until within tolerance. Unlike the gain
+	// passes below, these moves are unconditional.
+	for iter := 0; iter < n; iter++ {
+		dev := w0 - target0
+		if dev >= -tol && dev <= tol {
+			break
+		}
+		var fromSide int8
+		if dev > 0 {
+			fromSide = 0
+		} else {
+			fromSide = 1
+		}
+		best := int32(-1)
+		var bestGain int64
+		for v := int32(0); int(v) < n; v++ {
+			if side[v] != fromSide {
+				continue
+			}
+			gv := computeGain(v)
+			if best < 0 || gv > bestGain {
+				best = v
+				bestGain = gv
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if side[best] == 0 {
+			side[best] = 1
+			w0 -= g.vwgt(best)
+		} else {
+			side[best] = 0
+			w0 += g.vwgt(best)
+		}
+	}
+	for pass := 0; pass < o.RefinePasses; pass++ {
+		// Candidates are boundary vertices; moving an interior vertex can
+		// only worsen the cut, so restricting the scan loses nothing while
+		// making each move O(boundary) instead of O(n).
+		var cand []int32
+		for v := int32(0); int(v) < n; v++ {
+			locked[v] = false
+			inCand[v] = false
+			if isBoundary(v) {
+				gain[v] = computeGain(v)
+				cand = append(cand, v)
+				inCand[v] = true
+			}
+		}
+		var history []move
+		var cum, bestCum int64
+		bestIdx := -1
+		// Bounded number of moves per pass.
+		maxMoves := n
+		if maxMoves > 4096 {
+			maxMoves = 4096
+		}
+		for mv := 0; mv < maxMoves; mv++ {
+			// Pick the best unlocked candidate whose move keeps balance.
+			best := int32(-1)
+			var bestGain int64
+			for _, v := range cand {
+				if locked[v] {
+					continue
+				}
+				// Balance check if v switches.
+				nw0 := w0
+				if side[v] == 0 {
+					nw0 -= g.vwgt(v)
+				} else {
+					nw0 += g.vwgt(v)
+				}
+				if nw0 < target0-tol || nw0 > target0+tol {
+					continue
+				}
+				if best < 0 || gain[v] > bestGain {
+					best = v
+					bestGain = gain[v]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			// Apply the move.
+			if side[best] == 0 {
+				side[best] = 1
+				w0 -= g.vwgt(best)
+			} else {
+				side[best] = 0
+				w0 += g.vwgt(best)
+			}
+			locked[best] = true
+			cum += bestGain
+			history = append(history, move{best, bestGain})
+			if cum > bestCum {
+				bestCum = cum
+				bestIdx = len(history) - 1
+			}
+			// Update neighbor gains; neighbors may newly become boundary.
+			gain[best] = -gain[best]
+			for e := g.Xadj[best]; e < g.Xadj[best+1]; e++ {
+				u := g.Adjncy[e]
+				if !locked[u] {
+					gain[u] = computeGain(u)
+					if !inCand[u] {
+						cand = append(cand, u)
+						inCand[u] = true
+					}
+				}
+			}
+			// Early exit: plateau of non-improving moves.
+			if len(history)-1-bestIdx > 64 {
+				break
+			}
+		}
+		// Roll back moves after the best prefix.
+		for i := len(history) - 1; i > bestIdx; i-- {
+			v := history[i].v
+			if side[v] == 0 {
+				side[v] = 1
+				w0 -= g.vwgt(v)
+			} else {
+				side[v] = 0
+				w0 += g.vwgt(v)
+			}
+		}
+		if bestCum <= 0 {
+			break // no improvement this pass
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package partition implements a multilevel graph partitioner with the same
+// contract as METIS's METIS_PartGraphKway, which the paper uses for the
+// initial grid decomposition and for every re-decomposition issued by the
+// dynamic load balancer: split the vertices of an undirected graph into k
+// parts with (weighted) balanced part sizes and a small edge cut.
+//
+// The algorithm is recursive multilevel bisection: heavy-edge-matching
+// coarsening, greedy region-growing initial bisection, and
+// Fiduccia–Mattheyses boundary refinement, projected back through the
+// levels. It is deterministic for a given seed.
+package partition
+
+import (
+	"fmt"
+
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// Graph is an undirected graph in CSR (compressed sparse row) adjacency
+// form, the format produced by mesh.DualGraph and accepted by METIS. VWgt
+// and EWgt may be nil for unit weights. Adjacency must be symmetric and
+// self-loop free.
+type Graph struct {
+	Xadj   []int32 // length n+1
+	Adjncy []int32 // length Xadj[n]
+	VWgt   []int64 // vertex weights, length n (nil = all 1)
+	EWgt   []int64 // edge weights, aligned with Adjncy (nil = all 1)
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.Xadj) - 1 }
+
+func (g *Graph) vwgt(v int32) int64 {
+	if g.VWgt == nil {
+		return 1
+	}
+	return g.VWgt[v]
+}
+
+func (g *Graph) ewgt(e int32) int64 {
+	if g.EWgt == nil {
+		return 1
+	}
+	return g.EWgt[e]
+}
+
+// TotalVWgt returns the sum of all vertex weights.
+func (g *Graph) TotalVWgt() int64 {
+	if g.VWgt == nil {
+		return int64(g.NumVertices())
+	}
+	var s int64
+	for _, w := range g.VWgt {
+		s += w
+	}
+	return s
+}
+
+// Validate checks CSR structural invariants: monotone Xadj, in-range
+// adjacency, no self loops, symmetric edges. Intended for tests and input
+// validation, not hot paths.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if n < 0 {
+		return fmt.Errorf("partition: missing Xadj")
+	}
+	if g.VWgt != nil && len(g.VWgt) != n {
+		return fmt.Errorf("partition: VWgt length %d != n %d", len(g.VWgt), n)
+	}
+	if g.EWgt != nil && len(g.EWgt) != len(g.Adjncy) {
+		return fmt.Errorf("partition: EWgt length %d != edges %d", len(g.EWgt), len(g.Adjncy))
+	}
+	for v := 0; v < n; v++ {
+		if g.Xadj[v] > g.Xadj[v+1] {
+			return fmt.Errorf("partition: Xadj not monotone at %d", v)
+		}
+	}
+	if int(g.Xadj[n]) != len(g.Adjncy) {
+		return fmt.Errorf("partition: Xadj[n]=%d != len(Adjncy)=%d", g.Xadj[n], len(g.Adjncy))
+	}
+	type edge struct{ u, v int32 }
+	seen := make(map[edge]int64, len(g.Adjncy))
+	for v := int32(0); int(v) < n; v++ {
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("partition: adjacency out of range: %d", u)
+			}
+			if u == v {
+				return fmt.Errorf("partition: self loop at %d", v)
+			}
+			seen[edge{v, u}] += g.ewgt(e)
+		}
+	}
+	for k, w := range seen {
+		if seen[edge{k.v, k.u}] != w {
+			return fmt.Errorf("partition: asymmetric edge %d-%d", k.u, k.v)
+		}
+	}
+	return nil
+}
+
+// EdgeCut returns the total weight of edges crossing between different parts
+// (each undirected edge counted once).
+func EdgeCut(g *Graph, parts []int32) int64 {
+	var cut int64
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if u > v && parts[u] != parts[v] {
+				cut += g.ewgt(e)
+			}
+		}
+	}
+	return cut
+}
+
+// PartWeights returns the total vertex weight of each of the k parts.
+func PartWeights(g *Graph, parts []int32, k int) []int64 {
+	w := make([]int64, k)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		w[parts[v]] += g.vwgt(v)
+	}
+	return w
+}
+
+// Imbalance returns max part weight divided by the ideal (total/k); 1.0 is
+// perfect balance.
+func Imbalance(g *Graph, parts []int32, k int) float64 {
+	w := PartWeights(g, parts, k)
+	var maxW int64
+	for _, x := range w {
+		if x > maxW {
+			maxW = x
+		}
+	}
+	ideal := float64(g.TotalVWgt()) / float64(k)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(maxW) / ideal
+}
+
+// Options tunes the partitioner. The zero value selects sensible defaults.
+type Options struct {
+	// Seed makes runs reproducible; the default 0 is a valid seed.
+	Seed uint64
+	// CoarsenTo stops coarsening when a level has at most this many
+	// vertices (default 64).
+	CoarsenTo int
+	// RefinePasses caps FM passes per level (default 6).
+	RefinePasses int
+	// Tolerance is the allowed relative deviation from perfect balance per
+	// bisection (default 0.05).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 64
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 6
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.05
+	}
+	return o
+}
+
+// PartGraphKway partitions g into k parts, returning a part id in [0, k)
+// for every vertex. It mirrors METIS_PartGraphKway: vertex weights steer
+// balance, edge weights steer the cut.
+func PartGraphKway(g *Graph, k int, opts Options) ([]int32, error) {
+	n := g.NumVertices()
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	parts := make([]int32, n)
+	if k == 1 || n == 0 {
+		return parts, nil
+	}
+	o := opts.withDefaults()
+	// Tolerance is the end-to-end balance target; bisection imbalance
+	// compounds multiplicatively across ~log2(k) levels, so tighten the
+	// per-bisection window accordingly.
+	levels := 0
+	for kk := 1; kk < k; kk *= 2 {
+		levels++
+	}
+	if levels > 1 {
+		o.Tolerance /= float64(levels)
+	}
+	r := rng.New(o.Seed, 0x9a77)
+	verts := make([]int32, n)
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	recurseBisect(g, verts, 0, k, parts, o, r)
+	return parts, nil
+}
+
+// recurseBisect assigns part ids [base, base+k) to the given vertex subset.
+func recurseBisect(g *Graph, verts []int32, base int32, k int, parts []int32, o Options, r *rng.Rand) {
+	if k == 1 {
+		for _, v := range verts {
+			parts[v] = base
+		}
+		return
+	}
+	if len(verts) <= k {
+		// Not enough vertices for every part: give each vertex its own
+		// part id (the remaining parts stay empty — unavoidable).
+		for i, v := range verts {
+			parts[v] = base + int32(i)
+		}
+		return
+	}
+	kLeft := k / 2
+	kRight := k - kLeft
+	frac := float64(kLeft) / float64(k)
+	sub := extractSubgraph(g, verts)
+	side := bisect(sub, frac, o, r)
+	// Guarantee each half has enough vertices for its part count.
+	count0 := 0
+	for _, s := range side {
+		if s == 0 {
+			count0++
+		}
+	}
+	for i := 0; count0 < kLeft && i < len(side); i++ {
+		if side[i] == 1 {
+			side[i] = 0
+			count0++
+		}
+	}
+	for i := 0; len(side)-count0 < kRight && i < len(side); i++ {
+		if side[i] == 0 {
+			side[i] = 1
+			count0--
+		}
+	}
+	var left, right []int32
+	for i, v := range verts {
+		if side[i] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	recurseBisect(g, left, base, kLeft, parts, o, r)
+	recurseBisect(g, right, base+int32(kLeft), kRight, parts, o, r)
+}
+
+// extractSubgraph builds the induced subgraph on the given vertices, with
+// local ids 0..len(verts)-1 in the given order.
+func extractSubgraph(g *Graph, verts []int32) *Graph {
+	local := make(map[int32]int32, len(verts))
+	for i, v := range verts {
+		local[v] = int32(i)
+	}
+	sub := &Graph{
+		Xadj: make([]int32, len(verts)+1),
+		VWgt: make([]int64, len(verts)),
+	}
+	var adj []int32
+	var ew []int64
+	for i, v := range verts {
+		sub.VWgt[i] = g.vwgt(v)
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			if lu, ok := local[g.Adjncy[e]]; ok {
+				adj = append(adj, lu)
+				ew = append(ew, g.ewgt(e))
+			}
+		}
+		sub.Xadj[i+1] = int32(len(adj))
+	}
+	sub.Adjncy = adj
+	sub.EWgt = ew
+	return sub
+}

@@ -1,0 +1,308 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+)
+
+// pathGraph builds a path 0-1-2-...-n-1.
+func pathGraph(n int) *Graph {
+	g := &Graph{Xadj: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			g.Adjncy = append(g.Adjncy, int32(v-1))
+		}
+		if v < n-1 {
+			g.Adjncy = append(g.Adjncy, int32(v+1))
+		}
+		g.Xadj[v+1] = int32(len(g.Adjncy))
+	}
+	return g
+}
+
+// gridGraph builds an nx x ny 2D lattice.
+func gridGraph(nx, ny int) *Graph {
+	n := nx * ny
+	g := &Graph{Xadj: make([]int32, n+1)}
+	id := func(i, j int) int32 { return int32(j*nx + i) }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if i > 0 {
+				g.Adjncy = append(g.Adjncy, id(i-1, j))
+			}
+			if i < nx-1 {
+				g.Adjncy = append(g.Adjncy, id(i+1, j))
+			}
+			if j > 0 {
+				g.Adjncy = append(g.Adjncy, id(i, j-1))
+			}
+			if j < ny-1 {
+				g.Adjncy = append(g.Adjncy, id(i, j+1))
+			}
+			g.Xadj[id(i, j)+1] = int32(len(g.Adjncy))
+		}
+	}
+	return g
+}
+
+func meshGraph(t testing.TB, nx, ny, nz int) *Graph {
+	t.Helper()
+	m, err := mesh.Box(nx, ny, nz, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xadj, adjncy := m.DualGraph()
+	return &Graph{Xadj: xadj, Adjncy: adjncy}
+}
+
+func TestValidate(t *testing.T) {
+	g := pathGraph(5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Graph{Xadj: []int32{0, 1}, Adjncy: []int32{0}} // self loop
+	if err := bad.Validate(); err == nil {
+		t.Error("self loop not detected")
+	}
+	asym := &Graph{Xadj: []int32{0, 1, 1}, Adjncy: []int32{1}}
+	if err := asym.Validate(); err == nil {
+		t.Error("asymmetric edge not detected")
+	}
+	oob := &Graph{Xadj: []int32{0, 1}, Adjncy: []int32{7}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range adjacency not detected")
+	}
+}
+
+func TestPartKOne(t *testing.T) {
+	g := pathGraph(10)
+	parts, err := PartGraphKway(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatalf("k=1 produced part %d", p)
+		}
+	}
+}
+
+func TestPartRejectsBadK(t *testing.T) {
+	if _, err := PartGraphKway(pathGraph(4), 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPathBisection(t *testing.T) {
+	g := pathGraph(100)
+	parts, err := PartGraphKway(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := PartWeights(g, parts, 2)
+	if w[0] < 40 || w[0] > 60 {
+		t.Errorf("unbalanced: %v", w)
+	}
+	// The optimal cut of a path is 1; allow a little slack.
+	if cut := EdgeCut(g, parts); cut > 3 {
+		t.Errorf("path cut = %d, want <= 3", cut)
+	}
+}
+
+func TestGridKway(t *testing.T) {
+	g := gridGraph(20, 20)
+	for _, k := range []int{2, 3, 4, 7, 8, 16} {
+		parts, err := PartGraphKway(g, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All parts non-empty and ids within range.
+		seen := make([]int64, k)
+		for _, p := range parts {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("k=%d: part id %d out of range", k, p)
+			}
+			seen[p]++
+		}
+		for p, c := range seen {
+			if c == 0 {
+				t.Errorf("k=%d: part %d empty", k, p)
+			}
+		}
+		if im := Imbalance(g, parts, k); im > 1.3 {
+			t.Errorf("k=%d: imbalance %.3f too high", k, im)
+		}
+		// Sanity on the cut: far better than a random partition
+		// (expected random cut = edges * (1 - 1/k)).
+		edges := int64(len(g.Adjncy) / 2)
+		randomCut := float64(edges) * (1 - 1/float64(k))
+		if cut := EdgeCut(g, parts); float64(cut) > 0.5*randomCut {
+			t.Errorf("k=%d: cut %d vs random %.0f — not better than half random", k, cut, randomCut)
+		}
+	}
+}
+
+func TestWeightedBalance(t *testing.T) {
+	// Heavily skewed vertex weights: one end of the path is 10x heavier.
+	n := 200
+	g := pathGraph(n)
+	g.VWgt = make([]int64, n)
+	for i := range g.VWgt {
+		if i < n/2 {
+			g.VWgt[i] = 10
+		} else {
+			g.VWgt[i] = 1
+		}
+	}
+	parts, err := PartGraphKway(g, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := Imbalance(g, parts, 4); im > 1.35 {
+		t.Errorf("weighted imbalance %.3f too high: weights %v", im, PartWeights(g, parts, 4))
+	}
+}
+
+func TestMeshDualPartition(t *testing.T) {
+	g := meshGraph(t, 6, 6, 6) // 1296 cells
+	parts, err := PartGraphKway(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := Imbalance(g, parts, 8); im > 1.25 {
+		t.Errorf("mesh imbalance %.3f", im)
+	}
+	edges := int64(len(g.Adjncy) / 2)
+	if cut := EdgeCut(g, parts); float64(cut) > 0.4*float64(edges) {
+		t.Errorf("mesh cut %d of %d edges too high", cut, edges)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := gridGraph(15, 15)
+	a, _ := PartGraphKway(g, 4, Options{Seed: 5})
+	b, _ := PartGraphKway(g, 4, Options{Seed: 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	// Two disjoint paths of 10; partitioner must still balance.
+	g := &Graph{Xadj: make([]int32, 21)}
+	for v := 0; v < 20; v++ {
+		base := (v / 10) * 10
+		if v > base {
+			g.Adjncy = append(g.Adjncy, int32(v-1))
+		}
+		if v < base+9 {
+			g.Adjncy = append(g.Adjncy, int32(v+1))
+		}
+		g.Xadj[v+1] = int32(len(g.Adjncy))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := PartGraphKway(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := PartWeights(g, parts, 2)
+	if w[0] < 6 || w[0] > 14 {
+		t.Errorf("disconnected balance: %v", w)
+	}
+}
+
+// Property: every partition preserves total vertex weight and covers all
+// vertices with valid part ids.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw)%7 + 2
+		g := gridGraph(12, 9)
+		parts, err := PartGraphKway(g, k, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, w := range PartWeights(g, parts, k) {
+			sum += w
+		}
+		return sum == g.TotalVWgt()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeKSmallGraph(t *testing.T) {
+	// More parts than a comfortable split: k close to n.
+	g := pathGraph(16)
+	parts, err := PartGraphKway(g, 13, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, p := range parts {
+		seen[p] = true
+	}
+	// With n=16 and k=13 at least 10 parts must be non-empty.
+	if len(seen) < 10 {
+		t.Errorf("only %d of 13 parts non-empty", len(seen))
+	}
+}
+
+func BenchmarkPartitionMeshK16(b *testing.B) {
+	g := meshGraph(b, 8, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartGraphKway(g, 16, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionGridK64(b *testing.B) {
+	g := gridGraph(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartGraphKway(g, 64, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEdgeWeightsSteerCut(t *testing.T) {
+	// A path where one edge is enormously heavy: the bisection should cut
+	// any light edge rather than the heavy one.
+	n := 20
+	g := pathGraph(n)
+	g.EWgt = make([]int64, len(g.Adjncy))
+	for i := range g.EWgt {
+		g.EWgt[i] = 1
+	}
+	// Make the middle edge (9-10) very heavy, in both directions.
+	for v := int32(0); int(v) < n; v++ {
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := g.Adjncy[e]
+			if (v == 9 && u == 10) || (v == 10 && u == 9) {
+				g.EWgt[e] = 1000
+			}
+		}
+	}
+	parts, err := PartGraphKway(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[9] != parts[10] {
+		t.Errorf("heavy edge 9-10 was cut: %v %v", parts[9], parts[10])
+	}
+	// Balance still holds (tolerance must allow shifting the split point).
+	w := PartWeights(g, parts, 2)
+	if w[0] < 5 || w[0] > 15 {
+		t.Errorf("balance: %v", w)
+	}
+}

@@ -1,0 +1,110 @@
+// Package rng provides a small, fast, deterministic random number generator
+// with stream splitting, plus the velocity-distribution samplers DSMC/PIC
+// simulations need (Maxwell-Boltzmann and inlet flux sampling).
+//
+// Reproducibility across serial and parallel runs is a validation
+// requirement of the paper (Fig. 8/9), so every rank — and when needed every
+// cell — derives an independent stream from a (seed, stream id) pair rather
+// than sharing one global source.
+package rng
+
+import "math"
+
+// splitmix64 advances the given state and returns the next output. It is
+// used both as a seeding hash and as the stream-splitting function.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not usable; construct
+// with New or Split.
+type Rand struct {
+	s [4]uint64
+	// cached spare normal deviate for NormFloat64
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded from (seed, stream). Distinct stream ids
+// give statistically independent sequences for the same seed.
+func New(seed, stream uint64) *Rand {
+	st := seed ^ (stream * 0x9e3779b97f4a7c15)
+	var r Rand
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start at the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x853c49e6748fea9b
+	}
+	return &r
+}
+
+// Split derives a new independent generator from r without disturbing r's
+// own future output beyond a single draw.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64(), 0x5851f42d4c957f2d)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate using Marsaglia's polar
+// method (allocation-free, deterministic).
+func (r *Rand) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Exp returns an exponential deviate with unit mean.
+func (r *Rand) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 7)
+	b := New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, stream) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := New(42, 1)
+	b := New(42, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams 1 and 2 collided %d/1000 times", same)
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	a := New(1, 0)
+	b := a.Split()
+	c := a.Split()
+	if b.Uint64() == c.Uint64() {
+		t.Error("two splits produced identical first draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3, 0)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(5, 0)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance = %v", variance)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(9, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(10) value %d count %d outside [9000, 11000]", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1, 0).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11, 0)
+	n := 200000
+	var sum, sum2, sum4 float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / float64(n)
+	variance := sum2 / float64(n)
+	kurt := sum4 / float64(n)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+	if math.Abs(kurt-3) > 0.15 {
+		t.Errorf("normal 4th moment = %v, want ~3", kurt)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13, 0)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("negative exponential deviate %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.02 {
+		t.Errorf("exp mean = %v", mean)
+	}
+}
+
+func TestMaxwellMoments(t *testing.T) {
+	r := New(17, 0)
+	const (
+		temp = 300.0
+		mass = 1.6735575e-27 // hydrogen atom
+	)
+	sigma := math.Sqrt(KBoltzmann * temp / mass)
+	n := 100000
+	var sx, sx2 float64
+	for i := 0; i < n; i++ {
+		vx, _, _ := r.Maxwell(temp, mass, 100, 0, 0)
+		sx += vx
+		sx2 += vx * vx
+	}
+	mean := sx / float64(n)
+	std := math.Sqrt(sx2/float64(n) - mean*mean)
+	if math.Abs(mean-100) > 0.02*sigma {
+		t.Errorf("Maxwell drift mean = %v, want ~100", mean)
+	}
+	if math.Abs(std-sigma)/sigma > 0.02 {
+		t.Errorf("Maxwell std = %v, want %v", std, sigma)
+	}
+}
+
+func TestThermalSpeed(t *testing.T) {
+	got := ThermalSpeed(273, 1.6735575e-27)
+	want := math.Sqrt(2 * KBoltzmann * 273 / 1.6735575e-27)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("ThermalSpeed = %v, want %v", got, want)
+	}
+}
+
+func TestFluxMaxwellInwardPositive(t *testing.T) {
+	r := New(19, 0)
+	for _, u := range []float64{0, 100, 1000, 10000} {
+		for i := 0; i < 2000; i++ {
+			v := r.FluxMaxwellInward(u, 1500)
+			if v <= 0 {
+				t.Fatalf("u=%v: non-positive inward velocity %v", u, v)
+			}
+		}
+	}
+}
+
+func TestFluxMaxwellInwardMeanIncreasesWithDrift(t *testing.T) {
+	r := New(23, 0)
+	mean := func(u float64) float64 {
+		var s float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			s += r.FluxMaxwellInward(u, 1500)
+		}
+		return s / float64(n)
+	}
+	m0, m1, m2 := mean(0), mean(3000), mean(10000)
+	if !(m0 < m1 && m1 < m2) {
+		t.Errorf("flux means not monotone in drift: %v, %v, %v", m0, m1, m2)
+	}
+	// Strong drift limit: mean -> u (+ small thermal correction).
+	if math.Abs(m2-10000) > 500 {
+		t.Errorf("strong-drift mean = %v, want ~10000", m2)
+	}
+}
+
+func TestUnitSphereIsotropy(t *testing.T) {
+	r := New(29, 0)
+	n := 100000
+	var sx, sy, sz float64
+	for i := 0; i < n; i++ {
+		x, y, z := r.UnitSphere()
+		if math.Abs(x*x+y*y+z*z-1) > 1e-9 {
+			t.Fatalf("not unit: %v %v %v", x, y, z)
+		}
+		sx += x
+		sy += y
+		sz += z
+	}
+	for _, s := range []float64{sx, sy, sz} {
+		if math.Abs(s)/float64(n) > 0.01 {
+			t.Errorf("mean component %v not ~0", s/float64(n))
+		}
+	}
+}
+
+func TestCosineHemisphere(t *testing.T) {
+	r := New(31, 0)
+	n := 100000
+	var sz float64
+	for i := 0; i < n; i++ {
+		x, y, z := r.CosineHemisphere()
+		if z < 0 {
+			t.Fatalf("below hemisphere: z=%v", z)
+		}
+		if math.Abs(x*x+y*y+z*z-1) > 1e-9 {
+			t.Fatalf("not unit length")
+		}
+		sz += z
+	}
+	// E[cos(theta)] for cosine-weighted hemisphere = 2/3.
+	if mean := sz / float64(n); math.Abs(mean-2.0/3) > 0.01 {
+		t.Errorf("mean z = %v, want 2/3", mean)
+	}
+}
+
+// Property: Float64 of two different streams never produces long identical
+// runs (statistical independence smoke test via quick).
+func TestQuickStreams(t *testing.T) {
+	f := func(seed uint64, s1, s2 uint8) bool {
+		if s1 == s2 {
+			return true
+		}
+		a := New(seed, uint64(s1))
+		b := New(seed, uint64(s2))
+		matches := 0
+		for i := 0; i < 64; i++ {
+			if a.Uint64() == b.Uint64() {
+				matches++
+			}
+		}
+		return matches < 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1, 0)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1, 0)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
+func BenchmarkFluxMaxwellInward(b *testing.B) {
+	r := New(1, 0)
+	for i := 0; i < b.N; i++ {
+		_ = r.FluxMaxwellInward(10000, 1500)
+	}
+}

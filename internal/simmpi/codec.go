@@ -1,0 +1,127 @@
+package simmpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Little-endian codecs used by the collectives and by callers serializing
+// numeric payloads. A nil slice round-trips to nil.
+
+func encodeFloat64s(v []float64) []byte {
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+func decodeFloat64s(b []byte) []float64 {
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func encodeInt64s(v []int64) []byte {
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+func decodeInt64s(b []byte) []int64 {
+	if b == nil {
+		return nil
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// encodeParts packs a slice of byte slices with a length prefix per part
+// (-1 encodes a nil part).
+func encodeParts(parts [][]byte) []byte {
+	size := 4
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(parts)))
+	out = append(out, hdr[:]...)
+	for _, p := range parts {
+		if p == nil {
+			binary.LittleEndian.PutUint32(hdr[:], 0xffffffff)
+			out = append(out, hdr[:]...)
+			continue
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+func decodeParts(b []byte) [][]byte {
+	n := binary.LittleEndian.Uint32(b)
+	out := make([][]byte, n)
+	off := 4
+	for i := range out {
+		l := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		if l == 0xffffffff {
+			continue
+		}
+		out[i] = b[off : off+int(l) : off+int(l)]
+		off += int(l)
+	}
+	return out
+}
+
+// EncodeFloat64s is the exported codec for callers shipping float64 vectors.
+func EncodeFloat64s(v []float64) []byte { return encodeFloat64s(v) }
+
+// EncodeFloat64sInto encodes v into buf, growing it if needed, and returns
+// the encoded slice. Callers reusing buf across messages must be sure the
+// previous message has been fully consumed (simmpi does not copy payloads).
+func EncodeFloat64sInto(buf []byte, v []float64) []byte {
+	need := 8 * len(v)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// DecodeFloat64sInto decodes b into dst (which must have length len(b)/8).
+func DecodeFloat64sInto(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// DecodeFloat64s inverts EncodeFloat64s.
+func DecodeFloat64s(b []byte) []float64 { return decodeFloat64s(b) }
+
+// EncodeInt64s is the exported codec for callers shipping int64 vectors.
+func EncodeInt64s(v []int64) []byte { return encodeInt64s(v) }
+
+// DecodeInt64s inverts EncodeInt64s.
+func DecodeInt64s(b []byte) []int64 { return decodeInt64s(b) }

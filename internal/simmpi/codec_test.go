@@ -1,0 +1,84 @@
+package simmpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64sRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		got := DecodeFloat64s(EncodeFloat64s(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaNs compare by bit pattern.
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if DecodeFloat64s(EncodeFloat64s(nil)) != nil {
+		t.Error("nil does not round-trip to nil")
+	}
+}
+
+func TestInt64sRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		got := DecodeInt64s(EncodeInt64s(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeFloat64sInto(t *testing.T) {
+	vals := []float64{1.5, -2.25, 3}
+	// Small buffer grows.
+	buf := EncodeFloat64sInto(make([]byte, 2), vals)
+	if len(buf) != 24 {
+		t.Fatalf("len %d", len(buf))
+	}
+	dst := make([]float64, 3)
+	DecodeFloat64sInto(dst, buf)
+	for i := range vals {
+		if dst[i] != vals[i] {
+			t.Fatalf("dst[%d] = %v", i, dst[i])
+		}
+	}
+	// Large buffer is reused (no realloc).
+	big := make([]byte, 100)
+	out := EncodeFloat64sInto(big, vals)
+	if &out[0] != &big[0] {
+		t.Error("buffer not reused")
+	}
+}
+
+func TestPartsRoundTrip(t *testing.T) {
+	parts := [][]byte{[]byte("a"), nil, {}, []byte("long-payload-here")}
+	got := decodeParts(encodeParts(parts))
+	if len(got) != 4 {
+		t.Fatalf("len %d", len(got))
+	}
+	if string(got[0]) != "a" || got[1] != nil || string(got[3]) != "long-payload-here" {
+		t.Errorf("parts mismatch: %q", got)
+	}
+	// Empty non-nil part: zero length.
+	if len(got[2]) != 0 {
+		t.Error("empty part gained bytes")
+	}
+}

@@ -1,0 +1,273 @@
+package simmpi
+
+// Collective operations, built on Send/Recv so that their traffic is
+// counted with realistic message/byte structure. All ranks must call each
+// collective in the same program order (the usual MPI contract); internal
+// tags are drawn from a reserved range so collectives cannot be confused
+// with user point-to-point traffic carrying small tags.
+
+const (
+	tagBarrier = -1000 - iota
+	tagBcast
+	tagGather
+	tagScatter
+	tagReduce
+	tagAllgather
+	tagScanBase
+)
+
+// tagScan is the base for per-round scan tags (offset by the round mask).
+const tagScan = tagScanBase - 64
+
+// Barrier blocks until every rank has entered it. Dissemination algorithm:
+// ceil(log2 n) rounds of paired zero-byte messages, any world size.
+func (c *Comm) Barrier() {
+	n := c.world.n
+	if n == 1 {
+		return
+	}
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		c.Send(to, tagBarrier-dist, nil)
+		c.Recv(from, tagBarrier-dist)
+	}
+}
+
+// binomial tree helpers: relative rank arithmetic rooted at root.
+func (c *Comm) rel(root int) int      { return (c.rank - root + c.world.n) % c.world.n }
+func (c *Comm) abs(root, rel int) int { return (rel + root) % c.world.n }
+
+// Bcast distributes data from root to all ranks via a binomial tree and
+// returns the received slice (root returns data unchanged).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	n := c.world.n
+	if n == 1 {
+		return data
+	}
+	r := c.rel(root)
+	// Receive from parent (highest set bit of r).
+	if r != 0 {
+		mask := 1
+		for mask <= r {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := r &^ mask
+		data = c.Recv(c.abs(root, parent), tagBcast)
+	}
+	// Send to children: r + 2^k for 2^k > r, while in range.
+	mask := 1
+	for mask <= r {
+		mask <<= 1
+	}
+	for ; mask < n; mask <<= 1 {
+		child := r | mask
+		if child < n {
+			c.Send(c.abs(root, child), tagBcast, data)
+		}
+	}
+	return data
+}
+
+// Gatherv collects each rank's buffer at root. Root returns a slice of n
+// per-rank payloads (its own at index rank, unsent); other ranks return nil.
+// The gather is linear — each rank sends directly to root — matching the
+// "gather" stage of the paper's centralized exchange strategy.
+func (c *Comm) Gatherv(root int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.world.n)
+	out[root] = data
+	for r := 0; r < c.world.n; r++ {
+		if r != root {
+			out[r] = c.Recv(r, tagGather)
+		}
+	}
+	return out
+}
+
+// Scatterv distributes parts[r] from root to rank r and returns this rank's
+// part. parts is only read at root. Linear — matching the "scatter" stage
+// of the paper's centralized exchange strategy.
+func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
+	if c.rank == root {
+		for r := 0; r < c.world.n; r++ {
+			if r != root {
+				c.Send(r, tagScatter, parts[r])
+			}
+		}
+		return parts[root]
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// ReduceOp combines two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// AllreduceFloat64 reduces vals elementwise across all ranks with op and
+// returns the result on every rank. Binomial-tree reduce to rank 0 followed
+// by a binomial-tree broadcast.
+func (c *Comm) AllreduceFloat64(vals []float64, op ReduceOp) []float64 {
+	n := c.world.n
+	acc := make([]float64, len(vals))
+	copy(acc, vals)
+	if n == 1 {
+		return acc
+	}
+	r := c.rank // reduce is rooted at 0; relative rank == rank
+	// Reduce: receive from children, then send to parent.
+	for mask := 1; mask < n; mask <<= 1 {
+		if r&mask != 0 {
+			parent := r &^ mask
+			c.Send(parent, tagReduce, encodeFloat64s(acc))
+			acc = nil
+			break
+		}
+		child := r | mask
+		if child < n {
+			theirs := decodeFloat64s(c.Recv(child, tagReduce))
+			for i := range acc {
+				acc[i] = op(acc[i], theirs[i])
+			}
+		}
+	}
+	var payload []byte
+	if c.rank == 0 {
+		payload = encodeFloat64s(acc)
+	}
+	return decodeFloat64s(c.Bcast(0, payload))
+}
+
+// AllreduceInt64 is AllreduceFloat64 for int64 sums (exact).
+func (c *Comm) AllreduceInt64(vals []int64) []int64 {
+	n := c.world.n
+	acc := make([]int64, len(vals))
+	copy(acc, vals)
+	if n == 1 {
+		return acc
+	}
+	r := c.rank
+	for mask := 1; mask < n; mask <<= 1 {
+		if r&mask != 0 {
+			parent := r &^ mask
+			c.Send(parent, tagReduce, encodeInt64s(acc))
+			acc = nil
+			break
+		}
+		child := r | mask
+		if child < n {
+			theirs := decodeInt64s(c.Recv(child, tagReduce))
+			for i := range acc {
+				acc[i] += theirs[i]
+			}
+		}
+	}
+	var payload []byte
+	if c.rank == 0 {
+		payload = encodeInt64s(acc)
+	}
+	return decodeInt64s(c.Bcast(0, payload))
+}
+
+// ExscanInt64 computes the exclusive prefix sum of each rank's values:
+// rank r receives the elementwise sum over ranks 0..r-1 (zeros on rank 0).
+// This is the collective behind particle renumbering (paper's Reindex
+// component): each rank's ID block starts at the exclusive prefix of the
+// global particle count. Hypercube-style dissemination in ceil(log2 n)
+// rounds for power-of-two worlds; other sizes fall back to a (cheap) tree
+// allreduce of the per-rank contribution vector.
+func (c *Comm) ExscanInt64(vals []int64) []int64 {
+	n := c.world.n
+	out := make([]int64, len(vals))
+	if n == 1 {
+		return out
+	}
+	if n&(n-1) != 0 {
+		// Non-power-of-two: gather every rank's contribution and sum the
+		// prefix locally.
+		contrib := make([]int64, n*len(vals))
+		copy(contrib[c.rank*len(vals):], vals)
+		all := c.AllreduceInt64(contrib)
+		for r := 0; r < c.rank; r++ {
+			for i := range out {
+				out[i] += all[r*len(vals)+i]
+			}
+		}
+		return out
+	}
+	// Hypercube exclusive scan: carry the running total of the processed
+	// sub-cube; accumulate into the result only contributions from lower
+	// ranks.
+	acc := make([]int64, len(vals))
+	copy(acc, vals)
+	for mask := 1; mask < n; mask <<= 1 {
+		partner := c.rank ^ mask
+		c.Send(partner, tagScan-mask, encodeInt64s(acc))
+		theirs := decodeInt64s(c.Recv(partner, tagScan-mask))
+		for i := range acc {
+			acc[i] += theirs[i]
+		}
+		if partner < c.rank {
+			for i := range out {
+				out[i] += theirs[i]
+			}
+		}
+	}
+	return out
+}
+
+// Allgatherv gathers every rank's buffer and returns all n payloads on
+// every rank (gather to 0 + broadcast).
+func (c *Comm) Allgatherv(data []byte) [][]byte {
+	parts := c.Gatherv(0, data)
+	var blob []byte
+	if c.rank == 0 {
+		blob = encodeParts(parts)
+	}
+	blob = c.Bcast(0, blob)
+	out := decodeParts(blob)
+	// Tag consistency: every rank's own slot matches what it sent.
+	out[c.rank] = data
+	return out
+}
+
+// Alltoallv sends sendParts[r] to rank r and returns the n buffers received
+// (own slot short-circuits). This is the flat building block used by the
+// distributed exchange strategy's tests; the strategy itself implements the
+// paper's two-round ordering explicitly.
+func (c *Comm) Alltoallv(sendParts [][]byte) [][]byte {
+	n := c.world.n
+	out := make([][]byte, n)
+	out[c.rank] = sendParts[c.rank]
+	for r := 0; r < n; r++ {
+		if r != c.rank {
+			c.Send(r, tagAllgather, sendParts[r])
+		}
+	}
+	for r := 0; r < n; r++ {
+		if r != c.rank {
+			out[r] = c.Recv(r, tagAllgather)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package simmpi
+
+import "sort"
+
+// PhaseStats is the traffic a rank sent during one named phase.
+type PhaseStats struct {
+	Messages int64 // point-to-point sends (collective-internal sends included)
+	Bytes    int64 // payload bytes sent
+	Local    int64 // self-sends (no network cost)
+}
+
+// Counter accumulates per-phase traffic for one rank. It is only written by
+// the owning rank's goroutine during Run and read after Run completes, so
+// it needs no locking.
+type Counter struct {
+	phases map[string]*PhaseStats
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{phases: make(map[string]*PhaseStats)}
+}
+
+func (c *Counter) record(phase string, local bool, n int) {
+	s := c.phases[phase]
+	if s == nil {
+		s = &PhaseStats{}
+		c.phases[phase] = s
+	}
+	s.Messages++
+	s.Bytes += int64(n)
+	if local {
+		s.Local++
+	}
+}
+
+// Phase returns the stats for one phase (zero stats if never used).
+func (c *Counter) Phase(name string) PhaseStats {
+	if s := c.phases[name]; s != nil {
+		return *s
+	}
+	return PhaseStats{}
+}
+
+// Phases returns the phase names seen, sorted.
+func (c *Counter) Phases() []string {
+	names := make([]string, 0, len(c.phases))
+	for n := range c.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Total returns the sum over all phases.
+func (c *Counter) Total() PhaseStats {
+	var t PhaseStats
+	for _, s := range c.phases {
+		t.Messages += s.Messages
+		t.Bytes += s.Bytes
+		t.Local += s.Local
+	}
+	return t
+}
+
+// Reset clears all accumulated stats.
+func (c *Counter) Reset() {
+	c.phases = make(map[string]*PhaseStats)
+}
+
+// AggregatePhase sums one phase across a set of per-rank counters and also
+// returns the per-rank maximum — the quantity that bounds a bulk-
+// synchronous phase's modeled time.
+func AggregatePhase(counters []*Counter, phase string) (total, maxPerRank PhaseStats) {
+	for _, c := range counters {
+		s := c.Phase(phase)
+		total.Messages += s.Messages
+		total.Bytes += s.Bytes
+		total.Local += s.Local
+		if s.Messages > maxPerRank.Messages {
+			maxPerRank.Messages = s.Messages
+		}
+		if s.Bytes > maxPerRank.Bytes {
+			maxPerRank.Bytes = s.Bytes
+		}
+		if s.Local > maxPerRank.Local {
+			maxPerRank.Local = s.Local
+		}
+	}
+	return total, maxPerRank
+}

@@ -1,0 +1,453 @@
+package simmpi
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2, Options{})
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		} else {
+			got := c.Recv(0, 7)
+			if string(got) != "hello" {
+				panic(fmt.Sprintf("got %q", got))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	// Messages with different tags arrive out of request order; Recv must
+	// match by tag, not queue position.
+	w := NewWorld(2, Options{})
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("first"))
+			c.Send(1, 2, []byte("second"))
+		} else {
+			second := c.Recv(0, 2)
+			first := c.Recv(0, 1)
+			if string(first) != "first" || string(second) != "second" {
+				panic("tag matching failed")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	w := NewWorld(2, Options{})
+	const n = 100
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 5, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				got := c.Recv(0, 5)
+				if got[0] != byte(i) {
+					panic(fmt.Sprintf("out of order: got %d want %d", got[0], i))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	w := NewWorld(1, Options{})
+	err := w.Run(func(c *Comm) {
+		c.Send(0, 3, []byte("me"))
+		if string(c.Recv(0, 3)) != "me" {
+			panic("self send failed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidRankPanicsCaptured(t *testing.T) {
+	w := NewWorld(1, Options{})
+	if err := w.Run(func(c *Comm) { c.Send(5, 0, nil) }); err == nil {
+		t.Error("invalid Send rank not reported")
+	}
+	w2 := NewWorld(1, Options{})
+	if err := w2.Run(func(c *Comm) { c.Recv(-1, 0) }); err == nil {
+		t.Error("invalid Recv rank not reported")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	w := NewWorld(1, Options{Deadline: 300 * time.Millisecond})
+	err := w.Run(func(c *Comm) {
+		c.Recv(0, 99) // never sent
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 17} {
+		w := NewWorld(n, Options{})
+		order := make(chan int, 2*n)
+		err := w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				time.Sleep(50 * time.Millisecond) // rank 0 is slow
+			}
+			order <- 1 // before barrier
+			c.Barrier()
+			order <- 2 // after barrier
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		close(order)
+		// All "1" events must precede all "2" events.
+		seen2 := false
+		for v := range order {
+			if v == 2 {
+				seen2 = true
+			} else if seen2 {
+				t.Fatalf("n=%d: rank passed barrier before all entered", n)
+			}
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		for root := 0; root < n; root += 2 {
+			w := NewWorld(n, Options{})
+			payload := []byte("broadcast-data")
+			err := w.Run(func(c *Comm) {
+				var data []byte
+				if c.Rank() == root {
+					data = payload
+				}
+				got := c.Bcast(root, data)
+				if !bytes.Equal(got, payload) {
+					panic(fmt.Sprintf("rank %d got %q", c.Rank(), got))
+				}
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const n = 5
+	w := NewWorld(n, Options{})
+	err := w.Run(func(c *Comm) {
+		mine := []byte(fmt.Sprintf("rank-%d", c.Rank()))
+		parts := c.Gatherv(2, mine)
+		if c.Rank() == 2 {
+			for r := 0; r < n; r++ {
+				want := fmt.Sprintf("rank-%d", r)
+				if string(parts[r]) != want {
+					panic(fmt.Sprintf("gather slot %d = %q", r, parts[r]))
+				}
+			}
+		} else if parts != nil {
+			panic("non-root got gather result")
+		}
+		// Scatter back doubled.
+		var out [][]byte
+		if c.Rank() == 2 {
+			out = make([][]byte, n)
+			for r := 0; r < n; r++ {
+				out[r] = append(parts[r], parts[r]...)
+			}
+		}
+		got := c.Scatterv(2, out)
+		want := mine
+		want = append(want, mine...)
+		if !bytes.Equal(got, want) {
+			panic(fmt.Sprintf("scatter: rank %d got %q", c.Rank(), got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceFloat64(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 13} {
+		w := NewWorld(n, Options{})
+		err := w.Run(func(c *Comm) {
+			vals := []float64{float64(c.Rank()), 1, -float64(c.Rank())}
+			sum := c.AllreduceFloat64(vals, OpSum)
+			wantSum := float64(n*(n-1)) / 2
+			if sum[0] != wantSum || sum[1] != float64(n) || sum[2] != -wantSum {
+				panic(fmt.Sprintf("rank %d sum=%v", c.Rank(), sum))
+			}
+			mx := c.AllreduceFloat64([]float64{float64(c.Rank())}, OpMax)
+			if mx[0] != float64(n-1) {
+				panic(fmt.Sprintf("max=%v", mx))
+			}
+			mn := c.AllreduceFloat64([]float64{float64(c.Rank())}, OpMin)
+			if mn[0] != 0 {
+				panic(fmt.Sprintf("min=%v", mn))
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAllreduceInt64(t *testing.T) {
+	const n = 9
+	w := NewWorld(n, Options{})
+	err := w.Run(func(c *Comm) {
+		got := c.AllreduceInt64([]int64{int64(c.Rank()), 2})
+		if got[0] != int64(n*(n-1)/2) || got[1] != 2*n {
+			panic(fmt.Sprintf("got %v", got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 6
+	w := NewWorld(n, Options{})
+	err := w.Run(func(c *Comm) {
+		mine := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+		all := c.Allgatherv(mine)
+		for r := 0; r < n; r++ {
+			if all[r][0] != byte(r) || all[r][1] != byte(2*r) {
+				panic(fmt.Sprintf("slot %d = %v", r, all[r]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 4
+	w := NewWorld(n, Options{})
+	err := w.Run(func(c *Comm) {
+		send := make([][]byte, n)
+		for r := 0; r < n; r++ {
+			send[r] = []byte{byte(c.Rank()), byte(r)}
+		}
+		got := c.Alltoallv(send)
+		for r := 0; r < n; r++ {
+			if got[r][0] != byte(r) || got[r][1] != byte(c.Rank()) {
+				panic(fmt.Sprintf("rank %d slot %d = %v", c.Rank(), r, got[r]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	w := NewWorld(2, Options{})
+	err := w.Run(func(c *Comm) {
+		c.SetPhase("phase-a")
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 100))
+			c.SetPhase("phase-b")
+			c.Send(1, 2, make([]byte, 50))
+			c.Send(0, 3, make([]byte, 10)) // self-send
+			c.Recv(0, 3)
+		} else {
+			c.Recv(0, 1)
+			c.Recv(0, 2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := w.Counters()[0]
+	a := c0.Phase("phase-a")
+	if a.Messages != 1 || a.Bytes != 100 || a.Local != 0 {
+		t.Errorf("phase-a stats: %+v", a)
+	}
+	b := c0.Phase("phase-b")
+	if b.Messages != 2 || b.Bytes != 60 || b.Local != 1 {
+		t.Errorf("phase-b stats: %+v", b)
+	}
+	tot := c0.Total()
+	if tot.Messages != 3 || tot.Bytes != 160 {
+		t.Errorf("total: %+v", tot)
+	}
+	if got := c0.Phases(); len(got) != 2 || got[0] != "phase-a" || got[1] != "phase-b" {
+		t.Errorf("phases: %v", got)
+	}
+	// Rank 1 sent nothing.
+	if w.Counters()[1].Total().Messages != 0 {
+		t.Error("rank 1 counted sends")
+	}
+	total, maxPer := AggregatePhase(w.Counters(), "phase-a")
+	if total.Messages != 1 || maxPer.Messages != 1 {
+		t.Errorf("aggregate: %+v %+v", total, maxPer)
+	}
+	c0.Reset()
+	if c0.Total().Messages != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestPerturbedDeliveryStillCorrect(t *testing.T) {
+	// With delivery order perturbation, tag/source matching must still
+	// deliver every message to the right receive call.
+	const n = 6
+	w := NewWorld(n, Options{PerturbDelivery: true, PerturbSeed: 42})
+	err := w.Run(func(c *Comm) {
+		// Every rank sends 20 tagged messages to every other rank.
+		for r := 0; r < n; r++ {
+			if r == c.Rank() {
+				continue
+			}
+			for i := 0; i < 20; i++ {
+				c.Send(r, i%3, []byte{byte(c.Rank()), byte(i)})
+			}
+		}
+		// Receive and verify per-(src,tag) FIFO.
+		for r := 0; r < n; r++ {
+			if r == c.Rank() {
+				continue
+			}
+			next := map[int]int{0: 0, 1: 1, 2: 2}
+			for i := 0; i < 20; i++ {
+				tag := i % 3
+				got := c.Recv(r, tag)
+				if int(got[0]) != r {
+					panic("wrong source payload")
+				}
+				if int(got[1]) != next[tag] {
+					panic(fmt.Sprintf("FIFO violated for (src=%d, tag=%d): got %d want %d",
+						r, tag, got[1], next[tag]))
+				}
+				next[tag] += 3
+			}
+		}
+		// Collectives still work under perturbation.
+		sum := c.AllreduceFloat64([]float64{1}, OpSum)
+		if sum[0] != n {
+			panic("allreduce under perturbation")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	const n = 64
+	w := NewWorld(n, Options{})
+	err := w.Run(func(c *Comm) {
+		for round := 0; round < 3; round++ {
+			c.Barrier()
+			got := c.AllreduceInt64([]int64{1})
+			if got[0] != n {
+				panic("bad allreduce")
+			}
+			all := c.Allgatherv([]byte{byte(c.Rank())})
+			for r := 0; r < n; r++ {
+				if all[r][0] != byte(r) {
+					panic("bad allgather")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	w := NewWorld(2, Options{})
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 0, payload)
+				c.Recv(1, 0)
+			} else {
+				c.Recv(0, 0)
+				c.Send(0, 0, payload)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduce64Ranks(b *testing.B) {
+	w := NewWorld(64, Options{})
+	vals := make([]float64, 16)
+	err := w.Run(func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			c.AllreduceFloat64(vals, OpSum)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestExscanInt64(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 3, 5, 7, 12} {
+		w := NewWorld(n, Options{})
+		err := w.Run(func(c *Comm) {
+			// Rank r contributes [r+1, 10*(r+1)].
+			got := c.ExscanInt64([]int64{int64(c.Rank() + 1), int64(10 * (c.Rank() + 1))})
+			var want0, want1 int64
+			for r := 0; r < c.Rank(); r++ {
+				want0 += int64(r + 1)
+				want1 += int64(10 * (r + 1))
+			}
+			if got[0] != want0 || got[1] != want1 {
+				panic(fmt.Sprintf("n=%d rank %d: exscan %v, want [%d %d]", n, c.Rank(), got, want0, want1))
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestRunReportsRootCausePanic(t *testing.T) {
+	// Rank 1 dies with a real panic; rank 0 then deadlocks waiting for it.
+	// Run must surface rank 1's panic, not the induced deadlock.
+	w := NewWorld(2, Options{Deadline: 300 * time.Millisecond})
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("root cause")
+		}
+		c.Recv(1, 9)
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "root cause") {
+		t.Errorf("got %v, want the root-cause panic", err)
+	}
+}

@@ -1,0 +1,62 @@
+package sparse
+
+// SSORPrecond is the symmetric successive over-relaxation preconditioner
+// M = (D/w + L) (D/w)^-1 (D/w + U) / (2-w), applied via forward and
+// backward triangular sweeps. For SPD matrices it keeps CG's required
+// symmetry and typically converges in noticeably fewer iterations than
+// Jacobi at a modest per-iteration cost.
+type SSORPrecond struct {
+	a       *CSR
+	invDiag []float64
+	omega   float64
+	scratch []float64
+}
+
+// NewSSOR builds an SSOR preconditioner for a with relaxation factor omega
+// in (0, 2); omega <= 0 selects 1 (symmetric Gauss-Seidel). Zero diagonal
+// entries fall back to 1.
+func NewSSOR(a *CSR, omega float64) *SSORPrecond {
+	if omega <= 0 || omega >= 2 {
+		omega = 1
+	}
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, x := range d {
+		if x != 0 {
+			inv[i] = 1 / x
+		} else {
+			inv[i] = 1
+		}
+	}
+	return &SSORPrecond{a: a, invDiag: inv, omega: omega, scratch: make([]float64, a.N)}
+}
+
+// Apply computes dst ~= M^-1 r via a forward sweep solving (D/w + L) y = r
+// followed by a backward sweep solving (D/w + U) dst = (D/w) y, both using
+// the strictly-lower/upper parts of the matrix row by row.
+func (p *SSORPrecond) Apply(dst, r []float64) {
+	a, w := p.a, p.omega
+	y := p.scratch
+	// Forward: y_i = w*invD_i * (r_i - sum_{j<i} a_ij y_j).
+	for i := 0; i < a.N; i++ {
+		s := r[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := int(a.ColIdx[k])
+			if j < i {
+				s -= a.Val[k] * y[j]
+			}
+		}
+		y[i] = w * p.invDiag[i] * s
+	}
+	// Backward: dst_i = y_i - w*invD_i * sum_{j>i} a_ij dst_j.
+	for i := a.N - 1; i >= 0; i-- {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := int(a.ColIdx[k])
+			if j > i {
+				s += a.Val[k] * dst[j]
+			}
+		}
+		dst[i] = y[i] - w*p.invDiag[i]*s
+	}
+}

@@ -1,0 +1,101 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+func TestSSORSolvesLaplace(t *testing.T) {
+	a := laplace2D(15)
+	r := rng.New(5, 0)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = r.Float64() - 0.5
+	}
+	x := make([]float64, a.N)
+	res, err := CG(a, b, x, SolveOptions{Precond: NewSSOR(a, 1.0), Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("SSOR-CG did not converge: %+v", res)
+	}
+	if r := residual(a, b, x); r > 1e-8 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestSSORFewerIterationsThanJacobi(t *testing.T) {
+	a := laplace2D(25)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x1 := make([]float64, a.N)
+	jac, err := CG(a, b, x1, SolveOptions{Precond: NewJacobi(a), Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, a.N)
+	ssor, err := CG(a, b, x2, SolveOptions{Precond: NewSSOR(a, 1.2), Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jac.Converged || !ssor.Converged {
+		t.Fatal("solvers did not converge")
+	}
+	if ssor.Iterations >= jac.Iterations {
+		t.Errorf("SSOR iterations %d not fewer than Jacobi %d", ssor.Iterations, jac.Iterations)
+	}
+	// Same solution.
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-6 {
+			t.Fatalf("solutions differ at %d", i)
+		}
+	}
+}
+
+func TestSSORInvalidOmegaFallsBack(t *testing.T) {
+	a := laplace1D(5)
+	for _, w := range []float64{-1, 0, 2, 5} {
+		p := NewSSOR(a, w)
+		if p.omega != 1 {
+			t.Errorf("omega %v not clamped to 1, got %v", w, p.omega)
+		}
+	}
+}
+
+func TestSSORIdentityMatrix(t *testing.T) {
+	// On the identity matrix, SSOR must act as the identity.
+	b := NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.Add(i, i, 1)
+	}
+	a, _ := b.ToCSR()
+	p := NewSSOR(a, 1)
+	r := []float64{1, -2, 3, -4}
+	dst := make([]float64, 4)
+	p.Apply(dst, r)
+	for i := range r {
+		if math.Abs(dst[i]-r[i]) > 1e-14 {
+			t.Errorf("identity SSOR: dst[%d]=%v", i, dst[i])
+		}
+	}
+}
+
+func BenchmarkCGSSOR(b *testing.B) {
+	a := laplace2D(50)
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, a.N)
+		if _, err := CG(a, rhs, x, SolveOptions{Precond: NewSSOR(a, 1.2)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

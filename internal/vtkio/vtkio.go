@@ -1,0 +1,121 @@
+// Package vtkio writes legacy-format VTK unstructured-grid files for
+// visualizing tetrahedral meshes and the scalar/vector fields the solver
+// produces (ParaView/VisIt-compatible). Only output is supported.
+package vtkio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+)
+
+// Writer assembles one VTK dataset: a mesh plus optional cell and point
+// data arrays.
+type Writer struct {
+	Title string
+	Mesh  *mesh.Mesh
+
+	cellScalars []namedScalars
+	cellVectors []namedVectors
+	pointData   []namedScalars
+}
+
+type namedScalars struct {
+	name string
+	data []float64
+}
+
+type namedVectors struct {
+	name string
+	data []geom.Vec3
+}
+
+// NewWriter creates a writer for the given mesh.
+func NewWriter(title string, m *mesh.Mesh) *Writer {
+	return &Writer{Title: title, Mesh: m}
+}
+
+// AddCellScalars attaches a per-cell scalar field (len == NumCells).
+func (w *Writer) AddCellScalars(name string, data []float64) *Writer {
+	w.cellScalars = append(w.cellScalars, namedScalars{name, data})
+	return w
+}
+
+// AddCellVectors attaches a per-cell vector field (len == NumCells).
+func (w *Writer) AddCellVectors(name string, data []geom.Vec3) *Writer {
+	w.cellVectors = append(w.cellVectors, namedVectors{name, data})
+	return w
+}
+
+// AddPointScalars attaches a per-node scalar field (len == NumNodes).
+func (w *Writer) AddPointScalars(name string, data []float64) *Writer {
+	w.pointData = append(w.pointData, namedScalars{name, data})
+	return w
+}
+
+// Write emits the dataset.
+func (w *Writer) Write(out io.Writer) error {
+	m := w.Mesh
+	for _, s := range w.cellScalars {
+		if len(s.data) != m.NumCells() {
+			return fmt.Errorf("vtkio: cell scalars %q has %d values for %d cells", s.name, len(s.data), m.NumCells())
+		}
+	}
+	for _, v := range w.cellVectors {
+		if len(v.data) != m.NumCells() {
+			return fmt.Errorf("vtkio: cell vectors %q has %d values for %d cells", v.name, len(v.data), m.NumCells())
+		}
+	}
+	for _, s := range w.pointData {
+		if len(s.data) != m.NumNodes() {
+			return fmt.Errorf("vtkio: point scalars %q has %d values for %d nodes", s.name, len(s.data), m.NumNodes())
+		}
+	}
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, w.Title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET UNSTRUCTURED_GRID")
+	fmt.Fprintf(bw, "POINTS %d double\n", m.NumNodes())
+	for _, p := range m.Nodes {
+		fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z)
+	}
+	fmt.Fprintf(bw, "CELLS %d %d\n", m.NumCells(), 5*m.NumCells())
+	for _, c := range m.Cells {
+		fmt.Fprintf(bw, "4 %d %d %d %d\n", c[0], c[1], c[2], c[3])
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", m.NumCells())
+	for range m.Cells {
+		fmt.Fprintln(bw, "10") // VTK_TETRA
+	}
+	if len(w.cellScalars)+len(w.cellVectors) > 0 {
+		fmt.Fprintf(bw, "CELL_DATA %d\n", m.NumCells())
+		for _, s := range w.cellScalars {
+			fmt.Fprintf(bw, "SCALARS %s double 1\n", s.name)
+			fmt.Fprintln(bw, "LOOKUP_TABLE default")
+			for _, v := range s.data {
+				fmt.Fprintf(bw, "%g\n", v)
+			}
+		}
+		for _, vv := range w.cellVectors {
+			fmt.Fprintf(bw, "VECTORS %s double\n", vv.name)
+			for _, v := range vv.data {
+				fmt.Fprintf(bw, "%g %g %g\n", v.X, v.Y, v.Z)
+			}
+		}
+	}
+	if len(w.pointData) > 0 {
+		fmt.Fprintf(bw, "POINT_DATA %d\n", m.NumNodes())
+		for _, s := range w.pointData {
+			fmt.Fprintf(bw, "SCALARS %s double 1\n", s.name)
+			fmt.Fprintln(bw, "LOOKUP_TABLE default")
+			for _, v := range s.data {
+				fmt.Fprintf(bw, "%g\n", v)
+			}
+		}
+	}
+	return bw.Flush()
+}

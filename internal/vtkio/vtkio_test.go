@@ -1,0 +1,89 @@
+package vtkio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+)
+
+func testMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.Box(1, 1, 1, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWriteMeshOnly(t *testing.T) {
+	m := testMesh(t)
+	var buf bytes.Buffer
+	if err := NewWriter("test", m).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET UNSTRUCTURED_GRID",
+		"POINTS 8 double",
+		"CELLS 6 30",
+		"CELL_TYPES 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Contains(out, "CELL_DATA") || strings.Contains(out, "POINT_DATA") {
+		t.Error("unexpected data sections")
+	}
+	// Line count sanity: header(4) + points(1+8) + cells(1+6) + types(1+6).
+	if lines := strings.Count(out, "\n"); lines != 27 {
+		t.Errorf("line count = %d", lines)
+	}
+}
+
+func TestWriteWithFields(t *testing.T) {
+	m := testMesh(t)
+	dens := make([]float64, m.NumCells())
+	efield := make([]geom.Vec3, m.NumCells())
+	phi := make([]float64, m.NumNodes())
+	for c := range dens {
+		dens[c] = float64(c)
+		efield[c] = geom.V(float64(c), 0, -1)
+	}
+	var buf bytes.Buffer
+	err := NewWriter("fields", m).
+		AddCellScalars("density", dens).
+		AddCellVectors("E", efield).
+		AddPointScalars("phi", phi).
+		Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"CELL_DATA 6", "SCALARS density double 1", "VECTORS E double",
+		"POINT_DATA 8", "SCALARS phi double 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestWriteRejectsWrongLengths(t *testing.T) {
+	m := testMesh(t)
+	var buf bytes.Buffer
+	if err := NewWriter("bad", m).AddCellScalars("x", make([]float64, 3)).Write(&buf); err == nil {
+		t.Error("short cell scalars accepted")
+	}
+	if err := NewWriter("bad", m).AddCellVectors("v", make([]geom.Vec3, 99)).Write(&buf); err == nil {
+		t.Error("long cell vectors accepted")
+	}
+	if err := NewWriter("bad", m).AddPointScalars("p", make([]float64, 1)).Write(&buf); err == nil {
+		t.Error("short point scalars accepted")
+	}
+}
