@@ -49,6 +49,19 @@ func main() {
 		noKM       = flag.Bool("lb-no-km", false, "disable Kuhn-Munkres remapping")
 		platform   = flag.String("platform", "tianhe2", "cost-model platform: tianhe2, bscc, tianhe3")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+
+		// Fault tolerance: checkpoint/restart and fault injection.
+		ckptEvery   = flag.Int("checkpoint-every", 0, "take a collective checkpoint every K steps (0 = off)")
+		ckptPath    = flag.String("checkpoint", "", "persist checkpoints to this file (atomic write)")
+		resume      = flag.String("resume", "", "resume from this checkpoint file")
+		maxRestarts = flag.Int("max-restarts", 3, "restart budget after injected/detected rank failures")
+		faultRank   = flag.Int("fault-rank", -1, "inject a fault into this rank (-1 = none)")
+		faultSend   = flag.Int("fault-send", 0, "kill the victim at its Nth send (1-based)")
+		faultRecv   = flag.Int("fault-recv", 0, "kill the victim at its Nth recv (1-based)")
+		faultPhase  = flag.String("fault-phase", "", "kill the victim when it enters this phase (e.g. Poisson_Solve)")
+		faultPhaseN = flag.Int("fault-phase-n", 1, "which entry of -fault-phase fires the fault")
+		faultDrop   = flag.Bool("fault-drop", false, "message-drop mode: victim silently drops sends instead of dying")
+		deadline    = flag.Duration("deadline", 0, "blocking-receive deadline before a deadlock is diagnosed (0 = simmpi default, 10m)")
 	)
 	flag.Parse()
 
@@ -123,10 +136,26 @@ func main() {
 		cfg.LB = &lbCfg
 	}
 
+	if *resume != "" {
+		cp, err := core.LoadCheckpointFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		remaining := *steps - (cp.Step + 1)
+		if remaining <= 0 {
+			fatal(fmt.Errorf("checkpoint %s is already at step %d of %d", *resume, cp.Step, *steps))
+		}
+		cp.Apply(&cfg)
+		cfg.Steps = remaining
+		fmt.Printf("resuming from %s: %d particles at step %d, %d steps remaining\n",
+			*resume, cp.Particles.Len(), cp.Step, remaining)
+	}
+
 	var density []float64
 	if *densityOut != "" {
+		lastStep := cfg.Steps - 1
 		cfg.OnStep = func(step int, s *core.Solver) {
-			if step != *steps-1 {
+			if step != lastStep {
 				return
 			}
 			d := diag.GlobalDensity(s.Comm, s.St, coarse,
@@ -138,10 +167,60 @@ func main() {
 		}
 	}
 
+	var fault *simmpi.FaultPlan
+	if *faultRank >= 0 {
+		if *faultRank >= *ranks {
+			fatal(fmt.Errorf("-fault-rank %d is outside the %d-rank world", *faultRank, *ranks))
+		}
+		if *faultPhase != "" {
+			known := false
+			for _, comp := range core.Components {
+				if comp == *faultPhase {
+					known = true
+					break
+				}
+			}
+			if !known {
+				fatal(fmt.Errorf("-fault-phase %q is not a phase name; valid: %v", *faultPhase, core.Components))
+			}
+		}
+		fault = &simmpi.FaultPlan{
+			Rank:      *faultRank,
+			AtSend:    *faultSend,
+			AtRecv:    *faultRecv,
+			AtPhase:   *faultPhase,
+			AtPhaseN:  *faultPhaseN,
+			DropSends: *faultDrop,
+		}
+	}
+
 	start := time.Now()
-	stats, err := core.Run(simmpi.NewWorld(*ranks, simmpi.Options{}), cfg)
-	if err != nil {
-		fatal(err)
+	var stats *core.RunStats
+	var err2 error
+	if *ckptEvery > 0 || fault != nil {
+		// Fault-tolerant path: periodic collective checkpoints plus
+		// automatic restart from the last good one on rank failure.
+		var rec *core.RecoveryStats
+		stats, rec, err2 = core.ResilientRun(cfg, core.ResilienceOptions{
+			WorldSize:       *ranks,
+			WorldOptions:    simmpi.Options{Fault: fault, Deadline: *deadline},
+			CheckpointEvery: *ckptEvery,
+			MaxRestarts:     *maxRestarts,
+			CheckpointPath:  *ckptPath,
+		})
+		if rec != nil {
+			fmt.Printf("resilience: %d checkpoints, %d restarts, %d steps replayed",
+				rec.Checkpoints, rec.Restarts, rec.StepsReplayed)
+			if len(rec.FailedRanks) > 0 {
+				fmt.Printf(", failed ranks %v", rec.FailedRanks)
+			}
+			fmt.Println()
+		}
+	} else {
+		stats, err2 = core.Run(simmpi.NewWorld(*ranks, simmpi.Options{Deadline: *deadline}), cfg)
+	}
+	if err2 != nil {
+		fatal(err2)
 	}
 	if *densityOut != "" {
 		f, err := os.Create(*densityOut)

@@ -2,7 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
@@ -149,5 +154,174 @@ func TestInitialParticlesDistributedByOwner(t *testing.T) {
 	}
 	if counted[0]+counted[1] == 0 {
 		t.Error("initial particles vanished")
+	}
+}
+
+// captureTestCheckpoint runs a short sim and returns its checkpoint.
+func captureTestCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Steps = 3
+	var cp *Checkpoint
+	cfg.OnStep = func(step int, s *Solver) {
+		if step == 2 {
+			if got := CaptureCheckpoint(s, step); got != nil {
+				cp = got
+			}
+		}
+	}
+	if _, err := Run(simmpi.NewWorld(3, simmpi.Options{}), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || cp.Particles.Len() == 0 {
+		t.Fatal("no checkpoint captured")
+	}
+	return cp
+}
+
+func TestCheckpointCRCDetectsFlippedByte(t *testing.T) {
+	cp := captureTestCheckpoint(t)
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Flip one bit in the middle of the body (well past the header, well
+	// before the CRC footer).
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	_, err := LoadCheckpoint(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("flipped byte loaded without error")
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("corruption reported as %v, want a CRC mismatch", err)
+	}
+	// The pristine bytes still load.
+	if _, err := LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+func TestCheckpointRejectsTrailingGarbage(t *testing.T) {
+	cp := captureTestCheckpoint(t)
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := append(buf.Bytes(), 0xde, 0xad, 0xbe)
+	_, err := LoadCheckpoint(bytes.NewReader(blob))
+	if err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("got %v, want a trailing-bytes error", err)
+	}
+}
+
+func TestCheckpointTruncationIsDescriptive(t *testing.T) {
+	cp := captureTestCheckpoint(t)
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Cut the stream at several depths: mid-header, mid-owner-table,
+	// mid-particles, and mid-footer.
+	for _, cut := range []int{10, 30, len(blob) / 2, len(blob) - 2} {
+		_, err := LoadCheckpoint(bytes.NewReader(blob[:cut]))
+		if err == nil {
+			t.Fatalf("cut=%d: truncated checkpoint accepted", cut)
+		}
+		if err == io.ErrUnexpectedEOF {
+			t.Errorf("cut=%d: bare io.ErrUnexpectedEOF, want a descriptive error", cut)
+		}
+		if !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("cut=%d: got %v, want a truncation description", cut, err)
+		}
+	}
+}
+
+func TestCheckpointLoadsLegacyV1(t *testing.T) {
+	// Hand-assemble a minimal version-1 stream (no CRC footer): magic,
+	// then step=5 with empty owner/particle/phi sections.
+	var buf bytes.Buffer
+	buf.WriteString("dsmcCKP1")
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 5)
+	buf.Write(hdr[:])
+	cp, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Step != 5 || cp.Particles.Len() != 0 {
+		t.Errorf("legacy load: step=%d particles=%d", cp.Step, cp.Particles.Len())
+	}
+	// Unknown versions are refused.
+	var v9 bytes.Buffer
+	v9.WriteString("dsmcCKP9")
+	v9.Write(hdr[:])
+	if _, err := LoadCheckpoint(&v9); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("unknown version: %v", err)
+	}
+}
+
+func TestCheckpointSaveFileLoadFile(t *testing.T) {
+	cp := captureTestCheckpoint(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sim.ckpt")
+	if err := cp.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting an existing checkpoint must work (rename semantics).
+	if err := cp.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Step != cp.Step || loaded.Particles.Len() != cp.Particles.Len() {
+		t.Errorf("file round trip mismatch: step %d/%d particles %d/%d",
+			loaded.Step, cp.Step, loaded.Particles.Len(), cp.Particles.Len())
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "sim.ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory contains %v, want only sim.ckpt", names)
+	}
+	if _, err := LoadCheckpointFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestPrepareValidatesInitialOwner(t *testing.T) {
+	ref := testRefinement(t)
+	// Wrong length: checkpoint from a different mesh.
+	cfg := testConfig(ref)
+	cfg.InitialOwner = make([]int32, ref.Coarse.NumCells()-1)
+	if _, _, err := Prepare(cfg, 2); err == nil || !strings.Contains(err.Error(), "coarse cells") {
+		t.Errorf("short owner table: %v", err)
+	}
+	// Out-of-range rank id: checkpoint from a bigger world.
+	cfg = testConfig(ref)
+	owner := make([]int32, ref.Coarse.NumCells())
+	owner[3] = 7 // world of 2
+	cfg.InitialOwner = owner
+	if _, _, err := Prepare(cfg, 2); err == nil || !strings.Contains(err.Error(), "world") {
+		t.Errorf("out-of-range owner: %v", err)
+	}
+	// Negative id.
+	owner[3] = -1
+	if _, _, err := Prepare(cfg, 2); err == nil {
+		t.Error("negative owner id accepted")
 	}
 }

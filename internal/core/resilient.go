@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/plasma-hpc/dsmcpic/internal/partition"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// ResilientRun wraps Run with automatic checkpoint/restart recovery: the
+// run takes a collective checkpoint every CheckpointEvery steps, and when
+// a rank failure is detected (errors.Is(err, simmpi.ErrRankFailed) — e.g.
+// injected via simmpi.FaultPlan), it rebuilds a fresh world, restores the
+// last good checkpoint, re-runs the initial balance pass over the restored
+// population, and resumes the remaining steps — up to MaxRestarts times.
+
+// ResilienceOptions configures ResilientRun.
+type ResilienceOptions struct {
+	// WorldSize is the number of simulated ranks. Required.
+	WorldSize int
+	// WorldOptions configures every world built by the driver; its Fault
+	// plan (if any) is cleared after the first failure unless RepeatFault
+	// is set, modeling a failed node replaced by a healthy one.
+	WorldOptions simmpi.Options
+	// CheckpointEvery takes a collective checkpoint after every K-th step
+	// (default 10).
+	CheckpointEvery int
+	// MaxRestarts bounds the recovery budget (default 3; a run failing
+	// more than this returns the failure). Zero is replaced by the
+	// default; use -1 to forbid restarts entirely.
+	MaxRestarts int
+	// CheckpointPath, when non-empty, additionally persists every
+	// checkpoint to this file via the atomic SaveFile, so an out-of-process
+	// crash can be resumed with LoadCheckpointFile + Checkpoint.Apply.
+	CheckpointPath string
+	// RepeatFault keeps the injected FaultPlan armed on rebuilt worlds
+	// (for exercising restart-budget exhaustion).
+	RepeatFault bool
+}
+
+// RecoveryStats records what the resilience machinery did during one
+// ResilientRun.
+type RecoveryStats struct {
+	// Checkpoints is the number of collective checkpoints captured.
+	Checkpoints int
+	// Restarts is the number of world rebuilds after detected failures.
+	Restarts int
+	// StepsReplayed counts completed steps whose work was lost to a
+	// failure and re-run after restoring an earlier checkpoint.
+	StepsReplayed int
+	// FailedRanks accumulates the failed rank ids over all attempts.
+	FailedRanks []int
+}
+
+// defaultCheckpointEvery and defaultMaxRestarts back the zero values of
+// ResilienceOptions.
+const (
+	defaultCheckpointEvery = 10
+	defaultMaxRestarts     = 3
+)
+
+// ResilientRun executes cfg under the recovery loop described above. On
+// success it returns the statistics of the final (completed) attempt —
+// per-step histories therefore cover the resumed segment — together with
+// the recovery record. A non-failure error (bad config, user panic, a
+// genuine deadlock) aborts immediately without a restart.
+func ResilientRun(cfg Config, opts ResilienceOptions) (*RunStats, *RecoveryStats, error) {
+	rec := &RecoveryStats{}
+	if opts.WorldSize <= 0 {
+		return nil, rec, fmt.Errorf("core: ResilienceOptions.WorldSize must be positive")
+	}
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = defaultMaxRestarts
+	} else if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 100 // mirror withDefaults so global step accounting is stable
+	}
+	totalSteps := cfg.Steps
+	userOnStep := cfg.OnStep
+	wopts := opts.WorldOptions
+
+	var last *Checkpoint // last good checkpoint (nil: restart from scratch)
+	base := 0            // global step index of the attempt's first step
+	for {
+		acfg := cfg
+		acfg.Steps = totalSteps - base
+		if last != nil {
+			last.Apply(&acfg)
+			// The restored population is in general nothing like the
+			// unweighted first decomposition — re-run the initial balance
+			// pass over it so the resumed run starts balanced instead of
+			// inheriting pre-failure ownership verbatim.
+			owner, err := balanceRestoredOwner(last, acfg, opts.WorldSize)
+			if err != nil {
+				return nil, rec, err
+			}
+			acfg.InitialOwner = owner
+		}
+
+		// Per-attempt shared state, written under mu: the pending
+		// checkpoint (rank 0) and the highest globally completed step.
+		var mu sync.Mutex
+		var pending *Checkpoint
+		var saveErr error
+		maxStep := base - 1
+		acfg.OnStep = func(step int, s *Solver) {
+			g := base + step
+			if (g+1)%every == 0 && g != totalSteps-1 {
+				cp := CaptureCheckpoint(s, g) // collective; non-nil on rank 0 only
+				if cp != nil {
+					mu.Lock()
+					pending = cp
+					rec.Checkpoints++
+					mu.Unlock()
+					if opts.CheckpointPath != "" {
+						if err := cp.SaveFile(opts.CheckpointPath); err != nil {
+							mu.Lock()
+							if saveErr == nil {
+								saveErr = err
+							}
+							mu.Unlock()
+						}
+					}
+				}
+			}
+			mu.Lock()
+			if g > maxStep {
+				maxStep = g
+			}
+			mu.Unlock()
+			if userOnStep != nil {
+				userOnStep(g, s)
+			}
+		}
+
+		world := simmpi.NewWorld(opts.WorldSize, wopts)
+		stats, err := Run(world, acfg)
+		if err == nil {
+			return stats, rec, saveErr
+		}
+		if !errors.Is(err, simmpi.ErrRankFailed) {
+			// Bad config, user panic, genuine deadlock: not recoverable by
+			// restarting.
+			return nil, rec, err
+		}
+		if rep := world.Report(); rep != nil {
+			rec.FailedRanks = append(rec.FailedRanks, rep.Failed...)
+		}
+		if rec.Restarts >= maxRestarts {
+			return nil, rec, fmt.Errorf("core: restart budget (%d) exhausted: %w", maxRestarts, err)
+		}
+		rec.Restarts++
+
+		// Resume from the freshest checkpoint this attempt produced (it
+		// may be nil on a very early failure: then replay from the last
+		// known-good one, or from scratch).
+		if pending != nil {
+			last = pending
+		}
+		newBase := 0
+		if last != nil {
+			newBase = last.Step + 1
+		}
+		if lost := maxStep - newBase + 1; lost > 0 {
+			rec.StepsReplayed += lost
+		}
+		base = newBase
+		if !opts.RepeatFault {
+			wopts.Fault = nil
+		}
+	}
+}
+
+// balanceRestoredOwner re-runs the initial decomposition over a restored
+// population: the coarse dual graph is partitioned with the paper's
+// weighted load model (eq. 7) computed from the checkpointed particles,
+// instead of the unweighted first decomposition used on a cold start.
+func balanceRestoredOwner(cp *Checkpoint, cfg Config, nRanks int) ([]int32, error) {
+	numCells := len(cp.Owner)
+	if numCells != cfg.Ref.Coarse.NumCells() {
+		return nil, fmt.Errorf("core: checkpoint has %d owner entries for %d coarse cells — checkpoint from a different mesh?",
+			numCells, cfg.Ref.Coarse.NumCells())
+	}
+	neutral := make([]int64, numCells)
+	charged := make([]int64, numCells)
+	for i := 0; i < cp.Particles.Len(); i++ {
+		c := cp.Particles.Cell[i]
+		if int(c) < 0 || int(c) >= numCells {
+			return nil, fmt.Errorf("core: checkpoint particle %d on invalid cell %d (mesh has %d)", i, c, numCells)
+		}
+		if cp.Particles.Sp[i].IsCharged() {
+			charged[c]++
+		} else {
+			neutral[c]++
+		}
+	}
+	r, wcell := 2.0, int64(1)
+	if cfg.LB != nil {
+		if cfg.LB.R > 0 {
+			r = cfg.LB.R
+		}
+		if cfg.LB.WCell > 0 {
+			wcell = cfg.LB.WCell
+		}
+	}
+	wlm := make([]int64, numCells)
+	for c := 0; c < numCells; c++ {
+		wlm[c] = neutral[c] + int64(r*float64(charged[c])) + wcell
+	}
+	xadj, adjncy := cfg.Ref.Coarse.DualGraph()
+	return partition.PartGraphKway(
+		&partition.Graph{Xadj: xadj, Adjncy: adjncy, VWgt: wlm}, nRanks,
+		partition.Options{Seed: cfg.Seed})
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// End-to-end recovery: a rank is killed mid-run via FaultPlan, and
+// ResilientRun restores the last checkpoint and completes, with the final
+// population statistically matching an undisturbed run.
+func TestResilientRunRecoversFromRankFailure(t *testing.T) {
+	ref := testRefinement(t)
+	const ranks = 3
+
+	clean := testConfig(ref)
+	clean.Steps = 8
+	cleanStats, err := Run(simmpi.NewWorld(ranks, simmpi.Options{}), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(ref)
+	cfg.Steps = 8
+	// Two Poisson phase entries per step (PICSubsteps=2): entry 11 kills
+	// rank 1 during step 5, after the step-3 checkpoint exists.
+	stats, rec, err := ResilientRun(cfg, ResilienceOptions{
+		WorldSize: ranks,
+		WorldOptions: simmpi.Options{
+			Fault: &simmpi.FaultPlan{Rank: 1, AtPhase: CompPoisson, AtPhaseN: 11},
+		},
+		CheckpointEvery: 2,
+		MaxRestarts:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restarts == 0 {
+		t.Fatal("fault injected but RecoveryStats.Restarts == 0")
+	}
+	if rec.Checkpoints < 2 {
+		t.Errorf("Checkpoints = %d, want >= 2", rec.Checkpoints)
+	}
+	if rec.StepsReplayed < 1 {
+		t.Errorf("StepsReplayed = %d, want >= 1 (failure struck after the last checkpoint)", rec.StepsReplayed)
+	}
+	if len(rec.FailedRanks) != 1 || rec.FailedRanks[0] != 1 {
+		t.Errorf("FailedRanks = %v, want [1]", rec.FailedRanks)
+	}
+	// Particle conservation: the recovered run must end with a population
+	// statistically matching the undisturbed one (RNG streams restart, so
+	// agreement is statistical, not bitwise).
+	nClean, nRec := cleanStats.TotalParticles(), stats.TotalParticles()
+	if nRec == 0 {
+		t.Fatal("recovered run lost all particles")
+	}
+	if math.Abs(float64(nClean-nRec))/float64(nClean) > 0.10 {
+		t.Errorf("recovered population %d deviates from undisturbed %d by > 10%%", nRec, nClean)
+	}
+}
+
+func TestResilientRunCleanPathTakesCheckpoints(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Steps = 6
+	path := t.TempDir() + "/run.ckpt"
+	stats, rec, err := ResilientRun(cfg, ResilienceOptions{
+		WorldSize:       3,
+		CheckpointEvery: 2,
+		CheckpointPath:  path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restarts != 0 || len(rec.FailedRanks) != 0 {
+		t.Errorf("clean run reported recovery: %+v", rec)
+	}
+	if rec.Checkpoints != 2 { // after steps 1 and 3 (step 5 is final, skipped)
+		t.Errorf("Checkpoints = %d, want 2", rec.Checkpoints)
+	}
+	if stats.TotalParticles() == 0 {
+		t.Error("no particles at end of clean resilient run")
+	}
+	// The persisted checkpoint must load and resume.
+	cp, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Step != 3 {
+		t.Errorf("persisted checkpoint at step %d, want 3", cp.Step)
+	}
+	resumed := testConfig(ref)
+	resumed.Steps = cfg.Steps - (cp.Step + 1)
+	cp.Apply(&resumed)
+	if _, err := Run(simmpi.NewWorld(3, simmpi.Options{}), resumed); err != nil {
+		t.Fatalf("resume from persisted checkpoint: %v", err)
+	}
+}
+
+func TestResilientRunRestartBudgetExhausted(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Steps = 6
+	// The fault re-arms on every rebuilt world and fires immediately, so
+	// the budget of 1 restart must be exhausted.
+	_, rec, err := ResilientRun(cfg, ResilienceOptions{
+		WorldSize: 3,
+		WorldOptions: simmpi.Options{
+			Fault: &simmpi.FaultPlan{Rank: 0, AtPhase: CompPoisson},
+		},
+		CheckpointEvery: 2,
+		MaxRestarts:     1,
+		RepeatFault:     true,
+	})
+	if err == nil {
+		t.Fatal("repeated fault within budget 1 did not fail")
+	}
+	if !errors.Is(err, simmpi.ErrRankFailed) {
+		t.Errorf("error %v does not classify as ErrRankFailed", err)
+	}
+	if !strings.Contains(err.Error(), "restart budget") {
+		t.Errorf("error %v does not mention the restart budget", err)
+	}
+	if rec.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", rec.Restarts)
+	}
+}
+
+func TestResilientRunDoesNotRetryUserErrors(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.DtDSMC = -1 // invalid config: must fail fast, not burn restarts
+	_, rec, err := ResilientRun(cfg, ResilienceOptions{WorldSize: 2})
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if rec.Restarts != 0 {
+		t.Errorf("non-failure error consumed %d restarts", rec.Restarts)
+	}
+}
+
+func TestBalanceRestoredOwnerCoversAllRanks(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	var cp *Checkpoint
+	cfg.Steps = 3
+	cfg.OnStep = func(step int, s *Solver) {
+		if step == 2 {
+			if got := CaptureCheckpoint(s, step); got != nil {
+				cp = got
+			}
+		}
+	}
+	if _, err := Run(simmpi.NewWorld(3, simmpi.Options{}), cfg); err != nil {
+		t.Fatal(err)
+	}
+	const nRanks = 3
+	owner, err := balanceRestoredOwner(cp, cfg, nRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owner) != ref.Coarse.NumCells() {
+		t.Fatalf("owner has %d entries for %d cells", len(owner), ref.Coarse.NumCells())
+	}
+	seen := make([]bool, nRanks)
+	for _, o := range owner {
+		if o < 0 || int(o) >= nRanks {
+			t.Fatalf("owner id %d out of range", o)
+		}
+		seen[o] = true
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d owns no cells after restored-balance pass", r)
+		}
+	}
+	// A checkpoint from a different mesh is rejected, not partitioned.
+	bad := &Checkpoint{Step: cp.Step, Owner: cp.Owner[:len(cp.Owner)-1], Particles: cp.Particles, Phi: cp.Phi}
+	if _, err := balanceRestoredOwner(bad, cfg, nRanks); err == nil {
+		t.Error("mismatched owner table accepted")
+	}
+}

@@ -107,9 +107,21 @@ func Prepare(cfg Config, nRanks int) (*Shared, Config, error) {
 			return nil, c, err
 		}
 		owner = parts
-	} else if len(owner) != c.Ref.Coarse.NumCells() {
-		return nil, c, fmt.Errorf("core: InitialOwner has %d entries for %d cells",
-			len(owner), c.Ref.Coarse.NumCells())
+	} else {
+		// A restored ownership (e.g. from a checkpoint taken on a different
+		// mesh or world size) must not be trusted blindly: validate the
+		// length against the coarse mesh and every owner id against the
+		// rank count before any rank indexes with it.
+		if len(owner) != c.Ref.Coarse.NumCells() {
+			return nil, c, fmt.Errorf("core: InitialOwner has %d entries for %d coarse cells — checkpoint from a different mesh?",
+				len(owner), c.Ref.Coarse.NumCells())
+		}
+		for cell, o := range owner {
+			if o < 0 || int(o) >= nRanks {
+				return nil, c, fmt.Errorf("core: InitialOwner[%d] = %d outside the %d-rank world — checkpoint from a different world size?",
+					cell, o, nRanks)
+			}
+		}
 	}
 	poisson, err := pic.NewPoisson(c.Ref.Fine, c.BC)
 	if err != nil {

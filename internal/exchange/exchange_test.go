@@ -28,9 +28,9 @@ func makeParticles(me, k, n int) *particle.Store {
 
 // runExchange executes one collective exchange on n ranks and returns the
 // resulting per-rank particle ID sets and stats.
-func runExchange(t *testing.T, n, perRank int, s Strategy, perturb bool) ([][]int64, []Stats) {
+func runExchange(t *testing.T, n, perRank int, s Strategy, perturb bool, seed uint64) ([][]int64, []Stats) {
 	t.Helper()
-	w := simmpi.NewWorld(n, simmpi.Options{PerturbDelivery: perturb, PerturbSeed: 7})
+	w := simmpi.NewWorld(n, simmpi.Options{PerturbDelivery: perturb, PerturbSeed: seed})
 	ids := make([][]int64, n)
 	stats := make([]Stats, n)
 	err := w.Run(func(c *simmpi.Comm) {
@@ -62,7 +62,7 @@ func TestStrategiesDeliverAndConserve(t *testing.T) {
 	for _, s := range []Strategy{Centralized, Distributed} {
 		for _, n := range []int{1, 2, 3, 5, 8} {
 			const perRank = 40
-			ids, stats := runExchange(t, n, perRank, s, false)
+			ids, stats := runExchange(t, n, perRank, s, false, 0)
 			total := 0
 			seen := map[int64]bool{}
 			for r := 0; r < n; r++ {
@@ -92,8 +92,8 @@ func TestStrategiesDeliverAndConserve(t *testing.T) {
 
 func TestStrategiesProduceIdenticalPlacement(t *testing.T) {
 	const n, perRank = 6, 50
-	idsCC, _ := runExchange(t, n, perRank, Centralized, false)
-	idsDC, _ := runExchange(t, n, perRank, Distributed, false)
+	idsCC, _ := runExchange(t, n, perRank, Centralized, false, 0)
+	idsDC, _ := runExchange(t, n, perRank, Distributed, false, 0)
 	for r := 0; r < n; r++ {
 		if len(idsCC[r]) != len(idsDC[r]) {
 			t.Fatalf("rank %d: CC has %d, DC has %d", r, len(idsCC[r]), len(idsDC[r]))
@@ -106,15 +106,55 @@ func TestStrategiesProduceIdenticalPlacement(t *testing.T) {
 	}
 }
 
-func TestExchangeUnderPerturbedDelivery(t *testing.T) {
+// TestPerturbDeliveryMatrix sweeps strategy × seed × world size under
+// perturbed delivery, asserting particle conservation and physics
+// identical to the unperturbed runs: message reordering must never change
+// where particles land, only when their bytes arrive.
+func TestPerturbDeliveryMatrix(t *testing.T) {
+	const perRank = 30
 	for _, s := range []Strategy{Centralized, Distributed} {
-		ids, _ := runExchange(t, 5, 30, s, true)
-		total := 0
-		for _, l := range ids {
-			total += len(l)
-		}
-		if total != 5*30 {
-			t.Fatalf("%v: lost particles under perturbation: %d", s, total)
+		for _, n := range []int{2, 3, 5, 8} {
+			baseline, _ := runExchange(t, n, perRank, s, false, 0)
+			for _, seed := range []uint64{1, 7, 99} {
+				ids, stats := runExchange(t, n, perRank, s, true, seed)
+				// Conservation: every particle accounted for exactly once.
+				total := 0
+				seen := map[int64]bool{}
+				for r := 0; r < n; r++ {
+					total += len(ids[r])
+					for _, id := range ids[r] {
+						if seen[id] {
+							t.Fatalf("%v n=%d seed=%d: particle %d duplicated", s, n, seed, id)
+						}
+						seen[id] = true
+					}
+				}
+				if total != n*perRank {
+					t.Fatalf("%v n=%d seed=%d: %d particles after exchange, want %d",
+						s, n, seed, total, n*perRank)
+				}
+				var sent, recv int
+				for _, st := range stats {
+					sent += st.Sent
+					recv += st.Received
+				}
+				if sent != recv {
+					t.Fatalf("%v n=%d seed=%d: sent %d != received %d", s, n, seed, sent, recv)
+				}
+				// Identical physics: per-rank ID sets match the unperturbed run.
+				for r := 0; r < n; r++ {
+					if len(ids[r]) != len(baseline[r]) {
+						t.Fatalf("%v n=%d seed=%d rank %d: %d particles vs %d unperturbed",
+							s, n, seed, r, len(ids[r]), len(baseline[r]))
+					}
+					for k := range ids[r] {
+						if ids[r][k] != baseline[r][k] {
+							t.Fatalf("%v n=%d seed=%d rank %d: particle set differs from unperturbed run",
+								s, n, seed, r)
+						}
+					}
+				}
+			}
 		}
 	}
 }

@@ -14,7 +14,6 @@ package simmpi
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 )
@@ -31,10 +30,11 @@ type mailbox struct {
 	cond    *sync.Cond
 	queue   []message
 	perturb *perturber
+	world   *World
 }
 
-func newMailbox(p *perturber) *mailbox {
-	mb := &mailbox{perturb: p}
+func newMailbox(w *World, p *perturber) *mailbox {
+	mb := &mailbox{world: w, perturb: p}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -72,7 +72,9 @@ func (mb *mailbox) put(m message) {
 }
 
 // get blocks until a message matching (src, tag) is available and removes
-// it. A deadline guards against deadlocks in tests.
+// it. A deadline guards against deadlocks in tests; a peer rank failure
+// aborts the wait immediately (a matched message already queued is still
+// delivered first).
 func (mb *mailbox) get(src, tag int, deadline time.Duration, rank int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -84,9 +86,15 @@ func (mb *mailbox) get(src, tag int, deadline time.Duration, rank int) message {
 				return m
 			}
 		}
+		if rf := mb.world.peerFailure(); rf != nil {
+			panic(&abortError{rank: rank, cause: rf})
+		}
 		if time.Since(start) > deadline {
-			panic(fmt.Sprintf("simmpi: rank %d deadlocked waiting for (src=%d, tag=%d); %d unmatched messages queued",
-				rank, src, tag, len(mb.queue)))
+			pending := make([]PendingMessage, len(mb.queue))
+			for i, m := range mb.queue {
+				pending[i] = PendingMessage{Src: m.src, Tag: m.tag, Len: len(m.data)}
+			}
+			panic(&DeadlockError{Rank: rank, WantSrc: src, WantTag: tag, Pending: pending})
 		}
 		// The world watchdog broadcasts periodically, so this wait always
 		// wakes up to re-check the deadline even if no message arrives.
@@ -121,6 +129,9 @@ type Options struct {
 	PerturbDelivery bool
 	// PerturbSeed seeds the shuffling.
 	PerturbSeed uint64
+	// Fault, when non-nil, injects one deterministic rank failure (or
+	// message-drop fault) into the run. See FaultPlan.
+	Fault *FaultPlan
 }
 
 // World is a set of ranks that can communicate. Create with NewWorld, run
@@ -130,6 +141,10 @@ type World struct {
 	boxes    []*mailbox
 	counters []*Counter
 	opts     Options
+
+	failMu  sync.Mutex
+	failure *RankFailure
+	report  *RunReport
 }
 
 // NewWorld creates a world of n ranks.
@@ -145,11 +160,37 @@ func NewWorld(n int, opts Options) *World {
 	w.boxes = make([]*mailbox, n)
 	w.counters = make([]*Counter, n)
 	for i := 0; i < n; i++ {
-		w.boxes[i] = newMailbox(p)
+		w.boxes[i] = newMailbox(w, p)
 		w.counters[i] = NewCounter()
 	}
 	return w
 }
+
+// peerFailure returns the first recorded rank failure, or nil.
+func (w *World) peerFailure() *RankFailure {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failure
+}
+
+// noteFailure records a rank failure and wakes every blocked receiver so
+// surviving ranks abort promptly instead of waiting out their deadline.
+func (w *World) noteFailure(rf *RankFailure) {
+	w.failMu.Lock()
+	if w.failure == nil {
+		w.failure = rf
+	}
+	w.failMu.Unlock()
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// Report returns the per-rank outcome of the most recent Run (nil before
+// the first Run completes).
+func (w *World) Report() *RunReport { return w.report }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
@@ -158,9 +199,20 @@ func (w *World) Size() int { return w.n }
 func (w *World) Counters() []*Counter { return w.counters }
 
 // Run executes f once per rank, each in its own goroutine, and waits for
-// all to finish. A panic in any rank is captured and returned as an error
-// (other ranks may then deadlock-panic too; the first error wins).
+// all to finish. A panic in any rank is captured, classified, and returned
+// as an error: an injected rank failure yields an error matching
+// errors.Is(err, ErrRankFailed), a deadline-expired receive with no peer
+// failure matches ErrDeadlock, and a genuine user panic is reported as the
+// root cause in preference to the deadlocks it induces. Use RunWithReport
+// (or Report) for the per-rank breakdown.
 func (w *World) Run(f func(c *Comm)) error {
+	return w.RunWithReport(f).Err
+}
+
+// RunWithReport is Run returning the full per-rank outcome: each rank's
+// error, which ranks failed, and which survived. A World that experienced
+// a rank failure should not be reused — build a fresh World to restart.
+func (w *World) RunWithReport(f func(c *Comm)) *RunReport {
 	// Watchdog: wake all blocked receivers periodically so they can check
 	// their deadlines (a pure cond.Wait would sleep forever on deadlock).
 	stop := make(chan struct{})
@@ -182,35 +234,37 @@ func (w *World) Run(f func(c *Comm)) error {
 		}
 	}()
 	var wg sync.WaitGroup
-	errs := make([]error, w.n)
+	rep := &RunReport{PerRank: make([]error, w.n)}
 	for rank := 0; rank < w.n; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, r)
+					switch v := r.(type) {
+					case *RankFailure:
+						rep.PerRank[rank] = v
+						w.noteFailure(v)
+					case *DeadlockError:
+						rep.PerRank[rank] = v
+					case *abortError:
+						rep.PerRank[rank] = v
+					default:
+						rep.PerRank[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, r)
+					}
 				}
 			}()
-			f(&Comm{world: w, rank: rank, counter: w.counters[rank]})
+			c := &Comm{world: w, rank: rank, counter: w.counters[rank]}
+			if w.opts.Fault != nil && w.opts.Fault.Rank == rank {
+				c.fault = w.opts.Fault
+			}
+			f(c)
 		}(rank)
 	}
 	wg.Wait()
-	// A rank dying typically deadlocks its peers; report the root cause
-	// (a non-deadlock panic) in preference to the induced deadlocks.
-	var first error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if first == nil {
-			first = err
-		}
-		if !strings.Contains(err.Error(), "deadlocked") {
-			return err
-		}
-	}
-	return first
+	rep.classify()
+	w.report = rep
+	return rep
 }
 
 // Comm is one rank's communication endpoint. It is only valid inside the
@@ -220,6 +274,23 @@ type Comm struct {
 	rank    int
 	counter *Counter
 	phase   string
+
+	// Fault-injection state (this rank is the victim iff fault != nil).
+	fault     *FaultPlan
+	sends     int
+	recvs     int
+	phaseHits int
+	dropping  bool
+}
+
+// trip fires this rank's fault: kill mode panics with *RankFailure;
+// message-drop mode switches the rank to silently discarding sends.
+func (c *Comm) trip(trigger string) {
+	if c.fault.DropSends {
+		c.dropping = true
+		return
+	}
+	panic(&RankFailure{Rank: c.rank, Trigger: trigger})
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -230,7 +301,19 @@ func (c *Comm) Size() int { return c.world.n }
 
 // SetPhase labels subsequent traffic with the given phase name (e.g.
 // "DSMC_Exchange"); counters are accumulated per phase.
-func (c *Comm) SetPhase(name string) { c.phase = name }
+func (c *Comm) SetPhase(name string) {
+	if c.fault != nil && name != "" && name == c.fault.AtPhase {
+		c.phaseHits++
+		n := c.fault.AtPhaseN
+		if n <= 0 {
+			n = 1
+		}
+		if c.phaseHits == n {
+			c.trip(fmt.Sprintf("phase %s (entry %d)", name, c.phaseHits))
+		}
+	}
+	c.phase = name
+}
 
 // Phase returns the current phase label.
 func (c *Comm) Phase() string { return c.phase }
@@ -242,6 +325,17 @@ func (c *Comm) Counter() *Counter { return c.counter }
 // (mailboxes are unbounded, matching MPI_Send with sufficient buffering).
 // The data slice is not copied; the sender must not modify it afterwards.
 func (c *Comm) Send(dst, tag int, data []byte) {
+	if c.fault != nil {
+		c.sends++
+		if c.fault.AtSend > 0 && c.sends == c.fault.AtSend {
+			c.trip(fmt.Sprintf("send #%d", c.sends))
+		}
+		if c.dropping {
+			// Message-drop mode: the send vanishes — nothing reaches the
+			// wire, so the traffic counters don't see it either.
+			return
+		}
+	}
 	if dst < 0 || dst >= c.world.n {
 		panic(fmt.Sprintf("simmpi: rank %d Send to invalid rank %d", c.rank, dst))
 	}
@@ -252,6 +346,12 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload.
 func (c *Comm) Recv(src, tag int) []byte {
+	if c.fault != nil {
+		c.recvs++
+		if c.fault.AtRecv > 0 && c.recvs == c.fault.AtRecv {
+			c.trip(fmt.Sprintf("recv #%d", c.recvs))
+		}
+	}
 	if src < 0 || src >= c.world.n {
 		panic(fmt.Sprintf("simmpi: rank %d Recv from invalid rank %d", c.rank, src))
 	}
