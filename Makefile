@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race lint commvet clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector is load-bearing (goroutine-per-rank runtime); the
+# experiments sweep is excluded because it is >10x slower under -race.
+race:
+	$(GO) test -race $$($(GO) list ./... | grep -v /internal/experiments)
+
+commvet:
+	$(GO) build -o bin/commvet ./cmd/commvet
+
+# lint runs the project's own SPMD/determinism vettool on every package,
+# then staticcheck if it is installed (CI installs it; locally it is
+# optional so `make lint` works offline with just the Go toolchain).
+lint: commvet
+	$(GO) vet -vettool=$$PWD/bin/commvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
+	fi
+
+clean:
+	rm -rf bin

@@ -1,0 +1,81 @@
+// Command commvet runs the repo's SPMD communication / determinism
+// analyzer suite (internal/analyzers). It speaks two protocols:
+//
+//	go vet -vettool=$(pwd)/bin/commvet ./...   # unitchecker protocol
+//	go run ./cmd/commvet ./...                 # standalone, loads packages itself
+//
+// In vettool mode the go command hands the tool one JSON config file per
+// package (source files, import map, export-data locations); commvet
+// type-checks against the compiler's export data and reports diagnostics
+// on stderr, exiting 2 if any. In standalone mode it resolves the package
+// patterns via `go list` and type-checks from source — slower, but with no
+// build-cache dependency.
+//
+// Suppress a false positive with a trailing comment on the offending line
+// (or the line above):
+//
+//	//commvet:ignore <analyzer> <reason>
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/load"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol probes from the go command.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			printVersion()
+			return
+		case args[0] == "-flags":
+			// No analyzer flags: the suite is all-on (per-line ignore
+			// comments are the suppression mechanism).
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitcheck(args[0]))
+		}
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads the patterns with go list and analyzes every matched
+// package.
+func standalone(patterns []string) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := load.Packages(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "commvet:", err)
+		return 1
+	}
+	exit := 0
+	for _, p := range pkgs {
+		diags, err := analysis.Run(analyzers.All(), p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commvet: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", p.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	return exit
+}

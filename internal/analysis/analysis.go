@@ -1,0 +1,159 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver contract, sized for this repo's
+// commvet suite. The module builds offline (no network, no module cache),
+// so the real x/tools framework is unavailable; this package mirrors its
+// API shape — Analyzer, Pass, Diagnostic, Reportf — closely enough that
+// migrating the analyzers onto x/tools later is a mechanical import swap
+// (tracked in ROADMAP.md).
+//
+// Analyzers are pure functions over one type-checked package. They never
+// need cross-package facts: every property commvet enforces (collective
+// placement, tag discipline, determinism, float comparison) is decidable
+// from a single package's syntax plus type information.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//commvet:ignore <name>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary.
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics
+	// through pass.Report. The returned value is unused (kept for x/tools
+	// signature compatibility).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between the driver and one analyzer run over one
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies each analyzer to the package and returns the surviving
+// diagnostics sorted by position. Diagnostics suppressed by a
+// "//commvet:ignore <name> <reason>" comment on the same line or the line
+// immediately above are dropped (the explicit per-line escape hatch for
+// false positives; see DESIGN.md).
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	// The discipline commvet enforces governs production solver code;
+	// tests deliberately exercise raw tags, rank-divergent calls, and
+	// wall-clock edge cases, so _test.go files are type-checked with the
+	// package but excluded from analysis.
+	analyzed := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		analyzed = append(analyzed, f)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     analyzed,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	diags = filterIgnored(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreDirective is the comment prefix that suppresses a diagnostic.
+const ignoreDirective = "//commvet:ignore"
+
+// filterIgnored drops diagnostics whose line (or the line above) carries a
+// matching ignore directive.
+func filterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	// ignored maps filename -> line -> set of analyzer names ("" = all).
+	ignored := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				name := "" // bare directive suppresses every analyzer
+				if len(fields) > 0 {
+					name = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				m := ignored[pos.Filename]
+				if m == nil {
+					m = make(map[int]map[string]bool)
+					ignored[pos.Filename] = m
+				}
+				// The directive covers its own line and the next line, so
+				// it works both trailing a statement and on its own line
+				// above one.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if m[line] == nil {
+						m[line] = make(map[string]bool)
+					}
+					m[line][name] = true
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		names := ignored[pos.Filename][pos.Line]
+		if names[d.Analyzer] || names[""] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,157 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixtures themselves,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	// want "regexp"
+//
+// on a source line asserts that the analyzer reports a diagnostic on that
+// line whose message matches the (double-quoted, Go-syntax) regular
+// expression. Multiple expectations may share one comment:
+//
+//	// want "first" "second"
+//
+// Lines without a want comment must produce no diagnostics. Fixture
+// packages live under <dir>/src/<pkg>/ and may import only the standard
+// library (resolved by the offline source importer).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+)
+
+// expectation is one `// want` regexp at a (file, line).
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRe extracts the double-quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads dir/src/pkgname, applies the analyzer, and reports mismatches
+// between produced diagnostics and // want expectations through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "src", pkgname)
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(pkgdir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+		exp, err := parseExpectations(fset, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, exp...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", pkgdir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgname, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-checking fixture %s: %v", pkgname, err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	sort.Slice(expects, func(i, j int) bool {
+		if expects[i].file != expects[j].file {
+			return expects[i].file < expects[j].file
+		}
+		return expects[i].line < expects[j].line
+	})
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(e.file), e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by the diagnostic
+// and reports whether one existed.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.file != file || e.line != line {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseExpectations collects the // want comments of one file.
+func parseExpectations(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			matches := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+			}
+			for _, m := range matches {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+// Package load resolves Go package patterns (./..., import paths) into
+// parsed, type-checked packages using only the standard library plus the
+// go command itself. It exists because commvet must run offline: the
+// golang.org/x/go/packages loader is unavailable, so we shell out to
+// `go list -json -deps`, which emits dependencies before dependents, and
+// type-check each package from source in that order.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// Target reports whether the package was named by the patterns (as
+	// opposed to pulled in as a dependency); only targets are analyzed.
+	Target bool
+}
+
+// Packages loads and type-checks the packages matching patterns, plus the
+// dependencies needed to type-check them. The go command resolves the
+// patterns; type-checking is from source, in dependency order, with a
+// shared package cache.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: parsing output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		byPath: make(map[string]*listPackage, len(listed)),
+		types:  make(map[string]*types.Package),
+	}
+	for _, lp := range listed {
+		ld.byPath[lp.ImportPath] = lp
+	}
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		if lp.DepOnly {
+			continue
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Fset:       fset,
+			Files:      pkg.files,
+			Pkg:        pkg.tpkg,
+			Info:       pkg.info,
+			Target:     true,
+		})
+	}
+	return out, nil
+}
+
+// checked is one type-checked package held in the loader cache.
+type checked struct {
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset    *token.FileSet
+	byPath  map[string]*listPackage
+	types   map[string]*types.Package
+	checked map[string]*checked
+}
+
+// check parses and type-checks lp (memoized via loader.types).
+func (ld *loader) check(lp *listPackage) (*checked, error) {
+	if ld.checked == nil {
+		ld.checked = make(map[string]*checked)
+	}
+	if c := ld.checked[lp.ImportPath]; c != nil {
+		return c, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		ld.types["unsafe"] = types.Unsafe
+		c := &checked{tpkg: types.Unsafe}
+		ld.checked["unsafe"] = c
+		return c, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &cacheImporter{ld: ld, from: lp},
+		Error:    func(error) {}, // collect best-effort; first hard error below
+	}
+	tpkg, err := conf.Check(lp.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	ld.types[lp.ImportPath] = tpkg
+	c := &checked{files: files, tpkg: tpkg, info: info}
+	ld.checked[lp.ImportPath] = c
+	return c, nil
+}
+
+// cacheImporter resolves imports of one package against the loader cache,
+// falling back to the source importer for anything `go list -deps` did not
+// enumerate (which should not happen; the fallback keeps -e tolerable).
+type cacheImporter struct {
+	ld   *loader
+	from *listPackage
+	srcI types.Importer
+}
+
+func (ci *cacheImporter) Import(path string) (*types.Package, error) {
+	resolved := path
+	if mapped, ok := ci.from.ImportMap[path]; ok {
+		resolved = mapped
+	}
+	if resolved == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := ci.ld.types[resolved]; p != nil {
+		return p, nil
+	}
+	if lp := ci.ld.byPath[resolved]; lp != nil {
+		c, err := ci.ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		return c.tpkg, nil
+	}
+	if ci.srcI == nil {
+		ci.srcI = importer.ForCompiler(ci.ld.fset, "source", nil)
+	}
+	return ci.srcI.Import(resolved)
+}

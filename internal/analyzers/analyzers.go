@@ -1,0 +1,23 @@
+// Package analyzers registers the commvet suite: the static checks that
+// enforce this repo's SPMD communication and determinism discipline. See
+// DESIGN.md ("Static analysis & SPMD discipline") for the rationale behind
+// each pass and ROADMAP.md for candidate packages not yet covered.
+package analyzers
+
+import (
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/collectivesync"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/floatcompare"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/nondeterminism"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/tagdiscipline"
+)
+
+// All returns the full commvet suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		collectivesync.Analyzer,
+		tagdiscipline.Analyzer,
+		nondeterminism.Analyzer,
+		floatcompare.Analyzer,
+	}
+}

@@ -1,0 +1,67 @@
+// Package astq holds the small type/AST queries shared by the commvet
+// analyzers: recognizing simmpi.Comm method calls, collective names, and
+// floating-point types. Matching is structural (a named type called
+// "Comm"), not path-based, so the analyzers work identically on the real
+// internal/simmpi package and on self-contained test fixtures.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CommMethod returns the method name if call is a method call whose
+// receiver is a (pointer to a) named type called "Comm", else "".
+func CommMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return ""
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Comm" {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// collectivePrefixes matches the names of simmpi collective operations —
+// prefixes so that typed variants (AllreduceInt64, Gatherv, ...) and
+// future additions (Alltoallw, ...) are covered without a registry.
+var collectivePrefixes = []string{
+	"Barrier", "Bcast", "Gather", "Scatter",
+	"Allreduce", "Allgather", "Alltoall", "Reduce", "Exscan", "Scan",
+}
+
+// IsCollective reports whether a Comm method name is a collective
+// operation (as opposed to point-to-point Send/Recv or local accessors).
+func IsCollective(name string) bool {
+	for _, p := range collectivePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsRankCall reports whether call is Comm.Rank().
+func IsRankCall(info *types.Info, call *ast.CallExpr) bool {
+	return CommMethod(info, call) == "Rank"
+}
+
+// IsFloat reports whether t's core type is a floating-point (or complex)
+// basic type.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

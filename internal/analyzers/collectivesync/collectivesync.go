@@ -1,0 +1,242 @@
+// Package collectivesync flags simmpi collective operations (Barrier,
+// Bcast, Gatherv, Scatterv, Allreduce*, Allgatherv, Alltoallv, Exscan*)
+// that only some ranks can reach — the classic SPMD divergence deadlock.
+// The MPI contract (and simmpi's) is that every rank issues the same
+// collectives in the same program order; a collective nested under a
+// rank-dependent branch, loop, or early return violates it:
+//
+//	if comm.Rank() == 0 {
+//	    comm.Bcast(0, payload) // non-root ranks never enter: deadlock
+//	}
+//
+// Rank-dependence is tracked syntactically within one function: a
+// condition is rank-dependent if it mentions a Comm.Rank() call or a local
+// variable assigned (directly or transitively) from one. This is the
+// compile-time sibling of what MPI correctness tools like MUST detect at
+// run time.
+package collectivesync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/astq"
+)
+
+// Analyzer is the collectivesync pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "collectivesync",
+	Doc:  "flag simmpi collective calls reachable only under rank-dependent control flow (SPMD divergence deadlock)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc analyzes one function body. Function literals are analyzed in
+// place: a collective inside a FuncLit nested under a rank branch is still
+// only executed by the ranks that built/ran the literal.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := taintRankVars(pass.TypesInfo, body)
+	v := &visitor{pass: pass, tainted: tainted}
+	v.stmts(body.List, false)
+}
+
+// taintRankVars collects local variables whose values derive from
+// Comm.Rank(). Two forward passes give a cheap fixpoint for the
+// straight-line assignment chains that occur in practice
+// (me := comm.Rank(); left := me - 1; ...).
+func taintRankVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	dep := func(e ast.Expr) bool { return exprRankDep(info, tainted, e) }
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					// Single-value multi-assign (a, b = f()) taints every
+					// LHS if the RHS is rank-dependent.
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					} else {
+						rhs = st.Rhs[0]
+					}
+					if dep(rhs) {
+						if obj := info.Defs[id]; obj != nil {
+							tainted[obj] = true
+						} else if obj := info.Uses[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range st.Names {
+					if i < len(st.Values) && dep(st.Values[i]) {
+						if obj := info.Defs[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// exprRankDep reports whether e mentions Comm.Rank() or a tainted local.
+func exprRankDep(info *types.Info, tainted map[types.Object]bool, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	dep := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if astq.IsRankCall(info, x) {
+				dep = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil && tainted[obj] {
+				dep = true
+				return false
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+// visitor walks statements tracking whether the current position is inside
+// rank-dependent control flow.
+type visitor struct {
+	pass    *analysis.Pass
+	tainted map[types.Object]bool
+}
+
+func (v *visitor) dep(e ast.Expr) bool {
+	return exprRankDep(v.pass.TypesInfo, v.tainted, e)
+}
+
+// stmts walks a statement list. divergent marks that the list itself is
+// only executed by a rank-dependent subset of ranks. Within the list, a
+// rank-dependent if whose body always terminates (early return/panic)
+// makes everything after it divergent too.
+func (v *visitor) stmts(list []ast.Stmt, divergent bool) {
+	after := divergent
+	for _, s := range list {
+		v.stmt(s, after)
+		if ifs, ok := s.(*ast.IfStmt); ok && !after {
+			if v.dep(ifs.Cond) && terminates(ifs.Body) && ifs.Else == nil {
+				after = true
+			}
+		}
+	}
+}
+
+func (v *visitor) stmt(s ast.Stmt, divergent bool) {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		branchDep := v.dep(st.Cond)
+		if st.Init != nil {
+			v.stmt(st.Init, divergent)
+		}
+		v.stmts(st.Body.List, divergent || branchDep)
+		if st.Else != nil {
+			v.stmt(st.Else, divergent || branchDep)
+		}
+	case *ast.SwitchStmt:
+		dep := v.dep(st.Tag)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			caseDep := dep
+			for _, e := range cc.List {
+				caseDep = caseDep || v.dep(e)
+			}
+			v.stmts(cc.Body, divergent || caseDep)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			v.stmts(c.(*ast.CaseClause).Body, divergent)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			v.stmt(st.Init, divergent)
+		}
+		v.stmts(st.Body.List, divergent || v.dep(st.Cond))
+	case *ast.RangeStmt:
+		v.stmts(st.Body.List, divergent)
+	case *ast.BlockStmt:
+		v.stmts(st.List, divergent)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			v.stmts(c.(*ast.CommClause).Body, divergent)
+		}
+	case *ast.LabeledStmt:
+		v.stmt(st.Stmt, divergent)
+	default:
+		v.leaf(s, divergent)
+	}
+}
+
+// leaf inspects a non-control statement for collective calls. Function
+// literals re-enter the statement walker so their internal control flow is
+// analyzed too: a collective under a rank branch inside a closure is just
+// as divergent, and a closure built under a rank branch only ever runs on
+// those ranks.
+func (v *visitor) leaf(s ast.Stmt, divergent bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			v.stmts(x.Body.List, divergent)
+			return false
+		case *ast.CallExpr:
+			name := astq.CommMethod(v.pass.TypesInfo, x)
+			if name != "" && astq.IsCollective(name) && divergent {
+				v.report(x.Pos(), name)
+			}
+		}
+		return true
+	})
+}
+
+func (v *visitor) report(pos token.Pos, name string) {
+	v.pass.Reportf(pos, "collective %s is only reached under a rank-dependent condition; all ranks must issue the same collectives in the same order (SPMD divergence deadlock)", name)
+}
+
+// terminates reports whether a block always leaves the function (its final
+// statement is a return or a panic call).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package collectivesync_test
+
+import (
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/analysistest"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/collectivesync"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", collectivesync.Analyzer, "comm")
+}

@@ -1,0 +1,111 @@
+// Fixture for the collectivesync analyzer: a self-contained Comm stub
+// (matching is structural — any named type Comm) plus positive and
+// negative cases.
+package comm
+
+type Comm struct{ rank, size int }
+
+func (c *Comm) Rank() int                          { return c.rank }
+func (c *Comm) Size() int                          { return c.size }
+func (c *Comm) Barrier()                           {}
+func (c *Comm) Bcast(root int, data []byte) []byte { return data }
+func (c *Comm) Gatherv(root int, data []byte) [][]byte {
+	return nil
+}
+func (c *Comm) AllreduceInt64(vals []int64) []int64 { return vals }
+func (c *Comm) Send(dst, tag int, data []byte)      {}
+func (c *Comm) Recv(src, tag int) []byte            { return nil }
+
+const tagFixture = 0x100
+
+// --- positive cases: collectives under rank-dependent control flow ---
+
+func directBranch(c *Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want "collective Barrier is only reached under a rank-dependent condition"
+	}
+}
+
+func taintedVar(c *Comm) {
+	me := c.Rank()
+	left := me - 1
+	if left >= 0 {
+		c.Bcast(0, nil) // want "collective Bcast is only reached"
+	}
+}
+
+func elseBranch(c *Comm) {
+	// Both branches are divergent: each subset of ranks issues its own call.
+	if c.Rank() == 0 {
+		_ = c.Gatherv(0, nil) // want "collective Gatherv"
+	} else {
+		_ = c.Gatherv(0, nil) // want "collective Gatherv"
+	}
+}
+
+func earlyReturn(c *Comm) {
+	if c.Rank() != 0 {
+		return
+	}
+	c.Barrier() // want "collective Barrier"
+}
+
+func rankBoundedLoop(c *Comm) {
+	for i := 0; i < c.Rank(); i++ {
+		c.Barrier() // want "collective Barrier"
+	}
+}
+
+func insideClosure(c *Comm) {
+	if c.Rank() == 0 {
+		f := func() {
+			_ = c.AllreduceInt64(nil) // want "collective AllreduceInt64"
+		}
+		f()
+	}
+}
+
+func switchOnRank(c *Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want "collective Barrier"
+	}
+}
+
+// --- negative cases ---
+
+func unconditional(c *Comm) {
+	c.Barrier()
+	_ = c.Bcast(0, nil)
+}
+
+func rankBranchWithoutCollective(c *Comm) {
+	payload := []byte{1}
+	if c.Rank() == 0 {
+		payload = append(payload, 2) // root-only local work is fine
+	}
+	_ = c.Bcast(0, payload) // all ranks reach the collective
+}
+
+func nonTerminatingRankIf(c *Comm) {
+	n := 0
+	if c.Rank() == 0 {
+		n++ // falls through: every rank still reaches the Barrier
+	}
+	c.Barrier()
+	_ = n
+}
+
+func sizeDependent(c *Comm) {
+	if c.Size() > 1 {
+		c.Barrier() // size is identical on every rank: not divergent
+	}
+}
+
+func pointToPointUnderRank(c *Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, tagFixture, nil) // p2p under rank branches is the normal idiom
+	} else if c.Rank() == 1 {
+		_ = c.Recv(0, tagFixture)
+	}
+}

@@ -1,0 +1,69 @@
+// Package floatcompare flags == and != on floating-point operands in the
+// physics packages (dsmc, pic, sparse, mesh, geom, particle, diag, core,
+// balance, exchange). Exact float equality on computed values is almost
+// always a latent bug in numerical code — two mathematically equal
+// quantities reached by different operation orders differ in their last
+// bits, so the comparison silently flips across refactors, optimization
+// levels, and architectures. Compare against a tolerance, or restructure
+// so the decision uses the integer/index domain.
+//
+// Two deliberate escapes:
+//
+//   - Comparison against an exact constant (x == 0, x != 1) is allowed:
+//     testing "still the initialized/sentinel value" or "exactly zero
+//     before dividing" is well-defined in IEEE 754 and common in guards.
+//   - A false positive on a genuinely-exact comparison can be suppressed
+//     with `//commvet:ignore floatcompare <reason>` on the line.
+package floatcompare
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/astq"
+)
+
+// Analyzer is the floatcompare pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcompare",
+	Doc:  "flag ==/!= on computed floating-point operands in physics packages (compare with a tolerance instead)",
+	Run:  run,
+}
+
+// physicsPkgs names the packages holding numerical kernels.
+var physicsPkgs = map[string]bool{
+	"dsmc": true, "pic": true, "sparse": true, "mesh": true,
+	"geom": true, "particle": true, "diag": true, "core": true,
+	"balance": true, "exchange": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !physicsPkgs[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !astq.IsFloat(pass.TypesInfo.TypeOf(be.X)) && !astq.IsFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstant(pass, be.X) || isConstant(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s on computed values; exact equality is order-of-operations sensitive — compare with a tolerance", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isConstant reports whether the expression has a compile-time constant
+// value (literal, named constant, or constant arithmetic).
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

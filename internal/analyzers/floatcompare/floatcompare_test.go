@@ -1,0 +1,18 @@
+package floatcompare_test
+
+import (
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/analysistest"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/floatcompare"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", floatcompare.Analyzer, "pic")
+}
+
+// TestOutsidePhysicsSet proves scoping: identical comparisons in a
+// non-physics package are ignored.
+func TestOutsidePhysicsSet(t *testing.T) {
+	analysistest.Run(t, "testdata", floatcompare.Analyzer, "webui")
+}

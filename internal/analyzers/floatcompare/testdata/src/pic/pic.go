@@ -1,0 +1,40 @@
+// Fixture for the floatcompare analyzer, named "pic" so it falls inside
+// the physics package set.
+package pic
+
+const eps = 1e-12
+
+// --- positive cases ---
+
+func equalExact(a, b float64) bool {
+	return a == b // want "floating-point == on computed values"
+}
+
+func notEqualExact(a, b float32) bool {
+	return a != b // want "floating-point != on computed values"
+}
+
+func mixedExpr(xs []float64, i int) bool {
+	return xs[i] == xs[i+1]*2 // want "floating-point =="
+}
+
+// --- negative cases ---
+
+func zeroGuard(den float64) float64 {
+	if den == 0 { // constant comparison: exact in IEEE 754, common guard
+		return 0
+	}
+	return 1 / den
+}
+
+func sentinel(x float64) bool {
+	return x != eps // named-constant comparison is allowed
+}
+
+func intCompare(a, b int) bool { return a == b }
+
+func orderedCompare(a, b float64) bool { return a < b } // only ==/!= flagged
+
+func suppressed(a, b float64) bool {
+	return a == b //commvet:ignore floatcompare bitwise-identity check is intended here
+}

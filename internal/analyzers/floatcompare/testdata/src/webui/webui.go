@@ -1,0 +1,5 @@
+// Negative fixture: float equality outside the physics packages is not
+// commvet's business (staticcheck-style general lint can own it).
+package webui
+
+func Same(a, b float64) bool { return a == b }

@@ -1,0 +1,18 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/analysistest"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/nondeterminism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "core")
+}
+
+// TestOutsideDeterministicSet proves the analyzer is scoped: the same
+// patterns in a package outside the deterministic set produce nothing.
+func TestOutsideDeterministicSet(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "webui")
+}

@@ -1,0 +1,111 @@
+// Fixture for the nondeterminism analyzer, named "core" so it falls inside
+// the deterministic package set.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Comm struct{}
+
+func (c *Comm) Send(dst, tag int, data []byte) {}
+
+const tagFixture = 0x100
+
+// --- wall clock ---
+
+func clocky() time.Time {
+	return time.Now() // want "time.Now read in deterministic package core"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since read in deterministic package core"
+}
+
+// Explicit wiring: forwarding the function value is the sanctioned way to
+// default an injectable clock — only *calls* are divergence.
+var defaultClock = time.Now
+
+type timed struct{ clock func() time.Time }
+
+func newTimed() *timed { return &timed{clock: time.Now} }
+
+// --- global math/rand ---
+
+func roll() int {
+	return rand.Intn(6) // want "global rand.Intn in deterministic package core"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+func localGenerator(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // per-rank seeded generator: fine
+	return r.Float64()
+}
+
+// --- map iteration order ---
+
+func sumInMapOrder(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "floating-point accumulation over map iteration order"
+	}
+	return s
+}
+
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom: the fix, not a bug
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += k2f(m, k)
+	}
+	return s
+}
+
+func k2f(m map[string]float64, k string) float64 { return m[k] }
+
+func keyedAccumulation(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range m {
+		out[k] += v // distinct location per key: order-insensitive
+	}
+	return out
+}
+
+func intAccumulation(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v // integer addition commutes exactly: order-insensitive
+	}
+	return n
+}
+
+func valuesInMapOrder(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "append inside map iteration"
+	}
+	return out
+}
+
+func sendInMapOrder(c *Comm, m map[int][]byte) {
+	for dst, payload := range m {
+		c.Send(dst, tagFixture, payload) // want "Comm.Send inside map iteration"
+	}
+}
+
+func sliceRange(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v // slices iterate in index order: deterministic
+	}
+	return s
+}

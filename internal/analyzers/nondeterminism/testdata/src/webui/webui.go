@@ -1,0 +1,22 @@
+// Negative fixture: a package outside the deterministic set may use the
+// wall clock and the global rand source freely.
+package webui
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(1000)) * time.Millisecond
+}
+
+func Stamp() time.Time { return time.Now() }
+
+func SumAny(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+// Package tagdiscipline enforces the simmpi tag registry: the tag argument
+// of point-to-point Comm.Send/Comm.Recv must be built from named,
+// package-level constants (in production code, the registry constants in
+// internal/simmpi/tags.go), never from integer literals or function-local
+// constants. Magic tag numbers are how two subsystems silently collide on
+// the (src, tag) matching namespace — the registry reserves disjoint
+// ranges per subsystem so a new sender cannot intercept another
+// subsystem's traffic.
+//
+// Allowed:    c.Send(dst, simmpi.TagExchangeMigrate, buf)
+// Allowed:    c.Send(dst, tagBarrier-dist, nil)       // pkg-level const base
+// Flagged:    c.Send(dst, 0x7e, buf)                  // magic literal
+// Flagged:    const tag = 7; c.Send(dst, tag, buf)    // function-local const
+//
+// A tag that is a plain variable or parameter is accepted: the value was
+// produced somewhere else, and that producer is where the rule applies.
+package tagdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/astq"
+)
+
+// Analyzer is the tagdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tagdiscipline",
+	Doc:  "require point-to-point message tags to be named package-level constants (the simmpi tag registry), not integer literals",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := astq.CommMethod(pass.TypesInfo, call)
+			if (name != "Send" && name != "Recv") || len(call.Args) < 2 {
+				return true
+			}
+			checkTag(pass, name, call.Args[1])
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkTag validates one tag argument expression.
+func checkTag(pass *analysis.Pass, method string, tag ast.Expr) {
+	ast.Inspect(tag, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BasicLit:
+			pass.Reportf(x.Pos(), "%s tag uses integer literal %s; use a named constant from the simmpi tag registry", method, x.Value)
+		case *ast.Ident:
+			reportLocalConst(pass, method, x, pass.TypesInfo.Uses[x])
+		case *ast.SelectorExpr:
+			reportLocalConst(pass, method, x.Sel, pass.TypesInfo.Uses[x.Sel])
+			return false // don't descend into the qualifier
+		}
+		return true
+	})
+}
+
+// reportLocalConst flags constants declared inside a function: a tag
+// constant must live at package level (ideally in the simmpi registry) so
+// its range membership is reviewable in one place.
+func reportLocalConst(pass *analysis.Pass, method string, id *ast.Ident, obj types.Object) {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return
+	}
+	if c.Parent() != nil && c.Parent() != c.Pkg().Scope() && c.Parent() != types.Universe {
+		pass.Reportf(id.Pos(), "%s tag uses function-local constant %s; declare it at package level in the simmpi tag registry", method, id.Name)
+	}
+}

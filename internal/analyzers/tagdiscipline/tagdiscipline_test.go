@@ -1,0 +1,12 @@
+package tagdiscipline_test
+
+import (
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/analysistest"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/tagdiscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", tagdiscipline.Analyzer, "tags")
+}

@@ -1,0 +1,51 @@
+// Fixture for the tagdiscipline analyzer.
+package tags
+
+type Comm struct{}
+
+func (c *Comm) Send(dst, tag int, data []byte) {}
+func (c *Comm) Recv(src, tag int) []byte       { return nil }
+
+// Package-level constants stand in for the simmpi tag registry.
+const (
+	TagMigrate = 0x100
+	tagBarrier = -1000
+)
+
+// --- negative cases: registry-style tags ---
+
+func registryTags(c *Comm, dist int, tag int) {
+	c.Send(1, TagMigrate, nil)
+	_ = c.Recv(0, TagMigrate)
+	c.Send(1, tagBarrier-dist, nil) // pkg-level const base with variable offset
+	c.Send(1, tag, nil)             // plain variable: producer is checked at its source
+	_ = c.Recv(0, pick())           // computed elsewhere
+}
+
+func pick() int { return TagMigrate }
+
+// Non-Comm Send methods are out of scope.
+type mailer struct{}
+
+func (mailer) Send(dst, tag int, data []byte) {}
+
+func otherSend(m mailer) {
+	m.Send(1, 42, nil)
+}
+
+// --- positive cases ---
+
+func magicLiterals(c *Comm) {
+	c.Send(1, 0x7e, nil) // want "Send tag uses integer literal 0x7e"
+	_ = c.Recv(0, 7)     // want "Recv tag uses integer literal 7"
+}
+
+func localConst(c *Comm) {
+	const tag = 0x42
+	c.Send(1, tag, nil) // want "Send tag uses function-local constant tag"
+	_ = c.Recv(0, tag)  // want "Recv tag uses function-local constant tag"
+}
+
+func literalInExpression(c *Comm, round int) {
+	c.Send(1, TagMigrate+1, nil) // want "Send tag uses integer literal 1"
+}

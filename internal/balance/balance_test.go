@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/plasma-hpc/dsmcpic/internal/exchange"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
@@ -367,5 +368,53 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 	cfg := DefaultConfig()
 	if cfg.T != 20 || cfg.Threshold != 2.0 || cfg.R != 2 || cfg.WCell != 1 || !cfg.UseKM {
 		t.Errorf("defaults diverge from paper §VII-B: %+v", cfg)
+	}
+}
+
+// TestInjectedClockDeterministic pins the injectable-clock contract: with
+// a fake clock the rebalance's measured Overhead is an exact, replayable
+// value on every rank — the wall clock never leaks into balance decisions
+// or reported timings unless explicitly wired in (commvet's nondeterminism
+// analyzer enforces the "never calls time.Now directly" half statically).
+func TestInjectedClockDeterministic(t *testing.T) {
+	const nRanks = 4
+	m, owner, makeStore := buildWorld(t, nRanks, 50)
+	xadj, adjncy := m.DualGraph()
+	w := simmpi.NewWorld(nRanks, simmpi.Options{})
+	overheads := make([]time.Duration, nRanks)
+	err := w.Run(func(comm *simmpi.Comm) {
+		cfg := DefaultConfig()
+		cfg.T = 1
+		b := New(cfg, owner, xadj, adjncy)
+		// Fake clock: each read advances exactly 5ms, starting from zero.
+		var ticks int64
+		b.Clock = func() time.Time {
+			ticks++
+			return time.Unix(0, ticks*5e6)
+		}
+		st := makeStore(comm.Rank())
+		times := StepTimes{Total: 1, Migration: 0.01, Poisson: 0.01}
+		if comm.Rank() == 0 {
+			times.Total = 10
+		}
+		res, err := b.MaybeRebalance(comm, st, times)
+		if err != nil {
+			panic(err)
+		}
+		if !res.Rebalanced {
+			panic("expected a rebalance")
+		}
+		overheads[comm.Rank()] = res.Overhead
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaybeRebalance reads the clock exactly twice (start, end), so the
+	// fake yields exactly one 5ms tick of overhead — on every rank, on
+	// every run.
+	for r, d := range overheads {
+		if d != 5*time.Millisecond {
+			t.Errorf("rank %d overhead = %v, want exactly 5ms from the fake clock", r, d)
+		}
 	}
 }

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"sort"
+
 	"github.com/plasma-hpc/dsmcpic/internal/commcost"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 )
@@ -229,11 +231,19 @@ func (cm *CostModel) Times(w *Work, traffic, totals map[string]simmpi.PhaseStats
 	return t
 }
 
-// Total sums a component-time map.
+// Total sums a component-time map. Summation runs in sorted-key order:
+// float addition is order-sensitive in its last bits, and step totals feed
+// the lii balance decision, which must replay identically across runs
+// (map iteration order would differ — caught by commvet/nondeterminism).
 func Total(times map[string]float64) float64 {
+	keys := make([]string, 0, len(times))
+	for k := range times {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var s float64
-	for _, v := range times {
-		s += v
+	for _, k := range keys {
+		s += times[k]
 	}
 	return s
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/balance"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// TestReplayByteIdentical is the determinism regression the commvet
+// nondeterminism analyzer defends: two identical seeded runs must produce
+// byte-identical per-rank traffic counters AND a byte-identical checkpoint
+// blob. This is a stronger contract than TestRunDeterministic's physics
+// counts — it pins the exact communication structure (message and byte
+// counts per phase per rank) and the exact serialized world state, which
+// checkpoint/restart recovery and the commcost model both depend on.
+func TestReplayByteIdentical(t *testing.T) {
+	ref := testRefinement(t)
+	const nRanks = 4
+
+	run := func() (traffic []byte, checkpoint []byte) {
+		cfg := testConfig(ref)
+		cfg.Steps = 8
+		// Exercise the balancer path too: its control-plane collectives
+		// (timing allgather, weight allreduce, owner bcast) and the
+		// migration exchange all land in the counters.
+		lb := balance.DefaultConfig()
+		lb.T = 3
+		cfg.LB = &lb
+		// Pathological initial decomposition so a rebalance actually fires.
+		owner := make([]int32, ref.Coarse.NumCells())
+		for c := range owner {
+			owner[c] = int32(c * nRanks / len(owner))
+		}
+		cfg.InitialOwner = owner
+
+		var cpBlob bytes.Buffer
+		cfg.OnStep = func(step int, s *Solver) {
+			if step != cfg.Steps-1 {
+				return
+			}
+			cp := CaptureCheckpoint(s, step) // collective; rank 0 gets the state
+			if cp == nil {
+				return
+			}
+			if err := cp.Save(&cpBlob); err != nil {
+				panic(err)
+			}
+		}
+
+		world := simmpi.NewWorld(nRanks, simmpi.Options{})
+		if _, err := Run(world, cfg); err != nil {
+			t.Fatal(err)
+		}
+
+		var tb bytes.Buffer
+		for r, c := range world.Counters() {
+			for _, phase := range c.Phases() {
+				st := c.Phase(phase)
+				fmt.Fprintf(&tb, "rank %d phase %s messages %d bytes %d local %d\n",
+					r, phase, st.Messages, st.Bytes, st.Local)
+			}
+		}
+		return tb.Bytes(), cpBlob.Bytes()
+	}
+
+	traffic1, cp1 := run()
+	traffic2, cp2 := run()
+
+	if !bytes.Equal(traffic1, traffic2) {
+		t.Errorf("per-rank traffic counters differ between identical seeded runs:\nrun1:\n%srun2:\n%s", traffic1, traffic2)
+	}
+	if len(cp1) == 0 {
+		t.Fatal("no checkpoint captured")
+	}
+	if !bytes.Equal(cp1, cp2) {
+		t.Errorf("checkpoint blobs differ between identical seeded runs (%d vs %d bytes)", len(cp1), len(cp2))
+	}
+}

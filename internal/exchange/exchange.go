@@ -140,29 +140,28 @@ func centralized(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int,
 func distributed(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int, error) {
 	n := comm.Size()
 	me := comm.Rank()
-	const tag = 0x7e
 	received := 0
 	// Round 1: low -> high.
 	for src := 0; src < me; src++ {
-		k, err := st.DecodeAppend(comm.Recv(src, tag))
+		k, err := st.DecodeAppend(comm.Recv(src, simmpi.TagExchangeMigrate))
 		if err != nil {
 			return received, err
 		}
 		received += k
 	}
 	for dst := me + 1; dst < n; dst++ {
-		comm.Send(dst, tag, payloads[dst])
+		comm.Send(dst, simmpi.TagExchangeMigrate, payloads[dst])
 	}
 	// Round 2: high -> low.
 	for src := n - 1; src > me; src-- {
-		k, err := st.DecodeAppend(comm.Recv(src, tag))
+		k, err := st.DecodeAppend(comm.Recv(src, simmpi.TagExchangeMigrate))
 		if err != nil {
 			return received, err
 		}
 		received += k
 	}
 	for dst := me - 1; dst >= 0; dst-- {
-		comm.Send(dst, tag, payloads[dst])
+		comm.Send(dst, simmpi.TagExchangeMigrate, payloads[dst])
 	}
 	return received, nil
 }

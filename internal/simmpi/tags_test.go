@@ -1,0 +1,29 @@
+package simmpi
+
+import "testing"
+
+// TestTagRegistryRanges pins the registry's structural invariants: user
+// tags are positive (the negative space belongs to collective internals),
+// subsystem blocks are disjoint, and every registered tag sits inside its
+// subsystem's block.
+func TestTagRegistryRanges(t *testing.T) {
+	bases := []int{TagExchangeBase, TagCheckpointBase, TagUserBase}
+	for i, b := range bases {
+		if b <= 0 {
+			t.Errorf("base %#x not positive; negative tags are reserved for collectives", b)
+		}
+		if i > 0 && b < bases[i-1]+tagBlockSize {
+			t.Errorf("block at %#x overlaps previous block at %#x (span %#x)", b, bases[i-1], tagBlockSize)
+		}
+	}
+	if TagExchangeMigrate < TagExchangeBase || TagExchangeMigrate >= TagExchangeBase+tagBlockSize {
+		t.Errorf("TagExchangeMigrate %#x outside exchange block [%#x,%#x)",
+			TagExchangeMigrate, TagExchangeBase, TagExchangeBase+tagBlockSize)
+	}
+	// Collective-internal tags must all be negative, out of user space.
+	for _, tag := range []int{tagBarrier, tagBcast, tagGather, tagScatter, tagReduce, tagAllgather, tagScan} {
+		if tag >= 0 {
+			t.Errorf("collective-internal tag %d leaked into non-negative user space", tag)
+		}
+	}
+}
