@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint commvet clean
+.PHONY: all build test race lint commvet bench bench-quick clean
 
 all: build
 
@@ -28,6 +28,16 @@ lint: commvet
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
 	fi
+
+# bench writes BENCH_<date>.json: the reproducible benchmark matrix over
+# the plume case (rank counts x exchange strategies, fixed seed). See the
+# cmd/bench doc comment for the output schema and EXPERIMENTS.md for how
+# to compare two BENCH files. bench-quick is the CI smoke variant.
+bench:
+	$(GO) run ./cmd/bench
+
+bench-quick:
+	$(GO) run ./cmd/bench -quick
 
 clean:
 	rm -rf bin

@@ -44,6 +44,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/exchange"
 	"github.com/plasma-hpc/dsmcpic/internal/geom"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 )
@@ -114,6 +115,24 @@ type (
 	// Comm is one rank's communicator.
 	Comm = simmpi.Comm
 )
+
+// Per-phase observability (Config.Metrics).
+type (
+	// MetricsCollector holds one Registry per rank, recording measured
+	// wall time per solver phase and per-step counters. Attach one to
+	// Config.Metrics; export with WriteJSONL or WriteChromeTrace.
+	MetricsCollector = metrics.Collector
+	// MetricsRegistry is one rank's step-scoped phase timers.
+	MetricsRegistry = metrics.Registry
+)
+
+// NewMetricsCollector returns a collector for an n-rank world using the
+// default monotonic clock. Observe-only: attaching one to Config.Metrics
+// never changes simulation behavior (Config.MeasuredLB opts into feeding
+// the measured times to the load balancer).
+func NewMetricsCollector(n int) *MetricsCollector {
+	return metrics.NewCollector(n, nil)
+}
 
 // Species and particles.
 type (

@@ -176,3 +176,40 @@ func TestPublicCheckpointRoundTrip(t *testing.T) {
 		t.Error("checkpoint round trip lost particles")
 	}
 }
+
+// TestPublicMetrics wires a MetricsCollector through the façade: run with
+// Config.Metrics attached, then export both formats.
+func TestPublicMetrics(t *testing.T) {
+	grids, err := dsmcpic.BuildNozzleGrids(3, 6, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := dsmcpic.NewMetricsCollector(2)
+	cfg := dsmcpic.Config{
+		Ref:            grids,
+		Steps:          3,
+		DtDSMC:         1.5e-6,
+		InjectHPerStep: 400,
+		WeightH:        1e12,
+		WeightIon:      6000,
+		Wall:           dsmcpic.WallModel{Kind: dsmcpic.DiffuseWall, Temperature: 300},
+		Strategy:       dsmcpic.Distributed,
+		Reactions:      dsmcpic.DefaultReactions(),
+		Cost:           dsmcpic.DefaultCostModel(dsmcpic.Tianhe2, dsmcpic.InnerFrame),
+		Seed:           7,
+		Metrics:        mc,
+	}
+	if _, err := dsmcpic.Run(dsmcpic.NewWorld(2), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if durs := mc.PhaseDurations(); len(durs) == 0 {
+		t.Fatal("no phase samples recorded")
+	}
+	var jsonl, trace bytes.Buffer
+	if err := mc.WriteJSONL(&jsonl); err != nil || jsonl.Len() == 0 {
+		t.Fatalf("JSONL export: %v (%d bytes)", err, jsonl.Len())
+	}
+	if err := mc.WriteChromeTrace(&trace); err != nil || trace.Len() == 0 {
+		t.Fatalf("trace export: %v (%d bytes)", err, trace.Len())
+	}
+}

@@ -1,0 +1,311 @@
+// Command bench runs a reproducible benchmark matrix over the plasma-plume
+// case — rank counts × exchange strategies, fixed seeds — and writes the
+// results as a schema-documented JSON file (BENCH_<date>.json by default)
+// for regression comparison across commits.
+//
+// Example:
+//
+//	go run ./cmd/bench -quick            # 2 rank counts × both strategies
+//	go run ./cmd/bench -ranks 2,4,8 -steps 10 -repeats 3 -out BENCH.json
+//
+// # Output schema ("dsmcpic-bench/v1")
+//
+// Top level:
+//
+//	schema       string   "dsmcpic-bench/v1"
+//	date         string   RFC 3339 timestamp of the run
+//	go           string   runtime.Version()
+//	goos, goarch string   host platform
+//	num_cpu      int      runtime.NumCPU() (ranks are goroutines sharing it)
+//	seed         uint64   simulation seed (identical across the matrix)
+//	steps        int      DSMC steps per run
+//	repeats      int      repeats per matrix cell (medians are over repeats)
+//	runs         []run    one entry per (ranks, strategy) cell
+//
+// Each run:
+//
+//	ranks            int                 world size
+//	strategy         string              "CC" or "DC"
+//	wall_seconds     []float64           host wall time of each repeat
+//	wall_median_s    float64             median of wall_seconds
+//	phase_median_s   map[phase]float64   median measured per-phase seconds,
+//	                                     over every (rank, step, repeat) sample
+//	alloc_bytes      int64               heap bytes allocated (median over repeats)
+//	allocs           int64               heap allocations (median over repeats)
+//	particles        int                 final global particle count (identical
+//	                                     across repeats: runs are seeded)
+//	modeled_total_s  float64             cost-model total for cross-checking
+//	traffic          map[phase]stats     global sent messages/bytes/local per
+//	                                     traffic phase, summed over ranks
+//	                                     (identical across repeats)
+//
+// Wall times and phase timings vary with host load; everything else is
+// deterministic for a given seed and binary. Compare two BENCH files by
+// phase_median_s ratios and by exact equality of particles and traffic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/balance"
+	"github.com/plasma-hpc/dsmcpic/internal/commcost"
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/dsmc"
+	"github.com/plasma-hpc/dsmcpic/internal/exchange"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+type trafficStats struct {
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	Local    int64 `json:"local"`
+}
+
+type runResult struct {
+	Ranks         int                     `json:"ranks"`
+	Strategy      string                  `json:"strategy"`
+	WallSeconds   []float64               `json:"wall_seconds"`
+	WallMedianS   float64                 `json:"wall_median_s"`
+	PhaseMedianS  map[string]float64      `json:"phase_median_s"`
+	AllocBytes    int64                   `json:"alloc_bytes"`
+	Allocs        int64                   `json:"allocs"`
+	Particles     int                     `json:"particles"`
+	ModeledTotalS float64                 `json:"modeled_total_s"`
+	Traffic       map[string]trafficStats `json:"traffic"`
+}
+
+type benchReport struct {
+	Schema  string      `json:"schema"`
+	Date    string      `json:"date"`
+	Go      string      `json:"go"`
+	GOOS    string      `json:"goos"`
+	GOARCH  string      `json:"goarch"`
+	NumCPU  int         `json:"num_cpu"`
+	Seed    uint64      `json:"seed"`
+	Steps   int         `json:"steps"`
+	Repeats int         `json:"repeats"`
+	Runs    []runResult `json:"runs"`
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "small smoke matrix: ranks 2,4 × both strategies, 3 steps, 1 repeat")
+		steps   = flag.Int("steps", 8, "DSMC steps per run")
+		repeats = flag.Int("repeats", 3, "repeats per matrix cell (medians reported)")
+		ranks   = flag.String("ranks", "2,4,8", "comma-separated world sizes")
+		seed    = flag.Uint64("seed", 42, "simulation seed (fixed across the matrix)")
+		out     = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		injectH = flag.Int("inject-h", 1500, "H particles injected per step (global)")
+	)
+	flag.Parse()
+	if *quick {
+		*steps = 3
+		*repeats = 1
+		*ranks = "2,4"
+	}
+	rankList, err := parseRanks(*ranks)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+
+	rep := benchReport{
+		Schema:  "dsmcpic-bench/v1",
+		Date:    time.Now().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		Seed:    *seed,
+		Steps:   *steps,
+		Repeats: *repeats,
+	}
+	for _, n := range rankList {
+		for _, strat := range []exchange.Strategy{exchange.Centralized, exchange.Distributed} {
+			r, err := benchCell(n, strat, *steps, *repeats, *seed, *injectH)
+			if err != nil {
+				fatal(fmt.Errorf("ranks=%d strategy=%v: %w", n, strat, err))
+			}
+			rep.Runs = append(rep.Runs, r)
+			fmt.Printf("ranks=%d %s: wall %.3fs, %d particles, %d allocs\n",
+				n, r.Strategy, r.WallMedianS, r.Particles, r.Allocs)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(&rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d matrix cells)\n", path, len(rep.Runs))
+}
+
+// benchCell runs one (ranks, strategy) cell `repeats` times with the same
+// seed and reduces the observations to medians.
+func benchCell(n int, strat exchange.Strategy, steps, repeats int, seed uint64, injectH int) (runResult, error) {
+	res := runResult{
+		Ranks:        n,
+		Strategy:     strat.String(),
+		PhaseMedianS: map[string]float64{},
+		Traffic:      map[string]trafficStats{},
+	}
+	phaseSamples := map[string][]float64{}
+	var allocBytes, allocs []int64
+	for rep := 0; rep < repeats; rep++ {
+		cfg, err := benchConfig(strat, steps, seed, injectH)
+		if err != nil {
+			return res, err
+		}
+		collector := metrics.NewCollector(n, nil)
+		cfg.Metrics = collector
+		world := simmpi.NewWorld(n, simmpi.Options{})
+
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		stats, err := core.Run(world, cfg)
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return res, err
+		}
+
+		res.WallSeconds = append(res.WallSeconds, wall)
+		allocBytes = append(allocBytes, int64(after.TotalAlloc-before.TotalAlloc))
+		allocs = append(allocs, int64(after.Mallocs-before.Mallocs))
+		for phase, durs := range collector.PhaseDurations() {
+			phaseSamples[phase] = append(phaseSamples[phase], durs...)
+		}
+		// Deterministic per seed — identical every repeat, so last wins.
+		res.Particles = stats.TotalParticles()
+		res.ModeledTotalS = stats.TotalTime()
+		res.Traffic = aggregateTraffic(world.Counters())
+	}
+	res.WallMedianS = median(res.WallSeconds)
+	for phase, samples := range phaseSamples {
+		res.PhaseMedianS[phase] = median(samples)
+	}
+	res.AllocBytes = medianInt64(allocBytes)
+	res.Allocs = medianInt64(allocs)
+	return res, nil
+}
+
+// benchConfig builds the plume case: the nozzle geometry and physics of
+// cmd/plasmasim's defaults, scaled down so the full matrix stays fast.
+func benchConfig(strat exchange.Strategy, steps int, seed uint64, injectH int) (core.Config, error) {
+	coarse, err := mesh.Nozzle(3, 8, 0.05, 0.2)
+	if err != nil {
+		return core.Config{}, err
+	}
+	ref, err := mesh.RefineUniform(coarse)
+	if err != nil {
+		return core.Config{}, err
+	}
+	lbCfg := balance.DefaultConfig()
+	lbCfg.Strategy = strat
+	return core.Config{
+		Ref:              ref,
+		Steps:            steps,
+		PICSubsteps:      2,
+		DtDSMC:           1.2586e-6,
+		InjectHPerStep:   injectH,
+		InjectIonPerStep: injectH / 10,
+		Drift:            10000,
+		WeightH:          1e12,
+		WeightIon:        6000,
+		Wall:             dsmc.WallModel{Kind: dsmc.DiffuseWall, Temperature: 300},
+		Strategy:         strat,
+		Reactions:        dsmc.DefaultHydrogenReactions(),
+		Cost:             core.DefaultCostModel(commcost.Tianhe2, commcost.InnerFrame),
+		PoissonTol:       1e-6,
+		Seed:             seed,
+		LB:               &lbCfg,
+	}, nil
+}
+
+// aggregateTraffic sums each phase's sent messages/bytes over all ranks.
+func aggregateTraffic(counters []*simmpi.Counter) map[string]trafficStats {
+	names := map[string]bool{}
+	for _, c := range counters {
+		for _, ph := range c.Phases() {
+			names[ph] = true
+		}
+	}
+	out := make(map[string]trafficStats, len(names))
+	for ph := range names {
+		total, _ := simmpi.AggregatePhase(counters, ph)
+		key := ph
+		if key == "" {
+			key = "unphased" // traffic sent outside any SetPhase label
+		}
+		out[key] = trafficStats{Messages: total.Messages, Bytes: total.Bytes, Local: total.Local}
+	}
+	return out
+}
+
+func parseRanks(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: bad rank count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: empty -ranks")
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+func medianInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

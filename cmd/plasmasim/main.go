@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/dsmc"
 	"github.com/plasma-hpc/dsmcpic/internal/exchange"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 	"github.com/plasma-hpc/dsmcpic/internal/vtkio"
@@ -49,6 +51,12 @@ func main() {
 		noKM       = flag.Bool("lb-no-km", false, "disable Kuhn-Munkres remapping")
 		platform   = flag.String("platform", "tianhe2", "cost-model platform: tianhe2, bscc, tianhe3")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+
+		// Observability: per-phase wall-time instrumentation (observe-only
+		// unless -measured-lb).
+		metricsOut = flag.String("metrics-jsonl", "", "write per-rank per-step phase timings to this JSONL file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
+		measuredLB = flag.Bool("measured-lb", false, "drive the lii rebalance decision with measured per-phase times instead of modeled ones (trades bitwise replay for responsiveness)")
 
 		// Fault tolerance: checkpoint/restart and fault injection.
 		ckptEvery   = flag.Int("checkpoint-every", 0, "take a collective checkpoint every K steps (0 = off)")
@@ -125,6 +133,12 @@ func main() {
 		Cost:             core.DefaultCostModel(plat, commcost.InnerFrame),
 		PoissonTol:       1e-6,
 		Seed:             *seed,
+	}
+	var collector *metrics.Collector
+	if *metricsOut != "" || *traceOut != "" || *measuredLB {
+		collector = metrics.NewCollector(*ranks, nil)
+		cfg.Metrics = collector
+		cfg.MeasuredLB = *measuredLB
 	}
 	if *lb {
 		lbCfg := balance.DefaultConfig()
@@ -237,6 +251,20 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *densityOut)
 	}
+	if collector != nil {
+		if *metricsOut != "" {
+			if err := writeTo(*metricsOut, collector.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, collector.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
+	}
 	fmt.Printf("completed %d steps on %d ranks in %v (host wall time)\n",
 		*steps, *ranks, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("final particles: %d  rebalances: %d  modeled total: %.3fs\n",
@@ -265,6 +293,19 @@ func main() {
 			break
 		}
 	}
+}
+
+// writeTo creates path and streams write into it, reporting the first error.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func sumTimes(m map[string]float64) float64 {

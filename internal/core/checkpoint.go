@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 )
 
 // Checkpoint captures the world state of a running simulation: the step
@@ -29,10 +30,24 @@ type Checkpoint struct {
 
 // CaptureCheckpoint gathers the world state to rank 0 (other ranks return
 // nil). Call it from an OnStep probe; it is collective.
+//
+// The gather runs as explicit point-to-point traffic on the checkpoint
+// subsystem's own registry tag (simmpi.TagCheckpointGather) rather than
+// through the generic Gatherv: checkpoint payloads can never cross-match
+// a concurrent collective's internal rounds, and the traffic counters
+// attribute the bytes to their own phase instead of the caller's.
 func CaptureCheckpoint(s *Solver, step int) *Checkpoint {
-	parts := s.Comm.Gatherv(0, s.St.EncodeAll())
+	s.Comm.SetPhase(CompCheckpoint)
+	defer s.Comm.SetPhase("")
+	blob := s.St.EncodeAll()
 	if s.Comm.Rank() != 0 {
+		s.Comm.Send(0, simmpi.TagCheckpointGather, blob)
 		return nil
+	}
+	parts := make([][]byte, s.Comm.Size())
+	parts[0] = blob
+	for r := 1; r < s.Comm.Size(); r++ {
+		parts[r] = s.Comm.Recv(r, simmpi.TagCheckpointGather)
 	}
 	cp := &Checkpoint{
 		Step:      step,

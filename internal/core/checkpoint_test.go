@@ -33,6 +33,14 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 	if cp == nil || cp.Particles.Len() == 0 {
 		t.Fatal("no checkpoint captured")
 	}
+	// The capture's gather rides the checkpoint subsystem's own tag and
+	// phase label: every non-root rank's payload must be accounted to
+	// CompCheckpoint, not to whatever solver phase the probe fired in.
+	for r := 1; r < 3; r++ {
+		if got := world.Counters()[r].Phase(CompCheckpoint).Bytes; got == 0 {
+			t.Errorf("rank %d sent no bytes under the %q phase", r, CompCheckpoint)
+		}
+	}
 	var buf bytes.Buffer
 	if err := cp.Save(&buf); err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/exchange"
 	"github.com/plasma-hpc/dsmcpic/internal/geom"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 	"github.com/plasma-hpc/dsmcpic/internal/pic"
 )
@@ -78,6 +79,23 @@ type Config struct {
 	// partition).
 	Seed uint64
 
+	// Metrics, when non-nil, receives per-rank wall-clock phase timings
+	// and step counters (one metrics.Registry per rank; see the package
+	// doc). Observe-only: attaching a collector does not change what the
+	// solver computes or communicates — the replay regression runs with
+	// one attached. Construct with metrics.NewCollector(worldSize, nil).
+	Metrics *metrics.Collector
+
+	// MeasuredLB substitutes the measured wall-clock per-phase times of
+	// the current step for the modeled ones in the load balancer's lii
+	// decision — the timer-augmented cost function (McDoniel &
+	// Bientinesi): measured timers capture effects no analytic weight
+	// model sees (cache behavior, host contention, platform jitter).
+	// Requires Metrics. The trade-off is explicit: rebalance points then
+	// depend on real time, so runs are no longer byte-identical replays
+	// of each other (modeled times remain the default for that reason).
+	MeasuredLB bool
+
 	// OnStep, when set, is invoked by every rank after each DSMC step
 	// (step is 0-based). The solver is quiescent during the call; probes
 	// may use s.Comm for collective diagnostics, but every rank must then
@@ -128,6 +146,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Wall.Kind == dsmc.DiffuseWall && c.Wall.Temperature <= 0 {
 		c.Wall.Temperature = c.Temperature
+	}
+	if c.MeasuredLB && c.Metrics == nil {
+		return c, fmt.Errorf("core: MeasuredLB needs Config.Metrics (the measured times come from its timers)")
 	}
 	return c, nil
 }

@@ -24,6 +24,19 @@ const (
 	CompPICExchange  = "PIC_Exchange"
 	CompPoisson      = "Poisson_Solve"
 	CompRebalance    = "Rebalance"
+
+	// CompDeposit is the charge-deposition sub-phase nested inside
+	// Poisson_Solve. It exists for the observability layer only (timers,
+	// traces): it is not a cost-model row and not listed in Components,
+	// and its measured time is part of CompPoisson's, not additional.
+	CompDeposit = "Deposit"
+
+	// CompCheckpoint labels checkpoint-capture traffic (CaptureCheckpoint's
+	// gather of particle payloads to rank 0). Like CompDeposit it is an
+	// observability label only — not a cost-model row, not in Components —
+	// but it keeps checkpoint bytes out of whatever solver phase happened
+	// to be active when the OnStep probe fired.
+	CompCheckpoint = "Checkpoint"
 )
 
 // rebalanceMigrate labels the rebalance's particle-migration traffic

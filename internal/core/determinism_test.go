@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/plasma-hpc/dsmcpic/internal/balance"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 )
 
@@ -35,6 +36,11 @@ func TestReplayByteIdentical(t *testing.T) {
 			owner[c] = int32(c * nRanks / len(owner))
 		}
 		cfg.InitialOwner = owner
+		// Metrics attached with the real (wall-clock) default: the layer
+		// is observe-only, so measured timings — different every run —
+		// must not leak into traffic or state. This is the "with metrics
+		// enabled" half of the regression.
+		cfg.Metrics = metrics.NewCollector(nRanks, nil)
 
 		var cpBlob bytes.Buffer
 		cfg.OnStep = func(step int, s *Solver) {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/balance"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// TestMetricsCoverEveryPhase runs the solver with a collector attached
+// and checks that every component of the step loop produced timer samples
+// on every rank, that the traffic counters mirror the simmpi deltas, and
+// that both exporters emit parseable output for the run.
+func TestMetricsCoverEveryPhase(t *testing.T) {
+	ref := testRefinement(t)
+	const nRanks = 4
+	cfg := testConfig(ref)
+	lb := balance.DefaultConfig()
+	lb.T = 2
+	cfg.LB = &lb
+	col := metrics.NewCollector(nRanks, nil)
+	cfg.Metrics = col
+
+	world := simmpi.NewWorld(nRanks, simmpi.Options{})
+	if _, err := Run(world, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{CompInject, CompDSMCMove, CompDSMCExchange, CompReindex,
+		CompColliReact, CompPICMove, CompPICExchange, CompPoisson,
+		CompRebalance, CompDeposit}
+	durs := col.PhaseDurations()
+	for _, phase := range want {
+		// One sample per (rank, step) for each phase.
+		if got := len(durs[phase]); got != nRanks*cfg.Steps {
+			t.Errorf("phase %s: %d duration samples, want %d", phase, got, nRanks*cfg.Steps)
+		}
+	}
+
+	for r := 0; r < nRanks; r++ {
+		steps := col.Rank(r).Steps()
+		if len(steps) != cfg.Steps {
+			t.Fatalf("rank %d recorded %d steps, want %d", r, len(steps), cfg.Steps)
+		}
+		// The metrics traffic counters are deltas off the same simmpi
+		// counter the cost model reads; summed over steps they must not
+		// exceed the counter's final phase totals (rebalance migration
+		// traffic is recorded under its own label).
+		var txDSMC int64
+		for _, sr := range steps {
+			txDSMC += sr.Counters["tx_bytes."+CompDSMCExchange]
+		}
+		if want := world.Counters()[r].Phase(CompDSMCExchange).Bytes; txDSMC != want {
+			t.Errorf("rank %d: metrics DSMC_Exchange bytes %d != counter %d", r, txDSMC, want)
+		}
+		if steps[len(steps)-1].Counters["particles"] == 0 {
+			t.Errorf("rank %d: final particles counter is zero", r)
+		}
+	}
+
+	var jsonl, trace bytes.Buffer
+	if err := col.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Len() == 0 {
+		t.Error("JSONL export is empty")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("chrome trace missing traceEvents")
+	}
+}
+
+// TestMeasuredLB exercises the timer-augmented cost function end to end:
+// with MeasuredLB set, the lii decision runs on measured wall times, the
+// run must still complete, conserve particles across ranks, and record
+// lii history. (Measured times are wall-clock; nothing about the decision
+// can be pinned here beyond structural health.)
+func TestMeasuredLB(t *testing.T) {
+	ref := testRefinement(t)
+	const nRanks = 4
+	cfg := testConfig(ref)
+	cfg.Steps = 8
+	lb := balance.DefaultConfig()
+	lb.T = 2
+	lb.Threshold = 1.05 // measured times under host jitter: trigger easily
+	cfg.LB = &lb
+	cfg.Metrics = metrics.NewCollector(nRanks, nil)
+	cfg.MeasuredLB = true
+
+	world := simmpi.NewWorld(nRanks, simmpi.Options{})
+	stats, err := Run(world, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalParticles() == 0 {
+		t.Fatal("no particles at end of run")
+	}
+	for r := range stats.Ranks {
+		if got := len(stats.Ranks[r].LIIHistory); got != cfg.Steps {
+			t.Errorf("rank %d: %d lii entries, want %d", r, got, cfg.Steps)
+		}
+	}
+}
+
+// TestMeasuredLBRequiresMetrics pins the config validation.
+func TestMeasuredLBRequiresMetrics(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.MeasuredLB = true
+	if _, _, err := Prepare(cfg, 2); err == nil {
+		t.Fatal("MeasuredLB without Metrics was accepted")
+	}
+}
+
+// TestMetricsWorldSizeMismatch pins the size validation in Prepare.
+func TestMetricsWorldSizeMismatch(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Metrics = metrics.NewCollector(3, nil)
+	if _, _, err := Prepare(cfg, 2); err == nil {
+		t.Fatal("collector sized for 3 ranks accepted in a 2-rank world")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/exchange"
 	"github.com/plasma-hpc/dsmcpic/internal/geom"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 	"github.com/plasma-hpc/dsmcpic/internal/partition"
 	"github.com/plasma-hpc/dsmcpic/internal/pic"
@@ -44,6 +45,12 @@ type Solver struct {
 	ownedNNZ   int64
 	prevPhase  map[string]simmpi.PhaseStats
 	inletFaces []inletFace
+
+	// mr is this rank's metrics registry (nil when Config.Metrics is
+	// unset; all Registry methods are nil-safe no-ops). The registry's
+	// clock is injected at collector construction, so this package never
+	// reads wall time itself.
+	mr *metrics.Registry
 }
 
 // inletFace caches (cell, area) for deterministic injection allocation.
@@ -123,6 +130,10 @@ func Prepare(cfg Config, nRanks int) (*Shared, Config, error) {
 			}
 		}
 	}
+	if c.Metrics != nil && c.Metrics.Size() != nRanks {
+		return nil, c, fmt.Errorf("core: Config.Metrics collects %d ranks but the world has %d",
+			c.Metrics.Size(), nRanks)
+	}
 	poisson, err := pic.NewPoisson(c.Ref.Fine, c.BC)
 	if err != nil {
 		return nil, c, err
@@ -150,6 +161,7 @@ func NewSolver(cfg Config, shared *Shared, comm *simmpi.Comm) (*Solver, error) {
 		nodeCharge: make([]float64, shared.Ref.Fine.NumNodes()),
 		rng:        rng.New(cfg.Seed, uint64(comm.Rank())+1),
 		prevPhase:  make(map[string]simmpi.PhaseStats),
+		mr:         cfg.Metrics.Rank(comm.Rank()),
 	}
 	s.Stats.Times = make(map[string]float64)
 	s.Stats.Work = *NewWork()
@@ -280,8 +292,10 @@ func (s *Solver) Step(step int) error {
 	w := NewWork()
 	w.CGOwnedNNZ = s.ownedNNZ
 	traffic := make(map[string]simmpi.PhaseStats)
+	s.mr.BeginStep(step)
 
 	// ---- Inject ----
+	stop := s.mr.Time(CompInject)
 	nH := s.injectCount(s.Cfg.InjectHPerStep)
 	nIon := s.injectCount(s.Cfg.InjectIonPerStep)
 	s.injector.Inject(s.St, particle.SampleSpec{
@@ -291,36 +305,45 @@ func (s *Solver) Step(step int) error {
 		Sp: particle.HPlus, Count: nIon, Temperature: s.Cfg.Temperature, Drift: s.Cfg.Drift,
 	}, s.rng)
 	w.Injected += int64(nH + nIon)
+	stop()
 
 	// ---- DSMC_Move (neutrals) ----
+	stop = s.mr.Time(CompDSMCMove)
 	ms := dsmc.Move(s.St, s.Ref.Coarse, s.Cfg.DtDSMC, s.wall, dsmc.Neutrals, s.rng)
 	w.MoveStepsDSMC += int64(ms.Moved + ms.Crossings + ms.WallHits)
 	if s.surf != nil {
 		s.surf.Advance(s.Cfg.DtDSMC)
 	}
+	stop()
 
 	// ---- DSMC_Exchange ----
+	stop = s.mr.Time(CompDSMCExchange)
 	s.Comm.SetPhase(CompDSMCExchange)
 	exStats, err := exchange.Exchange(s.Comm, s.St, s.destOf, s.Cfg.Strategy)
 	if err != nil {
 		return err
 	}
 	s.Comm.SetPhase("")
+	stop()
 	traffic[CompDSMCExchange] = s.phaseDelta(CompDSMCExchange)
 	w.PackedBytes[CompDSMCExchange] = traffic[CompDSMCExchange].Bytes
 	s.Stats.MigratedDSMC += int64(exStats.Sent)
 
 	// ---- Reindex ----
+	stop = s.mr.Time(CompReindex)
 	s.Comm.SetPhase(CompReindex)
 	prefix := s.Comm.ExscanInt64([]int64{int64(s.St.Len())})[0]
 	s.St.AssignIDs(prefix)
 	s.Comm.SetPhase("")
+	stop()
 	traffic[CompReindex] = s.phaseDelta(CompReindex)
 	w.Reindexed += int64(s.St.Len())
 
 	// ---- Colli_React ----
+	stop = s.mr.Time(CompColliReact)
 	groups := dsmc.GroupByCell(s.St, s.Ref.Coarse.NumCells(), nil)
 	cs := s.collider.Collide(s.St, groups, s.Ref.Coarse.Volumes, s.Cfg.DtDSMC, s.rng)
+	stop()
 	w.Candidates += int64(cs.Candidates)
 	w.Collisions += int64(cs.Collisions)
 	s.Stats.Collisions += int64(cs.Collisions)
@@ -332,6 +355,7 @@ func (s *Solver) Step(step int) error {
 	for sub := 0; sub < s.Cfg.PICSubsteps; sub++ {
 		// PIC_Move: Boris kick with the previous substep's field, then
 		// ballistic movement of charged particles.
+		stop = s.mr.Time(CompPICMove)
 		s.locateCharged()
 		pushed := 0
 		for i := 0; i < s.St.Len(); i++ {
@@ -344,23 +368,32 @@ func (s *Solver) Step(step int) error {
 		w.Deposited += int64(pushed) // pre-kick field gather locate
 		msp := dsmc.Move(s.St, s.Ref.Coarse, s.Cfg.DtPIC, s.wall, dsmc.Charged, s.rng)
 		w.MoveStepsPIC += int64(msp.Moved + msp.Crossings + msp.WallHits)
+		stop()
 
 		// PIC_Exchange.
+		stop = s.mr.Time(CompPICExchange)
 		s.Comm.SetPhase(CompPICExchange)
 		exp, err := exchange.Exchange(s.Comm, s.St, s.destOf, s.Cfg.Strategy)
 		if err != nil {
 			return err
 		}
 		s.Comm.SetPhase("")
+		stop()
 		s.Stats.MigratedPIC += int64(exp.Sent)
 
 		// Poisson_Solve: deposit, reduce, distributed CG, field update.
+		// The deposit is additionally timed as its own nested sub-phase:
+		// it scales with local particle count while the CG scales with
+		// owned rows, and the trace should show which one moved.
+		stop = s.mr.Time(CompPoisson)
 		s.Comm.SetPhase(CompPoisson)
+		stopDep := s.mr.Time(CompDeposit)
 		for n := range s.nodeCharge {
 			s.nodeCharge[n] = 0
 		}
 		s.locateCharged()
 		pic.DepositCharge(s.St, s.Ref, s.weightOf, s.nodeCharge, s.fineCell)
+		stopDep()
 		res, err := s.dist.Solve(s.Comm, s.nodeCharge, s.phi, sparse.SolveOptions{
 			Tol: s.Cfg.PoissonTol, MaxIter: s.Cfg.PoissonMaxIter,
 		})
@@ -369,6 +402,7 @@ func (s *Solver) Step(step int) error {
 		}
 		s.poisson.ElectricFieldForCells(s.phi, s.ownedFine, s.eField)
 		s.Comm.SetPhase("")
+		stop()
 		w.CGIterations += int64(res.Iterations)
 		w.Deposited += int64(pushed)
 		s.Stats.PoissonIters += int64(res.Iterations)
@@ -393,6 +427,21 @@ func (s *Solver) Step(step int) error {
 			Migration: times[CompDSMCExchange] + times[CompPICExchange],
 			Poisson:   times[CompPoisson],
 		}
+		if s.Cfg.MeasuredLB {
+			// Timer-augmented cost function: the lii decision runs on the
+			// measured per-phase wall times of this step instead of the
+			// modeled ones. Measured Total excludes the (not yet run)
+			// rebalance phase, exactly like the modeled one at this point.
+			mt := s.mr.StepPhaseSeconds()
+			st = balance.StepTimes{
+				Total: mt[CompInject] + mt[CompDSMCMove] + mt[CompDSMCExchange] +
+					mt[CompReindex] + mt[CompColliReact] + mt[CompPICMove] +
+					mt[CompPICExchange] + mt[CompPoisson],
+				Migration: mt[CompDSMCExchange] + mt[CompPICExchange],
+				Poisson:   mt[CompPoisson],
+			}
+		}
+		stop = s.mr.Time(CompRebalance)
 		res, err := s.Bal.MaybeRebalance(s.Comm, s.St, st)
 		if err != nil {
 			return err
@@ -410,6 +459,7 @@ func (s *Solver) Step(step int) error {
 				w.KMRanks3 += n3 * n3 * n3
 			}
 		}
+		stop()
 		traffic[CompRebalance] = s.phaseDelta(CompRebalance)
 		traffic[rebalanceMigrate] = s.phaseDelta(rebalanceMigrate)
 		w.PackedBytes[rebalanceMigrate] = traffic[rebalanceMigrate].Bytes
@@ -425,9 +475,22 @@ func (s *Solver) Step(step int) error {
 	s.Stats.ParticleHistory = append(s.Stats.ParticleHistory, s.St.Len())
 	s.Stats.Work.Add(w)
 
+	// Step counters for the observability layer: the population and the
+	// per-phase traffic this rank actually put on the (simulated) wire,
+	// straight off the simmpi counters' step deltas.
+	s.mr.Count("particles", int64(s.St.Len()))
+	for ph, tr := range traffic {
+		if tr.Messages == 0 && tr.Bytes == 0 {
+			continue
+		}
+		s.mr.Count("tx_msgs."+ph, tr.Messages)
+		s.mr.Count("tx_bytes."+ph, tr.Bytes)
+	}
+
 	if s.Cfg.OnStep != nil {
 		s.Cfg.OnStep(step, s)
 	}
+	s.mr.EndStep()
 	return nil
 }
 

@@ -100,6 +100,13 @@ func Exchange(comm *simmpi.Comm, st *particle.Store, destOf func(i int) int, str
 }
 
 // centralized implements gather -> classify -> scatter through root.
+//
+// Error discipline: the exchange is collective, so a decode failure on one
+// rank must not abandon the protocol mid-flight — peers would block in
+// their matching Recv (or strand sends in the mailbox) and the step would
+// die as a deadlock far from the corruption. A root classify failure
+// therefore still scatters (empty payloads) so every peer completes, and
+// the error is reported on root only.
 func centralized(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int, error) {
 	n := comm.Size()
 	// Gather stage: every rank ships all its outgoing particles (for all
@@ -109,25 +116,38 @@ func centralized(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int,
 
 	// Classify stage (root only): regroup by destination.
 	var outbound [][]byte
+	var classifyErr error
 	if comm.Rank() == root {
 		perDest := make([][]byte, n)
-		for _, g := range gathered {
+		for src, g := range gathered {
 			if err := unpackSections(g, func(dst int, data []byte) error {
 				if dst < 0 || dst >= n {
 					return fmt.Errorf("exchange: gathered section for invalid rank %d", dst)
 				}
 				perDest[dst] = append(perDest[dst], data...)
 				return nil
-			}); err != nil {
-				return 0, err
+			}); err != nil && classifyErr == nil {
+				classifyErr = fmt.Errorf("exchange: classifying rank %d's gathered payload: %w", src, err)
 			}
+		}
+		if classifyErr != nil {
+			// Drop the (possibly half-classified) batches: peers get empty
+			// payloads and complete cleanly; root reports the failure.
+			perDest = make([][]byte, n)
 		}
 		outbound = perDest
 	}
 
 	// Scatter stage: packed batches go to their destinations.
 	mine := comm.Scatterv(root, outbound)
-	return st.DecodeAppend(mine)
+	if classifyErr != nil {
+		return 0, classifyErr
+	}
+	k, err := st.DecodeAppend(mine)
+	if err != nil {
+		err = fmt.Errorf("exchange: from rank %d (scatter root): %w", root, err)
+	}
+	return k, err
 }
 
 // distributed implements the paper's two-round ordered pairwise exchange.
@@ -137,33 +157,39 @@ func centralized(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int,
 // send to lower ranks (descending). The paper's deadlock-avoidance ordering
 // — send small-rank destinations first, receive large-rank sources first —
 // is realized by this schedule.
+// Error discipline: a corrupt payload from one source must not abort the
+// schedule — every rank still performs all of its receives and sends, so
+// peers never block on a missing message and no payload is stranded in a
+// mailbox (which would cross-match the next exchange on the same comm).
+// The first decode failure is reported after the protocol completes,
+// wrapped with the offending source rank.
 func distributed(comm *simmpi.Comm, st *particle.Store, payloads [][]byte) (int, error) {
 	n := comm.Size()
 	me := comm.Rank()
 	received := 0
+	var firstErr error
+	absorb := func(src int) {
+		k, err := st.DecodeAppend(comm.Recv(src, simmpi.TagExchangeMigrate))
+		received += k
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("exchange: from rank %d: %w", src, err)
+		}
+	}
 	// Round 1: low -> high.
 	for src := 0; src < me; src++ {
-		k, err := st.DecodeAppend(comm.Recv(src, simmpi.TagExchangeMigrate))
-		if err != nil {
-			return received, err
-		}
-		received += k
+		absorb(src)
 	}
 	for dst := me + 1; dst < n; dst++ {
 		comm.Send(dst, simmpi.TagExchangeMigrate, payloads[dst])
 	}
 	// Round 2: high -> low.
 	for src := n - 1; src > me; src-- {
-		k, err := st.DecodeAppend(comm.Recv(src, simmpi.TagExchangeMigrate))
-		if err != nil {
-			return received, err
-		}
-		received += k
+		absorb(src)
 	}
 	for dst := me - 1; dst >= 0; dst-- {
 		comm.Send(dst, simmpi.TagExchangeMigrate, payloads[dst])
 	}
-	return received, nil
+	return received, firstErr
 }
 
 // packSections serializes non-empty per-destination payloads as

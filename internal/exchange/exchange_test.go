@@ -3,7 +3,9 @@ package exchange
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/plasma-hpc/dsmcpic/internal/geom"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
@@ -193,6 +195,52 @@ func TestExchangeInvalidDestination(t *testing.T) {
 	})
 	if errs[0] == nil || errs[1] == nil {
 		t.Error("invalid destination not rejected")
+	}
+}
+
+// TestCorruptRecordDoesNotDeadlock: a particle with an undefined species
+// byte rides the exchange to rank 1. The decode failure must surface as an
+// error on the receiving rank while every other rank completes cleanly —
+// no rank may abandon the protocol with sends still pending in a mailbox
+// (that shows up as a DeadlockError under a short world deadline, with the
+// stranded message in its Pending diagnostics). A second, clean exchange
+// on the same comm then proves no stale payload was left to cross-match.
+func TestCorruptRecordDoesNotDeadlock(t *testing.T) {
+	const n = 4
+	for _, s := range []Strategy{Centralized, Distributed} {
+		w := simmpi.NewWorld(n, simmpi.Options{Deadline: 2 * time.Second})
+		errs := make([]error, n)
+		err := w.Run(func(c *simmpi.Comm) {
+			me := c.Rank()
+			st := makeParticles(me, 8, n)
+			if me == 0 {
+				// Undefined species: valid to Encode, rejected by the
+				// receiver's DecodeAppend. Routed to rank 1 via Cell.
+				st.Append(particle.Particle{Sp: particle.Species(200), Cell: 1, ID: 42})
+			}
+			destOf := func(i int) int { return int(st.Cell[i]) % n }
+			_, errs[me] = Exchange(c, st, destOf, s)
+
+			// Protocol must still be usable: a clean collective exchange on
+			// the same comm, which would cross-match any stranded payload.
+			st2 := makeParticles(me, 8, n)
+			if _, err := Exchange(c, st2, func(i int) int { return int(st2.Cell[i]) % n }, s); err != nil {
+				panic(fmt.Sprintf("%v rank %d: follow-up exchange failed: %v", s, me, err))
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: world did not complete (stranded sends?): %v", s, err)
+		}
+		for r := 0; r < n; r++ {
+			if r == 1 {
+				if errs[r] == nil || !strings.Contains(errs[r].Error(), "rank 0") ||
+					!strings.Contains(errs[r].Error(), "record") {
+					t.Errorf("%v rank 1: error = %v, want decode error naming rank 0 and the record", s, errs[r])
+				}
+			} else if errs[r] != nil {
+				t.Errorf("%v rank %d: unexpected error: %v", s, r, errs[r])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Export formats. Both walk ranks and steps in order and sort counter
+// keys, so exporting the same collector twice yields identical bytes.
+
+// jsonlRecord is the wire shape of one JSONL line: one (rank, step).
+type jsonlRecord struct {
+	Rank     int              `json:"rank"`
+	Step     int              `json:"step"`
+	Phases   []jsonlPhase     `json:"phases"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+type jsonlPhase struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// WriteJSONL emits the time series as JSON Lines: one object per (rank,
+// step), ranks in order within each step file-wise (all of rank 0's steps,
+// then rank 1's, ...). Each line carries the step's phase intervals
+// (repeated names = repeated intervals, e.g. per PIC substep) and its
+// counters. Schema: {"rank":int, "step":int,
+// "phases":[{"name","start_ns","dur_ns"}...], "counters":{name:int64}}.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, reg := range c.ranks {
+		for _, sr := range reg.steps {
+			rec := jsonlRecord{Rank: reg.rank, Step: sr.Step, Phases: make([]jsonlPhase, len(sr.Phases))}
+			for i, p := range sr.Phases {
+				rec.Phases[i] = jsonlPhase{Name: p.Name, StartNs: p.Start, DurNs: p.Dur}
+			}
+			if len(sr.Counters) > 0 {
+				rec.Counters = sr.Counters
+			}
+			if err := enc.Encode(&rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// traceEvent is one Chrome trace-event ("Trace Event Format", the JSON
+// consumed by chrome://tracing and Perfetto). "X" = complete event with
+// explicit duration; "M" = metadata. Timestamps/durations in microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the whole run as a Chrome trace: one pseudo
+// process, one thread per rank, one complete ("X") slice per phase
+// interval, plus per-step counter ("C") tracks so particle counts and
+// exchanged bytes plot as graphs alongside the slices. Load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	const pid = 1
+	var events []traceEvent
+	for _, reg := range c.ranks {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: reg.rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", reg.rank)},
+		})
+		for _, sr := range reg.steps {
+			for _, p := range sr.Phases {
+				events = append(events, traceEvent{
+					Name: p.Name, Cat: "phase", Ph: "X",
+					Ts: float64(p.Start) / 1e3, Dur: float64(p.Dur) / 1e3,
+					Pid: pid, Tid: reg.rank,
+					Args: map[string]any{"step": sr.Step},
+				})
+			}
+			if len(sr.Phases) == 0 || len(sr.Counters) == 0 {
+				continue
+			}
+			// Counter events are stamped at the step's first phase start.
+			ts := float64(sr.Phases[0].Start) / 1e3
+			names := make([]string, 0, len(sr.Counters))
+			for name := range sr.Counters {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				events = append(events, traceEvent{
+					Name: name, Ph: "C", Ts: ts, Pid: pid, Tid: reg.rank,
+					Args: map[string]any{"value": sr.Counters[name]},
+				})
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for i := range events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		// Encoder appends a newline per event, giving a readable file.
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

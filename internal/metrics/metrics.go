@@ -1,0 +1,240 @@
+// Package metrics is the per-rank observability layer of the solver: a
+// registry of step-scoped phase timers (Inject, DSMC_Move, the exchanges,
+// Poisson_Solve, Rebalance, ...) and named counters, with exporters to a
+// JSONL time series and to the Chrome trace-event format so a whole
+// multi-rank run can be inspected in chrome://tracing or Perfetto.
+//
+// Design constraints, in order:
+//
+//  1. Observe-only by default. Recording timings must not change what the
+//     solver communicates: a run with a Collector attached produces
+//     byte-identical traffic counters and checkpoints to a run without
+//     one (pinned by core's TestReplayByteIdentical).
+//  2. Deterministic packages never read the wall clock. The clock is
+//     injected at construction (the balance.Balancer.Clock pattern):
+//     NewCollector wires a monotonic default, tests inject a fake, and
+//     internal/core only forwards Registry method calls — so the commvet
+//     nondeterminism analyzer stays clean if core ever joins its set.
+//  3. One writer per registry. Each rank's goroutine writes only its own
+//     Registry (like simmpi.Counter); exporters read after the world's
+//     Run returns. No locking, no contention on the hot path.
+//
+// Measured phase times may optionally *drive* the load balancer (the
+// timer-augmented cost function of McDoniel & Bientinesi, substituting
+// measured per-phase seconds for the modeled ones in the lii decision);
+// that substitution is the caller's explicit opt-in (core's
+// Config.MeasuredLB), because it trades byte-identical replay for
+// responsiveness to the real machine.
+package metrics
+
+import "time"
+
+// Clock returns a monotonic reading in nanoseconds. Only differences of
+// readings are meaningful; the epoch is the collector's construction.
+type Clock func() int64
+
+// monotonicClock returns a Clock anchored at construction time, backed by
+// the runtime's monotonic reading (immune to wall-clock steps).
+func monotonicClock() Clock {
+	base := time.Now()
+	return func() int64 { return int64(time.Since(base)) }
+}
+
+// PhaseSample is one timed interval of one phase within a step. A phase
+// may be sampled several times per step (e.g. PIC_Exchange once per PIC
+// substep); exporters and aggregators sum or keep the samples as suits
+// them.
+type PhaseSample struct {
+	Name  string
+	Start int64 // ns since the collector epoch
+	Dur   int64 // ns
+}
+
+// StepRecord is everything one rank recorded during one step.
+type StepRecord struct {
+	Step     int
+	Phases   []PhaseSample
+	Counters map[string]int64
+}
+
+// Registry collects one rank's samples. Zero value is not usable; obtain
+// registries from a Collector. All methods are nil-safe no-ops on a nil
+// receiver, so instrumented code needs no "metrics enabled?" branches.
+type Registry struct {
+	rank  int
+	clock Clock
+	steps []StepRecord
+	open  bool
+}
+
+// Rank returns the rank this registry records for.
+func (r *Registry) Rank() int {
+	if r == nil {
+		return -1
+	}
+	return r.rank
+}
+
+// BeginStep opens a new step record. Steps must be opened in increasing
+// order; an already-open step is closed first.
+func (r *Registry) BeginStep(step int) {
+	if r == nil {
+		return
+	}
+	r.EndStep()
+	r.steps = append(r.steps, StepRecord{Step: step, Counters: make(map[string]int64)})
+	r.open = true
+}
+
+// EndStep closes the current step record (no-op when none is open).
+func (r *Registry) EndStep() {
+	if r == nil {
+		return
+	}
+	r.open = false
+}
+
+// cur returns the open step record, or nil.
+func (r *Registry) cur() *StepRecord {
+	if r == nil || !r.open {
+		return nil
+	}
+	return &r.steps[len(r.steps)-1]
+}
+
+// Time starts a timer for the named phase and returns the function that
+// stops it, recording one PhaseSample in the current step:
+//
+//	stop := reg.Time("DSMC_Move")
+//	... phase work ...
+//	stop()
+//
+// Without an open step (or on a nil registry) the returned stop is a
+// no-op.
+func (r *Registry) Time(name string) func() {
+	if r.cur() == nil {
+		return func() {}
+	}
+	// Remember the step by index, not by pointer: BeginStep may grow the
+	// slice (relocating records) while a timer is open, and the sample
+	// belongs to the step it started in.
+	idx := len(r.steps) - 1
+	start := r.clock()
+	done := false
+	return func() {
+		if done { // double-stop keeps the first sample
+			return
+		}
+		done = true
+		sr := &r.steps[idx]
+		sr.Phases = append(sr.Phases, PhaseSample{Name: name, Start: start, Dur: r.clock() - start})
+	}
+}
+
+// Count adds v to the named counter of the current step (no-op without an
+// open step).
+func (r *Registry) Count(name string, v int64) {
+	if sr := r.cur(); sr != nil {
+		sr.Counters[name] += v
+	}
+}
+
+// StepPhaseSeconds sums the current (open) step's samples by phase name,
+// in seconds — the quantity the timer-augmented load balancer consumes.
+// Nil registry or no open step returns nil.
+func (r *Registry) StepPhaseSeconds() map[string]float64 {
+	sr := r.cur()
+	if sr == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(sr.Phases))
+	for _, p := range sr.Phases {
+		out[p.Name] += float64(p.Dur) / 1e9
+	}
+	return out
+}
+
+// Steps returns the closed-over record slice (read-only; valid once the
+// rank's goroutine has finished).
+func (r *Registry) Steps() []StepRecord {
+	if r == nil {
+		return nil
+	}
+	return r.steps
+}
+
+// Collector owns one Registry per rank. Construct before a run, attach to
+// the run's configuration, export after.
+type Collector struct {
+	ranks []*Registry
+}
+
+// NewCollector builds a collector for n ranks. A nil clock wires the
+// monotonic default; tests inject a deterministic fake.
+func NewCollector(n int, clock Clock) *Collector {
+	if clock == nil {
+		clock = monotonicClock()
+	}
+	c := &Collector{ranks: make([]*Registry, n)}
+	for i := range c.ranks {
+		c.ranks[i] = &Registry{rank: i, clock: clock}
+	}
+	return c
+}
+
+// Rank returns rank r's registry. Nil collector yields a nil registry, on
+// which every method is a no-op.
+func (c *Collector) Rank(r int) *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.ranks[r]
+}
+
+// Size returns the number of ranks.
+func (c *Collector) Size() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.ranks)
+}
+
+// PhaseDurations flattens all ranks and steps into per-phase duration
+// samples (seconds): one sample per (rank, step) summing that step's
+// intervals of the phase. This is the population cmd/bench takes medians
+// over — the per-step per-rank time is what bulk-synchronous balance
+// arguments reason about, not individual sub-intervals.
+func (c *Collector) PhaseDurations() map[string][]float64 {
+	out := make(map[string][]float64)
+	if c == nil {
+		return out
+	}
+	for _, reg := range c.ranks {
+		for _, sr := range reg.steps {
+			sums := make(map[string]float64)
+			for _, p := range sr.Phases {
+				sums[p.Name] += float64(p.Dur) / 1e9
+			}
+			for name, s := range sums {
+				out[name] = append(out[name], s)
+			}
+		}
+	}
+	return out
+}
+
+// CounterTotals sums every counter over all ranks and steps.
+func (c *Collector) CounterTotals() map[string]int64 {
+	out := make(map[string]int64)
+	if c == nil {
+		return out
+	}
+	for _, reg := range c.ranks {
+		for _, sr := range reg.steps {
+			for name, v := range sr.Counters {
+				out[name] += v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock advances a fixed amount per reading, making every duration
+// and export byte deterministic.
+func fakeClock(stepNs int64) Clock {
+	var now int64
+	return func() int64 {
+		now += stepNs
+		return now
+	}
+}
+
+func TestRegistryTimersAndCounters(t *testing.T) {
+	c := NewCollector(2, fakeClock(10))
+	r := c.Rank(1)
+
+	r.BeginStep(0)
+	stop := r.Time("Move")
+	stop()
+	stop() // double-stop is ignored
+	r.Count("particles", 42)
+	r.Count("particles", 8)
+	r.EndStep()
+
+	r.BeginStep(1)
+	r.Time("Move")() // 10ns
+	r.Time("Move")() // a second interval of the same phase
+	r.Time("Poisson")()
+	sec := r.StepPhaseSeconds()
+	if got := sec["Move"]; got != 20e-9 {
+		t.Errorf("Move step seconds = %v, want 20ns", got)
+	}
+	if got := sec["Poisson"]; got != 10e-9 {
+		t.Errorf("Poisson step seconds = %v, want 10ns", got)
+	}
+	r.EndStep()
+
+	steps := r.Steps()
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(steps))
+	}
+	if len(steps[0].Phases) != 1 || steps[0].Phases[0].Dur != 10 {
+		t.Errorf("step 0 phases = %+v", steps[0].Phases)
+	}
+	if steps[0].Counters["particles"] != 50 {
+		t.Errorf("particles counter = %d, want 50", steps[0].Counters["particles"])
+	}
+	if len(steps[1].Phases) != 3 {
+		t.Errorf("step 1 phases = %+v", steps[1].Phases)
+	}
+
+	durs := c.PhaseDurations()
+	if got := len(durs["Move"]); got != 2 { // one sample per (rank, step)
+		t.Errorf("Move duration samples = %d, want 2", got)
+	}
+	if tot := c.CounterTotals()["particles"]; tot != 50 {
+		t.Errorf("counter total = %d, want 50", tot)
+	}
+}
+
+// TestNilSafety pins the no-op contract instrumented code relies on: a
+// nil collector hands out nil registries whose every method is safe.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	r := c.Rank(0)
+	r.BeginStep(0)
+	r.Time("X")()
+	r.Count("n", 1)
+	if r.StepPhaseSeconds() != nil {
+		t.Error("nil registry returned non-nil seconds")
+	}
+	r.EndStep()
+	if err := c.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+	if err := c.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimerSurvivesStepRollover: a stop called after the next BeginStep
+// (and after enough appends to relocate the record slice) still lands the
+// sample in the step it started in.
+func TestTimerSurvivesStepRollover(t *testing.T) {
+	c := NewCollector(1, fakeClock(1))
+	r := c.Rank(0)
+	r.BeginStep(0)
+	stop := r.Time("Spanning")
+	for s := 1; s < 50; s++ {
+		r.BeginStep(s)
+	}
+	stop()
+	if n := len(r.Steps()[0].Phases); n != 1 {
+		t.Fatalf("step 0 has %d phases, want the spanning sample", n)
+	}
+	for s := 1; s < 50; s++ {
+		if n := len(r.Steps()[s].Phases); n != 0 {
+			t.Fatalf("step %d has %d phases, want 0", s, n)
+		}
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	build := func() *Collector {
+		c := NewCollector(2, fakeClock(7))
+		for rank := 0; rank < 2; rank++ {
+			r := c.Rank(rank)
+			for s := 0; s < 3; s++ {
+				r.BeginStep(s)
+				r.Time("Move")()
+				r.Count("particles", int64(100*rank+s))
+				r.Count("bytes", 9)
+				r.EndStep()
+			}
+		}
+		return c
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical collectors exported different JSONL bytes")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want 2 ranks x 3 steps", len(lines))
+	}
+	var rec struct {
+		Rank     int              `json:"rank"`
+		Step     int              `json:"step"`
+		Phases   []map[string]any `json:"phases"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(lines[4]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rank != 1 || rec.Step != 1 || len(rec.Phases) != 1 || rec.Counters["particles"] != 101 {
+		t.Errorf("line 4 = %+v", rec)
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	c := NewCollector(2, fakeClock(500))
+	for rank := 0; rank < 2; rank++ {
+		r := c.Rank(rank)
+		r.BeginStep(0)
+		r.Time("Inject")()
+		r.Time("Poisson_Solve")()
+		r.Count("particles", 10)
+		r.EndStep()
+	}
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var slices, meta, counters int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Dur <= 0 {
+				t.Errorf("slice %q has non-positive duration %v", e.Name, e.Dur)
+			}
+		case "M":
+			meta++
+		case "C":
+			counters++
+		}
+	}
+	if slices != 4 || meta != 2 || counters != 2 {
+		t.Errorf("events: %d slices, %d metadata, %d counters (want 4/2/2)", slices, meta, counters)
+	}
+}

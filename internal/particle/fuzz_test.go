@@ -2,12 +2,15 @@ package particle
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
 // FuzzDecodeAppend exercises the migration decoder against arbitrary
-// payloads: it must either reject (length error) or produce exactly
-// len(b)/recordSize particles, never panic.
+// payloads: it must reject misaligned lengths, reject corrupt records
+// (undefined species, negative cell) with an error naming the record,
+// and otherwise produce exactly len(b)/recordSize particles — never
+// panic, never append more than it reports.
 func FuzzDecodeAppend(f *testing.F) {
 	st := NewStore(0)
 	for i := 0; i < 3; i++ {
@@ -17,23 +20,33 @@ func FuzzDecodeAppend(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(make([]byte, recordSize-1))
 	f.Add(make([]byte, recordSize+1))
+	corrupt := st.EncodeAll()
+	corrupt[recordSize+48] = 0xee // record 1: undefined species
+	f.Add(corrupt)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		dst := NewStore(0)
 		n, err := dst.DecodeAppend(b)
+		if dst.Len() != n {
+			t.Fatalf("reported %d appends, store has %d", n, dst.Len())
+		}
 		if err != nil {
-			if len(b)%recordSize == 0 {
-				t.Fatalf("aligned payload rejected: %v", err)
+			if len(b)%recordSize == 0 && !strings.Contains(err.Error(), "record") {
+				t.Fatalf("aligned payload rejected without naming a record: %v", err)
+			}
+			if n > len(b)/recordSize {
+				t.Fatalf("appended %d from %d bytes", n, len(b))
 			}
 			return
 		}
-		if n != len(b)/recordSize || dst.Len() != n {
+		if n != len(b)/recordSize {
 			t.Fatalf("decoded %d of %d bytes", n, len(b))
 		}
 	})
 }
 
-// FuzzEncodeDecodeRoundTrip: any decoded store re-encodes to identical
-// bytes (the codec is a bijection on aligned payloads).
+// FuzzEncodeDecodeRoundTrip: whatever DecodeAppend accepts re-encodes to
+// identical bytes — on a partial decode (corrupt record k), to the first
+// k records' bytes (the codec is a bijection on the accepted prefix).
 func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 	st := NewStore(0)
 	for i := 0; i < 5; i++ {
@@ -45,11 +58,9 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 			return
 		}
 		dst := NewStore(0)
-		if _, err := dst.DecodeAppend(b); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(dst.EncodeAll(), b) {
-			t.Fatal("re-encode differs")
+		n, _ := dst.DecodeAppend(b)
+		if !bytes.Equal(dst.EncodeAll(), b[:n*recordSize]) {
+			t.Fatal("re-encode differs from the accepted prefix")
 		}
 	})
 }

@@ -1,7 +1,9 @@
 package particle
 
 import (
+	"encoding/binary"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -135,6 +137,61 @@ func TestDecodeRejectsBadLength(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsCorruptRecords: a record carrying an undefined species
+// byte or a negative cell index must be rejected at decode time with an
+// error naming the record, after appending only the valid records before
+// it — not land silently and explode later in a speciesTable lookup.
+func TestDecodeRejectsCorruptRecords(t *testing.T) {
+	src := NewStore(0)
+	for i := 0; i < 3; i++ {
+		src.Append(sampleParticle(i))
+	}
+	blob := src.EncodeAll()
+
+	corrupt := func(mutate func(rec []byte)) []byte {
+		b := append([]byte(nil), blob...)
+		mutate(b[EncodedSize(1):]) // record 1
+		return b
+	}
+
+	t.Run("species", func(t *testing.T) {
+		b := corrupt(func(rec []byte) { rec[48] = 200 })
+		dst := NewStore(0)
+		n, err := dst.DecodeAppend(b)
+		if err == nil {
+			t.Fatal("undefined species byte accepted")
+		}
+		for _, want := range []string{"record 1", "species 200"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not name %q", err, want)
+			}
+		}
+		if n != 1 || dst.Len() != 1 {
+			t.Errorf("appended %d (store %d), want the 1 valid record before the corruption", n, dst.Len())
+		}
+		if dst.Get(0) != src.Get(0) {
+			t.Error("the surviving record is not record 0")
+		}
+	})
+
+	t.Run("negative-cell", func(t *testing.T) {
+		b := corrupt(func(rec []byte) {
+			binary.LittleEndian.PutUint32(rec[49:], 0xffffffff) // cell = -1
+		})
+		dst := NewStore(0)
+		n, err := dst.DecodeAppend(b)
+		if err == nil {
+			t.Fatal("negative cell index accepted")
+		}
+		if !strings.Contains(err.Error(), "record 1") || !strings.Contains(err.Error(), "-1") {
+			t.Errorf("error %q does not name the record and cell", err)
+		}
+		if n != 1 {
+			t.Errorf("appended %d, want 1", n)
+		}
+	})
+}
+
 func TestEncodeAll(t *testing.T) {
 	s := NewStore(0)
 	for i := 0; i < 5; i++ {
@@ -149,12 +206,18 @@ func TestEncodeAll(t *testing.T) {
 	}
 }
 
-// Property: encode/decode round-trips arbitrary particles bit-exactly.
+// Property: encode/decode round-trips arbitrary *valid* particles
+// bit-exactly. Species and cell are folded into their valid domains
+// (defined species, non-negative cell) — out-of-domain records are the
+// subject of TestDecodeRejectsCorruptRecords.
 func TestQuickCodecRoundTrip(t *testing.T) {
 	f := func(px, py, pz, vx, vy, vz float64, sp uint8, cell int32, id int64) bool {
 		if math.IsNaN(px) || math.IsNaN(py) || math.IsNaN(pz) ||
 			math.IsNaN(vx) || math.IsNaN(vy) || math.IsNaN(vz) {
 			return true // NaN != NaN; skip
+		}
+		if cell < 0 {
+			cell = -(cell + 1)
 		}
 		p := Particle{
 			Pos: geom.V(px, py, pz), Vel: geom.V(vx, vy, vz),

@@ -174,6 +174,13 @@ func encodeInto(buf []byte, p Particle) {
 
 // DecodeAppend deserializes particles from b (produced by Encode) and
 // appends them to the store, returning the number appended.
+//
+// Every record is validated before it is appended: an undefined species
+// byte or a negative cell index is rejected with an error naming the
+// record, instead of landing silently and blowing up later in a
+// speciesTable lookup or a cell-indexed sweep far from the corruption.
+// On error, the records preceding the bad one (all individually valid)
+// have already been appended and are counted in the returned total.
 func (s *Store) DecodeAppend(b []byte) (int, error) {
 	if len(b)%recordSize != 0 {
 		return 0, fmt.Errorf("particle: payload length %d not a multiple of record size %d", len(b), recordSize)
@@ -182,6 +189,15 @@ func (s *Store) DecodeAppend(b []byte) (int, error) {
 	le := binary.LittleEndian
 	for k := 0; k < n; k++ {
 		buf := b[k*recordSize:]
+		sp := Species(buf[48])
+		cell := int32(le.Uint32(buf[49:]))
+		if sp >= NumSpecies {
+			return k, fmt.Errorf("particle: record %d of %d has undefined species %d (have %d species)",
+				k, n, sp, NumSpecies)
+		}
+		if cell < 0 {
+			return k, fmt.Errorf("particle: record %d of %d has negative cell index %d", k, n, cell)
+		}
 		p := Particle{
 			Pos: geom.V(
 				math.Float64frombits(le.Uint64(buf[0:])),
@@ -193,8 +209,8 @@ func (s *Store) DecodeAppend(b []byte) (int, error) {
 				math.Float64frombits(le.Uint64(buf[32:])),
 				math.Float64frombits(le.Uint64(buf[40:])),
 			),
-			Sp:   Species(buf[48]),
-			Cell: int32(le.Uint32(buf[49:])),
+			Sp:   sp,
+			Cell: cell,
 			ID:   int64(le.Uint64(buf[53:])),
 		}
 		s.Append(p)

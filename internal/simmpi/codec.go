@@ -2,6 +2,7 @@ package simmpi
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 )
 
@@ -76,20 +77,44 @@ func encodeParts(parts [][]byte) []byte {
 	return out
 }
 
-func decodeParts(b []byte) [][]byte {
-	n := binary.LittleEndian.Uint32(b)
+// decodeParts inverts encodeParts. Every index into b is bounds-checked
+// first: a truncated or cross-matched blob (reachable when delivery is
+// fault-injected or a tag is mis-registered) must surface as a
+// descriptive error, not a slice-out-of-range panic deep in a collective.
+func decodeParts(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("simmpi: parts blob truncated: %d bytes, need 4 for the part count", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	// Each part costs at least its 4-byte length prefix; reject counts
+	// the blob cannot possibly hold before allocating n headers.
+	if 4+4*n > len(b) {
+		return nil, fmt.Errorf("simmpi: parts blob declares %d parts but holds %d bytes (headers alone need %d)",
+			n, len(b), 4+4*n)
+	}
 	out := make([][]byte, n)
 	off := 4
 	for i := range out {
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("simmpi: parts blob truncated in part %d/%d header (offset %d of %d)",
+				i, n, off, len(b))
+		}
 		l := binary.LittleEndian.Uint32(b[off:])
 		off += 4
 		if l == 0xffffffff {
 			continue
 		}
+		if int64(off)+int64(l) > int64(len(b)) {
+			return nil, fmt.Errorf("simmpi: parts blob truncated in part %d/%d body: declares %d bytes, %d remain",
+				i, n, l, len(b)-off)
+		}
 		out[i] = b[off : off+int(l) : off+int(l)]
 		off += int(l)
 	}
-	return out
+	if off != len(b) {
+		return nil, fmt.Errorf("simmpi: parts blob has %d trailing bytes after %d declared parts", len(b)-off, n)
+	}
+	return out, nil
 }
 
 // EncodeFloat64s is the exported codec for callers shipping float64 vectors.

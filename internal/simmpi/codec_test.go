@@ -70,7 +70,10 @@ func TestEncodeFloat64sInto(t *testing.T) {
 
 func TestPartsRoundTrip(t *testing.T) {
 	parts := [][]byte{[]byte("a"), nil, {}, []byte("long-payload-here")}
-	got := decodeParts(encodeParts(parts))
+	got, err := decodeParts(encodeParts(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 4 {
 		t.Fatalf("len %d", len(got))
 	}
@@ -80,5 +83,40 @@ func TestPartsRoundTrip(t *testing.T) {
 	// Empty non-nil part: zero length.
 	if len(got[2]) != 0 {
 		t.Error("empty part gained bytes")
+	}
+}
+
+// TestDecodePartsTruncation pins the hardening: any prefix of a valid
+// blob — and a few hand-corrupted shapes — must decode to a descriptive
+// error, never a panic. Empty and short blobs are reachable under
+// fault-injected delivery (a cross-matched tag delivers a payload of the
+// wrong shape).
+func TestDecodePartsTruncation(t *testing.T) {
+	valid := encodeParts([][]byte{[]byte("abc"), nil, []byte("defghij")})
+	if _, err := decodeParts(valid); err != nil {
+		t.Fatalf("valid blob rejected: %v", err)
+	}
+	// Every strict prefix must error (a prefix can never be valid: the
+	// decoder demands the byte stream end exactly at the declared parts).
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := decodeParts(valid[:cut]); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(valid))
+		}
+	}
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"nil", nil},
+		{"empty", []byte{}},
+		{"count-only-huge", []byte{0xff, 0xff, 0xff, 0x7f}},
+		{"count-exceeds-blob", append([]byte{5, 0, 0, 0}, 1, 0, 0, 0, 'x')},
+		{"part-len-exceeds-blob", append([]byte{1, 0, 0, 0}, 200, 0, 0, 0, 'x', 'y')},
+		{"trailing-garbage", append(append([]byte{}, valid...), 0xde, 0xad)},
+	}
+	for _, tc := range cases {
+		if _, err := decodeParts(tc.blob); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
 	}
 }

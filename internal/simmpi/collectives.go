@@ -1,5 +1,7 @@
 package simmpi
 
+import "fmt"
+
 // Collective operations, built on Send/Recv so that their traffic is
 // counted with realistic message/byte structure. All ranks must call each
 // collective in the same program order (the usual MPI contract); internal
@@ -13,6 +15,7 @@ const (
 	tagScatter
 	tagReduce
 	tagAllgather
+	tagAlltoall
 	tagScanBase
 )
 
@@ -245,7 +248,18 @@ func (c *Comm) Allgatherv(data []byte) [][]byte {
 		blob = encodeParts(parts)
 	}
 	blob = c.Bcast(0, blob)
-	out := decodeParts(blob)
+	out, err := decodeParts(blob)
+	if err != nil {
+		// The blob was packed by rank 0 in this same process, so a decode
+		// failure means transport corruption (e.g. a cross-matched tag
+		// under fault injection) — an invariant violation, reported like
+		// simmpi's other contract panics and classified by Run.
+		panic(fmt.Errorf("simmpi: rank %d Allgatherv received corrupt parts blob: %w", c.rank, err))
+	}
+	if len(out) != c.world.n {
+		panic(fmt.Errorf("simmpi: rank %d Allgatherv decoded %d parts for a %d-rank world",
+			c.rank, len(out), c.world.n))
+	}
 	// Tag consistency: every rank's own slot matches what it sent.
 	out[c.rank] = data
 	return out
@@ -255,18 +269,23 @@ func (c *Comm) Allgatherv(data []byte) [][]byte {
 // (own slot short-circuits). This is the flat building block used by the
 // distributed exchange strategy's tests; the strategy itself implements the
 // paper's two-round ordering explicitly.
+//
+// Alltoallv owns its internal tag: it used to reuse tagAllgather, which
+// let an Alltoallv's point-to-point messages cross-match against any
+// other collective round sharing that tag on the same comm — the exact
+// (src, tag)-namespace collision the tag registry exists to prevent.
 func (c *Comm) Alltoallv(sendParts [][]byte) [][]byte {
 	n := c.world.n
 	out := make([][]byte, n)
 	out[c.rank] = sendParts[c.rank]
 	for r := 0; r < n; r++ {
 		if r != c.rank {
-			c.Send(r, tagAllgather, sendParts[r])
+			c.Send(r, tagAlltoall, sendParts[r])
 		}
 	}
 	for r := 0; r < n; r++ {
 		if r != c.rank {
-			out[r] = c.Recv(r, tagAllgather)
+			out[r] = c.Recv(r, tagAlltoall)
 		}
 	}
 	return out

@@ -25,10 +25,13 @@ const (
 	TagExchangeMigrate = TagExchangeBase + 0
 
 	// TagCheckpointBase..TagCheckpointBase+0xff: checkpoint/restart
-	// subsystem (internal/core resilient runtime). Reserved ahead of use:
-	// today's checkpoint capture rides on collectives only, but a
-	// streaming checkpoint path would draw its tags here.
+	// subsystem (internal/core resilient runtime).
 	TagCheckpointBase = 0x200
+	// TagCheckpointGather carries each rank's encoded particle payload to
+	// rank 0 during a collective checkpoint capture (core's
+	// CaptureCheckpoint) — checkpoint traffic matches on its own tag
+	// instead of riding the generic Gatherv collective internals.
+	TagCheckpointGather = TagCheckpointBase + 0
 
 	// TagUserBase marks the start of unreserved space: ad-hoc tools and
 	// experiments should allocate a block here and register it above.

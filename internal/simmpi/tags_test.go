@@ -20,8 +20,12 @@ func TestTagRegistryRanges(t *testing.T) {
 		t.Errorf("TagExchangeMigrate %#x outside exchange block [%#x,%#x)",
 			TagExchangeMigrate, TagExchangeBase, TagExchangeBase+tagBlockSize)
 	}
+	if TagCheckpointGather < TagCheckpointBase || TagCheckpointGather >= TagCheckpointBase+tagBlockSize {
+		t.Errorf("TagCheckpointGather %#x outside checkpoint block [%#x,%#x)",
+			TagCheckpointGather, TagCheckpointBase, TagCheckpointBase+tagBlockSize)
+	}
 	// Collective-internal tags must all be negative, out of user space.
-	for _, tag := range []int{tagBarrier, tagBcast, tagGather, tagScatter, tagReduce, tagAllgather, tagScan} {
+	for _, tag := range []int{tagBarrier, tagBcast, tagGather, tagScatter, tagReduce, tagAllgather, tagAlltoall, tagScan} {
 		if tag >= 0 {
 			t.Errorf("collective-internal tag %d leaked into non-negative user space", tag)
 		}
