@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint commvet bench bench-quick clean
+.PHONY: all build test race lint commvet bench bench-quick bench-compare clean
 
 all: build
 
@@ -38,6 +38,13 @@ bench:
 
 bench-quick:
 	$(GO) run ./cmd/bench -quick
+
+# bench-compare diffs two BENCH files (per-phase median + traffic deltas)
+# and fails on a >20% median-wall regression in any matched cell:
+#   make bench-compare OLD=BENCH_old.json NEW=BENCH_new.json
+bench-compare:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-compare OLD=old.json NEW=new.json"; exit 2; }
+	$(GO) run ./cmd/bench -compare $(OLD) $(NEW)
 
 clean:
 	rm -rf bin

@@ -46,6 +46,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
 	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/pic"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 )
 
@@ -161,6 +162,19 @@ type Strategy = exchange.Strategy
 const (
 	Centralized = exchange.Centralized
 	Distributed = exchange.Distributed
+)
+
+// PoissonExchange selects how the distributed Poisson CG refreshes ghost
+// entries each iteration (Config.PoissonExchange).
+type PoissonExchange = pic.ExchangeMode
+
+// PoissonExchange values: PoissonHalo (the default) ships only
+// partition-boundary nodes point-to-point between neighbouring row blocks;
+// PoissonReplicated re-assembles the full vector through rank 0 every
+// iteration (the paper's scalability-wall structure, for comparison).
+const (
+	PoissonHalo       = pic.ExchangeHalo
+	PoissonReplicated = pic.ExchangeReplicated
 )
 
 // LoadBalance configures the dynamic load balancer (paper §V).

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// wallRegressionLimitPct is the -compare gate: a matched cell whose median
+// wall time grew by more than this percentage fails the comparison.
+const wallRegressionLimitPct = 20.0
+
+// cellKey matches runs across BENCH files. The Poisson exchange mode is
+// deliberately not part of the key: each bench invocation runs one mode,
+// and comparing a replicated baseline against a halo candidate is exactly
+// the comparison the mode knob exists for (the modes are printed so the
+// reader sees what changed).
+type cellKey struct {
+	Ranks    int
+	Strategy string
+}
+
+// compareReports prints per-cell wall, per-phase median and traffic deltas
+// between two BENCH reports and returns whether any matched cell's median
+// wall time regressed by more than wallPct percent. Cells present in only
+// one file are listed but never gate.
+func compareReports(w io.Writer, oldRep, newRep *benchReport, wallPct float64) bool {
+	oldByKey := make(map[cellKey]*runResult, len(oldRep.Runs))
+	for i := range oldRep.Runs {
+		r := &oldRep.Runs[i]
+		oldByKey[cellKey{r.Ranks, r.Strategy}] = r
+	}
+	regressed := false
+	matched := map[cellKey]bool{}
+	for i := range newRep.Runs {
+		n := &newRep.Runs[i]
+		key := cellKey{n.Ranks, n.Strategy}
+		o, ok := oldByKey[key]
+		if !ok {
+			fmt.Fprintf(w, "ranks=%d %s: only in %s\n", n.Ranks, n.Strategy, "new file")
+			continue
+		}
+		matched[key] = true
+		fmt.Fprintf(w, "ranks=%d %s (%s -> %s): wall %.3fs -> %.3fs (%s)\n",
+			n.Ranks, n.Strategy, modeLabel(o.PoissonExchange), modeLabel(n.PoissonExchange),
+			o.WallMedianS, n.WallMedianS, pctDelta(o.WallMedianS, n.WallMedianS))
+		if o.WallMedianS > 0 && n.WallMedianS > o.WallMedianS*(1+wallPct/100) {
+			fmt.Fprintf(w, "  REGRESSION: wall median above the %+.0f%% gate\n", wallPct)
+			regressed = true
+		}
+		for _, ph := range sortedKeys(o.PhaseMedianS, n.PhaseMedianS) {
+			ov, nv := o.PhaseMedianS[ph], n.PhaseMedianS[ph]
+			fmt.Fprintf(w, "  phase %-14s %10.3fms -> %10.3fms (%s)\n",
+				ph+":", ov*1e3, nv*1e3, pctDelta(ov, nv))
+		}
+		for _, ph := range sortedTrafficKeys(o.Traffic, n.Traffic) {
+			ot, nt := o.Traffic[ph], n.Traffic[ph]
+			fmt.Fprintf(w, "  traffic %-12s %6d msgs / %11d B -> %6d msgs / %11d B (bytes %s)\n",
+				ph+":", ot.Messages, ot.Bytes, nt.Messages, nt.Bytes,
+				pctDelta(float64(ot.Bytes), float64(nt.Bytes)))
+		}
+		if o.PoissonIters != 0 || n.PoissonIters != 0 {
+			fmt.Fprintf(w, "  poisson iters: %d -> %d, final residual %.3g -> %.3g\n",
+				o.PoissonIters, n.PoissonIters, o.PoissonResidual, n.PoissonResidual)
+		}
+		if o.Particles != n.Particles {
+			fmt.Fprintf(w, "  note: particle counts differ (%d -> %d); physics changed, not just performance\n",
+				o.Particles, n.Particles)
+		}
+	}
+	for i := range oldRep.Runs {
+		r := &oldRep.Runs[i]
+		if !matched[cellKey{r.Ranks, r.Strategy}] {
+			fmt.Fprintf(w, "ranks=%d %s: only in old file\n", r.Ranks, r.Strategy)
+		}
+	}
+	return regressed
+}
+
+// modeLabel renders a possibly-absent (v1 schema) exchange-mode string.
+func modeLabel(s string) string {
+	if s == "" {
+		return "replicated" // v1 files predate the knob; that was the only behaviour
+	}
+	return s
+}
+
+// pctDelta formats the relative change from old to new.
+func pctDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+}
+
+// sortedKeys returns the union of both maps' keys, sorted.
+func sortedKeys(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedTrafficKeys(a, b map[string]trafficStats) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

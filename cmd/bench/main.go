@@ -7,12 +7,20 @@
 //
 //	go run ./cmd/bench -quick            # 2 rank counts × both strategies
 //	go run ./cmd/bench -ranks 2,4,8 -steps 10 -repeats 3 -out BENCH.json
+//	go run ./cmd/bench -compare old.json new.json   # regression diff
 //
-// # Output schema ("dsmcpic-bench/v1")
+// The -compare mode prints per-phase median and traffic deltas between two
+// BENCH files and exits nonzero when any matched cell's median wall time
+// regressed by more than 20% (see compare.go).
+//
+// # Output schema ("dsmcpic-bench/v2")
+//
+// v2 adds poisson_exchange, poisson_iters and poisson_final_residual to
+// each run; everything in v1 is unchanged.
 //
 // Top level:
 //
-//	schema       string   "dsmcpic-bench/v1"
+//	schema       string   "dsmcpic-bench/v2"
 //	date         string   RFC 3339 timestamp of the run
 //	go           string   runtime.Version()
 //	goos, goarch string   host platform
@@ -26,6 +34,7 @@
 //
 //	ranks            int                 world size
 //	strategy         string              "CC" or "DC"
+//	poisson_exchange string              "halo" or "replicated" (CG ghost refresh)
 //	wall_seconds     []float64           host wall time of each repeat
 //	wall_median_s    float64             median of wall_seconds
 //	phase_median_s   map[phase]float64   median measured per-phase seconds,
@@ -34,6 +43,10 @@
 //	allocs           int64               heap allocations (median over repeats)
 //	particles        int                 final global particle count (identical
 //	                                     across repeats: runs are seeded)
+//	poisson_iters    int64               CG iterations summed over the run
+//	                                     (rank 0's Poisson_Iters counter;
+//	                                     identical on all ranks — collective)
+//	poisson_final_residual float64       last solve's relative residual
 //	modeled_total_s  float64             cost-model total for cross-checking
 //	traffic          map[phase]stats     global sent messages/bytes/local per
 //	                                     traffic phase, summed over ranks
@@ -62,6 +75,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/exchange"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
 	"github.com/plasma-hpc/dsmcpic/internal/metrics"
+	"github.com/plasma-hpc/dsmcpic/internal/pic"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 )
 
@@ -72,16 +86,19 @@ type trafficStats struct {
 }
 
 type runResult struct {
-	Ranks         int                     `json:"ranks"`
-	Strategy      string                  `json:"strategy"`
-	WallSeconds   []float64               `json:"wall_seconds"`
-	WallMedianS   float64                 `json:"wall_median_s"`
-	PhaseMedianS  map[string]float64      `json:"phase_median_s"`
-	AllocBytes    int64                   `json:"alloc_bytes"`
-	Allocs        int64                   `json:"allocs"`
-	Particles     int                     `json:"particles"`
-	ModeledTotalS float64                 `json:"modeled_total_s"`
-	Traffic       map[string]trafficStats `json:"traffic"`
+	Ranks           int                     `json:"ranks"`
+	Strategy        string                  `json:"strategy"`
+	PoissonExchange string                  `json:"poisson_exchange"`
+	WallSeconds     []float64               `json:"wall_seconds"`
+	WallMedianS     float64                 `json:"wall_median_s"`
+	PhaseMedianS    map[string]float64      `json:"phase_median_s"`
+	AllocBytes      int64                   `json:"alloc_bytes"`
+	Allocs          int64                   `json:"allocs"`
+	Particles       int                     `json:"particles"`
+	PoissonIters    int64                   `json:"poisson_iters"`
+	PoissonResidual float64                 `json:"poisson_final_residual"`
+	ModeledTotalS   float64                 `json:"modeled_total_s"`
+	Traffic         map[string]trafficStats `json:"traffic"`
 }
 
 type benchReport struct {
@@ -99,15 +116,39 @@ type benchReport struct {
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "small smoke matrix: ranks 2,4 × both strategies, 3 steps, 1 repeat")
-		steps   = flag.Int("steps", 8, "DSMC steps per run")
-		repeats = flag.Int("repeats", 3, "repeats per matrix cell (medians reported)")
-		ranks   = flag.String("ranks", "2,4,8", "comma-separated world sizes")
-		seed    = flag.Uint64("seed", 42, "simulation seed (fixed across the matrix)")
-		out     = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
-		injectH = flag.Int("inject-h", 1500, "H particles injected per step (global)")
+		quick     = flag.Bool("quick", false, "small smoke matrix: ranks 2,4 × both strategies, 3 steps, 1 repeat")
+		steps     = flag.Int("steps", 8, "DSMC steps per run")
+		repeats   = flag.Int("repeats", 3, "repeats per matrix cell (medians reported)")
+		ranks     = flag.String("ranks", "2,4,8", "comma-separated world sizes")
+		seed      = flag.Uint64("seed", 42, "simulation seed (fixed across the matrix)")
+		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		injectH   = flag.Int("inject-h", 1500, "H particles injected per step (global)")
+		poissonEx = flag.String("poisson-exchange", "halo", "Poisson CG ghost refresh: halo (boundary scatter) or replicated (full vector via rank 0)")
+		compare   = flag.Bool("compare", false, "diff two BENCH files: bench -compare old.json new.json; exits 1 on >20% wall regression")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two arguments: old.json new.json"))
+		}
+		oldRep, err := readReport(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		newRep, err := readReport(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if compareReports(os.Stdout, oldRep, newRep, wallRegressionLimitPct) {
+			fmt.Fprintf(os.Stderr, "bench: wall-time regression above %g%% detected\n", wallRegressionLimitPct)
+			os.Exit(1)
+		}
+		return
+	}
+	exMode, err := pic.ParseExchangeMode(*poissonEx)
+	if err != nil {
+		fatal(err)
+	}
 	if *quick {
 		*steps = 3
 		*repeats = 1
@@ -123,7 +164,7 @@ func main() {
 	}
 
 	rep := benchReport{
-		Schema:  "dsmcpic-bench/v1",
+		Schema:  "dsmcpic-bench/v2",
 		Date:    time.Now().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -135,13 +176,13 @@ func main() {
 	}
 	for _, n := range rankList {
 		for _, strat := range []exchange.Strategy{exchange.Centralized, exchange.Distributed} {
-			r, err := benchCell(n, strat, *steps, *repeats, *seed, *injectH)
+			r, err := benchCell(n, strat, exMode, *steps, *repeats, *seed, *injectH)
 			if err != nil {
 				fatal(fmt.Errorf("ranks=%d strategy=%v: %w", n, strat, err))
 			}
 			rep.Runs = append(rep.Runs, r)
-			fmt.Printf("ranks=%d %s: wall %.3fs, %d particles, %d allocs\n",
-				n, r.Strategy, r.WallMedianS, r.Particles, r.Allocs)
+			fmt.Printf("ranks=%d %s (%s): wall %.3fs, %d particles, %d allocs, %d CG iters\n",
+				n, r.Strategy, r.PoissonExchange, r.WallMedianS, r.Particles, r.Allocs, r.PoissonIters)
 		}
 	}
 
@@ -163,17 +204,18 @@ func main() {
 
 // benchCell runs one (ranks, strategy) cell `repeats` times with the same
 // seed and reduces the observations to medians.
-func benchCell(n int, strat exchange.Strategy, steps, repeats int, seed uint64, injectH int) (runResult, error) {
+func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, repeats int, seed uint64, injectH int) (runResult, error) {
 	res := runResult{
-		Ranks:        n,
-		Strategy:     strat.String(),
-		PhaseMedianS: map[string]float64{},
-		Traffic:      map[string]trafficStats{},
+		Ranks:           n,
+		Strategy:        strat.String(),
+		PoissonExchange: exMode.String(),
+		PhaseMedianS:    map[string]float64{},
+		Traffic:         map[string]trafficStats{},
 	}
 	phaseSamples := map[string][]float64{}
 	var allocBytes, allocs []int64
 	for rep := 0; rep < repeats; rep++ {
-		cfg, err := benchConfig(strat, steps, seed, injectH)
+		cfg, err := benchConfig(strat, exMode, steps, seed, injectH)
 		if err != nil {
 			return res, err
 		}
@@ -201,6 +243,11 @@ func benchCell(n int, strat exchange.Strategy, steps, repeats int, seed uint64, 
 		res.Particles = stats.TotalParticles()
 		res.ModeledTotalS = stats.TotalTime()
 		res.Traffic = aggregateTraffic(world.Counters())
+		// Solver-convergence trajectory: rank 0's counters (the values are
+		// allreduce results, identical on every rank — summing across
+		// ranks would just multiply by the world size).
+		res.PoissonIters = collector.Rank(0).CounterTotal(core.MetricPoissonIters)
+		res.PoissonResidual = stats.Ranks[0].PoissonResidual
 	}
 	res.WallMedianS = median(res.WallSeconds)
 	for phase, samples := range phaseSamples {
@@ -213,7 +260,7 @@ func benchCell(n int, strat exchange.Strategy, steps, repeats int, seed uint64, 
 
 // benchConfig builds the plume case: the nozzle geometry and physics of
 // cmd/plasmasim's defaults, scaled down so the full matrix stays fast.
-func benchConfig(strat exchange.Strategy, steps int, seed uint64, injectH int) (core.Config, error) {
+func benchConfig(strat exchange.Strategy, exMode pic.ExchangeMode, steps int, seed uint64, injectH int) (core.Config, error) {
 	coarse, err := mesh.Nozzle(3, 8, 0.05, 0.2)
 	if err != nil {
 		return core.Config{}, err
@@ -239,9 +286,27 @@ func benchConfig(strat exchange.Strategy, steps int, seed uint64, injectH int) (
 		Reactions:        dsmc.DefaultHydrogenReactions(),
 		Cost:             core.DefaultCostModel(commcost.Tianhe2, commcost.InnerFrame),
 		PoissonTol:       1e-6,
+		PoissonExchange:  exMode,
 		Seed:             seed,
 		LB:               &lbCfg,
 	}, nil
+}
+
+// readReport loads a BENCH JSON file for the -compare mode. Both v1 and v2
+// schemas load (v1 predates the poisson fields, which decode to zeros).
+func readReport(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "dsmcpic-bench/") {
+		return nil, fmt.Errorf("bench: %s: unrecognized schema %q", path, rep.Schema)
+	}
+	return &rep, nil
 }
 
 // aggregateTraffic sums each phase's sent messages/bytes over all ranks.

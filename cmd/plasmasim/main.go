@@ -24,6 +24,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
 	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/pic"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
 	"github.com/plasma-hpc/dsmcpic/internal/vtkio"
 )
@@ -44,6 +45,7 @@ func main() {
 		dt         = flag.Float64("dt", 1.2586e-6, "DSMC timestep (s)")
 		drift      = flag.Float64("drift", 10000, "inlet drift speed (m/s)")
 		strategy   = flag.String("strategy", "dc", "particle exchange strategy: dc or cc")
+		poissonEx  = flag.String("poisson-exchange", "halo", "Poisson CG ghost refresh: halo (boundary scatter) or replicated (full vector via rank 0)")
 		lb         = flag.Bool("lb", true, "enable the dynamic load balancer")
 		lbT        = flag.Int("lb-t", 5, "load balance check interval T (DSMC steps)")
 		lbThr      = flag.Float64("lb-threshold", 2.0, "lii threshold")
@@ -78,6 +80,11 @@ func main() {
 		strat = exchange.Centralized
 	} else if *strategy != "dc" {
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	exMode, exErr := pic.ParseExchangeMode(*poissonEx)
+	if exErr != nil {
+		fmt.Fprintln(os.Stderr, exErr)
 		os.Exit(2)
 	}
 	var plat commcost.Platform
@@ -132,6 +139,7 @@ func main() {
 		Reactions:        dsmc.DefaultHydrogenReactions(),
 		Cost:             core.DefaultCostModel(plat, commcost.InnerFrame),
 		PoissonTol:       1e-6,
+		PoissonExchange:  exMode,
 		Seed:             *seed,
 	}
 	var collector *metrics.Collector

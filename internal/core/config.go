@@ -60,9 +60,19 @@ type Config struct {
 
 	// Cost converts work counts to modeled seconds.
 	Cost CostModel
-	// PoissonTol / PoissonMaxIter bound the distributed CG.
+	// PoissonTol / PoissonMaxIter bound the distributed CG. PoissonTol is
+	// the simulation-level tolerance (default 1e-8 — fields feed a pusher,
+	// not a linear-algebra benchmark); it deliberately sits above the
+	// solvers' own shared zero-value default, sparse.DefaultTol.
 	PoissonTol     float64
 	PoissonMaxIter int
+	// PoissonExchange selects how the distributed CG refreshes ghost
+	// entries each iteration: pic.ExchangeHalo (the zero value and
+	// default) ships only partition-boundary nodes point-to-point between
+	// neighbouring row blocks; pic.ExchangeReplicated re-assembles the
+	// full vector through rank 0 every iteration (the paper's Table IV
+	// scalability-wall structure, kept for benchmark comparison).
+	PoissonExchange pic.ExchangeMode
 	// BC sets the Poisson Dirichlet boundary values (default: all grounded).
 	BC pic.BC
 

@@ -233,8 +233,25 @@ func (cm *CostModel) Times(w *Work, traffic, totals map[string]simmpi.PhaseStats
 	t[CompPICMove] = float64(w.MoveStepsPIC)*sp*cm.MoveStep + float64(w.Pushed)*sp*cm.Push +
 		float64(w.Deposited)*sp*cm.Deposit
 	t[CompPICExchange] = float64(w.PackedBytes[CompPICExchange])*sm*cm.PackByte + migT(CompPICExchange)
-	t[CompPoisson] = float64(w.CGIterations)*float64(w.CGOwnedNNZ)*sg*cm.CGRowNNZ +
-		commT(CompPoisson, sg)
+	// Poisson communication: the halo exchange is neighbour-structured —
+	// every rank injects its boundary traffic concurrently — so the
+	// network sees the world-wide phase volume and each rank pays its
+	// congestion share (same treatment as the migration phases; the
+	// replicated mode's rank-0 funnel shows up through its much larger
+	// totals). Callers without world totals fall back to the direct cost.
+	poiComm := commT(CompPoisson, sg)
+	if tot, ok := totals[CompPoisson]; ok {
+		s := traffic[CompPoisson]
+		remote := s.Messages - s.Local
+		if remote < 0 {
+			remote = 0
+		}
+		poiComm = cm.Platform.CommTimeCongested(
+			remote, int64(float64(s.Bytes)*sg),
+			tot.Messages, int64(float64(tot.Bytes)*sg),
+			n, cm.Placement)
+	}
+	t[CompPoisson] = float64(w.CGIterations)*float64(w.CGOwnedNNZ)*sg*cm.CGRowNNZ + poiComm
 	// Rebalance = re-partitioning + KM (compute, grid-scaled) +
 	// control-plane collectives (grid-sized data) + the bulk particle
 	// migration (particle-scaled, like the regular exchanges).

@@ -212,7 +212,7 @@ func (s *Solver) rebuildOwnershipState() error {
 		}
 	}
 	nodeOwner := pic.NodeOwners(s.Ref, owner)
-	dist, err := pic.NewDistSolver(s.poisson, nodeOwner, s.Comm.Size(), s.Comm.Rank())
+	dist, err := pic.NewDistSolver(s.poisson, nodeOwner, s.Comm.Size(), s.Comm.Rank(), s.Cfg.PoissonExchange)
 	if err != nil {
 		return err
 	}
@@ -406,6 +406,14 @@ func (s *Solver) Step(step int) error {
 		w.CGIterations += int64(res.Iterations)
 		w.Deposited += int64(pushed)
 		s.Stats.PoissonIters += int64(res.Iterations)
+		s.Stats.PoissonResidual = res.Residual
+		// Solver-convergence counters for the observability layer: a
+		// regression that makes CG iterate more (or stall farther from
+		// convergence) shows in the bench trajectory, not just wall time.
+		// The residual rides as an integer count in 1e-15 units (counters
+		// are int64); identical on all ranks — both come off allreduces.
+		s.mr.Count(MetricPoissonIters, int64(res.Iterations))
+		s.mr.Count(MetricPoissonResidualFemto, int64(res.Residual*1e15))
 	}
 	traffic[CompPICExchange] = s.phaseDelta(CompPICExchange)
 	w.PackedBytes[CompPICExchange] = traffic[CompPICExchange].Bytes
@@ -415,7 +423,7 @@ func (s *Solver) Step(step int) error {
 	// model (real codes allreduce profiling counters the same way). The
 	// instrumentation traffic itself is unlabeled and stays out of the
 	// component times.
-	totals := s.reduceTotals(traffic, CompDSMCExchange, CompPICExchange)
+	totals := s.reduceTotals(traffic, CompDSMCExchange, CompPICExchange, CompPoisson)
 
 	// ---- Component times (modeled) ----
 	times := s.Cfg.Cost.Times(w, traffic, totals, s.Comm.Size(), s.Cfg.Strategy == exchange.Distributed)

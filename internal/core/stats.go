@@ -2,6 +2,18 @@ package core
 
 import "github.com/plasma-hpc/dsmcpic/internal/simmpi"
 
+// Per-step metric counter names recorded through Config.Metrics (beyond
+// the tx_msgs./tx_bytes. traffic families and "particles").
+const (
+	// MetricPoissonIters is the CG iteration count summed over the step's
+	// PIC substeps.
+	MetricPoissonIters = "Poisson_Iters"
+	// MetricPoissonResidualFemto is the last substep's final relative
+	// residual in 1e-15 units (counters are integers; 1 femto resolution
+	// comfortably brackets every tolerance in use).
+	MetricPoissonResidualFemto = "Poisson_Residual_femto"
+)
+
 // RankStats accumulates one rank's results over a run.
 type RankStats struct {
 	// Times holds modeled seconds per component (Table IV rows), summed
@@ -20,11 +32,14 @@ type RankStats struct {
 	MigratedPIC       int64
 	MigratedRebalance int64
 	PoissonIters      int64
-	Collisions        int64
-	Reactions         int64
-	CreatedParticles  int64 // by dissociation chemistry
-	RemovedParticles  int64 // by recombination chemistry
-	FinalParticles    int
+	// PoissonResidual is the final relative residual of the last Poisson
+	// solve (identical on all ranks — it comes off an allreduce).
+	PoissonResidual  float64
+	Collisions       int64
+	Reactions        int64
+	CreatedParticles int64 // by dissociation chemistry
+	RemovedParticles int64 // by recombination chemistry
+	FinalParticles   int
 
 	// Work holds the accumulated raw work counts.
 	Work Work

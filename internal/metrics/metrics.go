@@ -139,6 +139,21 @@ func (r *Registry) Count(name string, v int64) {
 	}
 }
 
+// CounterTotal sums the named counter over every recorded step. Useful for
+// per-rank-identical counters (solver iterations, residuals) where summing
+// across ranks — Collector.CounterTotals — would multiply by the world
+// size. Nil registry returns 0.
+func (r *Registry) CounterTotal(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	var total int64
+	for i := range r.steps {
+		total += r.steps[i].Counters[name]
+	}
+	return total
+}
+
 // StepPhaseSeconds sums the current (open) step's samples by phase name,
 // in seconds — the quantity the timer-augmented load balancer consumes.
 // Nil registry or no open step returns nil.

@@ -193,3 +193,26 @@ func TestWriteChromeTraceParses(t *testing.T) {
 		t.Errorf("events: %d slices, %d metadata, %d counters (want 4/2/2)", slices, meta, counters)
 	}
 }
+
+func TestCounterTotal(t *testing.T) {
+	c := NewCollector(1, fakeClock(10))
+	r := c.Rank(0)
+	r.BeginStep(0)
+	r.Count("Poisson_Iters", 12)
+	r.Count("Poisson_Iters", 13)
+	r.EndStep()
+	r.BeginStep(1)
+	r.Count("Poisson_Iters", 25)
+	r.Count("other", 7)
+	r.EndStep()
+	if got := r.CounterTotal("Poisson_Iters"); got != 50 {
+		t.Errorf("CounterTotal = %d, want 50", got)
+	}
+	if got := r.CounterTotal("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+	var nilReg *Registry
+	if got := nilReg.CounterTotal("x"); got != 0 {
+		t.Errorf("nil registry = %d, want 0", got)
+	}
+}

@@ -134,19 +134,25 @@ func NewPoisson(fine *mesh.Mesh, bc BC) (*Poisson, error) {
 // (coulombs per node, from DepositCharge): b_i = q_i / eps0 for free nodes,
 // with Dirichlet values and couplings folded in.
 func (p *Poisson) RHS(nodeCharge []float64) []float64 {
-	n := p.Fine.NumNodes()
-	b := make([]float64, n)
-	for i := 0; i < n; i++ {
+	b := make([]float64, p.Fine.NumNodes())
+	p.RHSInto(nodeCharge, b)
+	return b
+}
+
+// RHSInto is RHS into a caller-provided buffer of length NumNodes(),
+// avoiding the per-solve allocation on the Poisson hot path.
+func (p *Poisson) RHSInto(nodeCharge, b []float64) {
+	for i := range b {
 		if p.IsDirichlet[i] {
 			b[i] = p.DirichletVal[i]
 			continue
 		}
-		b[i] = nodeCharge[i] / Epsilon0
+		v := nodeCharge[i] / Epsilon0
 		for _, cp := range p.couplings[i] {
-			b[i] -= cp.k * p.DirichletVal[cp.node]
+			v -= cp.k * p.DirichletVal[cp.node]
 		}
+		b[i] = v
 	}
-	return b
 }
 
 // Solve runs preconditioned CG on K phi = b. phi is the initial guess

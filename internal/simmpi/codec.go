@@ -145,6 +145,40 @@ func DecodeFloat64sInto(dst []float64, b []byte) {
 // DecodeFloat64s inverts EncodeFloat64s.
 func DecodeFloat64s(b []byte) []float64 { return decodeFloat64s(b) }
 
+// EncodeFloat64sGatherInto encodes vec's entries at the given indices into
+// buf (grown if needed) and returns the encoded slice: the k-th float64 of
+// the result is vec[idx[k]]. This is the packing half of an index-list
+// scatter/gather (halo) exchange. The buffer-reuse caveat of
+// EncodeFloat64sInto applies: simmpi does not copy payloads, so buf must
+// not be repacked until the previous message carrying it was consumed.
+func EncodeFloat64sGatherInto(buf []byte, vec []float64, idx []int32) []byte {
+	need := 8 * len(idx)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	for k, i := range idx {
+		binary.LittleEndian.PutUint64(buf[8*k:], math.Float64bits(vec[i]))
+	}
+	return buf
+}
+
+// DecodeFloat64sScatter decodes b into dst at the given indices:
+// dst[idx[k]] = the k-th float64 of b; other entries are untouched. It is
+// the unpacking half of an index-list halo exchange. A payload whose size
+// disagrees with the index list is transport corruption (mis-matched tag
+// or truncated blob) and panics descriptively, like the collectives'
+// internal decode paths, instead of scattering garbage.
+func DecodeFloat64sScatter(dst []float64, idx []int32, b []byte) {
+	if len(b) != 8*len(idx) {
+		panic(fmt.Sprintf("simmpi: scatter payload holds %d bytes for %d indices (want %d)",
+			len(b), len(idx), 8*len(idx)))
+	}
+	for k, i := range idx {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*k:]))
+	}
+}
+
 // EncodeInt64s is the exported codec for callers shipping int64 vectors.
 func EncodeInt64s(v []int64) []byte { return encodeInt64s(v) }
 

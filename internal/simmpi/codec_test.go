@@ -120,3 +120,40 @@ func TestDecodePartsTruncation(t *testing.T) {
 		}
 	}
 }
+
+func TestGatherScatterCodec(t *testing.T) {
+	vec := []float64{0, 10, 20, 30, 40, 50}
+	idx := []int32{1, 4, 2}
+	buf := EncodeFloat64sGatherInto(make([]byte, 2), vec, idx) // small buffer grows
+	if len(buf) != 24 {
+		t.Fatalf("len %d", len(buf))
+	}
+	dst := []float64{-1, -1, -1, -1, -1, -1}
+	DecodeFloat64sScatter(dst, idx, buf)
+	want := []float64{-1, 10, 20, -1, 40, -1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// Large buffer is reused (no realloc).
+	big := make([]byte, 100)
+	out := EncodeFloat64sGatherInto(big, vec, idx)
+	if &out[0] != &big[0] {
+		t.Error("buffer not reused")
+	}
+	// Empty index list encodes to an empty payload and scatters nothing.
+	if got := EncodeFloat64sGatherInto(nil, vec, nil); len(got) != 0 {
+		t.Errorf("empty gather encoded %d bytes", len(got))
+	}
+	DecodeFloat64sScatter(dst, nil, nil)
+}
+
+func TestDecodeFloat64sScatterSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched scatter payload did not panic")
+		}
+	}()
+	DecodeFloat64sScatter(make([]float64, 4), []int32{0, 1}, make([]byte, 8))
+}

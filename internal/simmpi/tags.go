@@ -33,7 +33,15 @@ const (
 	// instead of riding the generic Gatherv collective internals.
 	TagCheckpointGather = TagCheckpointBase + 0
 
+	// TagPoissonBase..TagPoissonBase+0xff: distributed Poisson solver
+	// (internal/pic halo exchange).
+	TagPoissonBase = 0x300
+	// TagPoissonHalo carries boundary (ghost-node) entries of the CG
+	// search direction between neighbouring row blocks in the halo
+	// exchange's two ordered rounds.
+	TagPoissonHalo = TagPoissonBase + 0
+
 	// TagUserBase marks the start of unreserved space: ad-hoc tools and
 	// experiments should allocate a block here and register it above.
-	TagUserBase = 0x300
+	TagUserBase = 0x400
 )

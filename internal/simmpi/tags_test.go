@@ -7,7 +7,7 @@ import "testing"
 // subsystem blocks are disjoint, and every registered tag sits inside its
 // subsystem's block.
 func TestTagRegistryRanges(t *testing.T) {
-	bases := []int{TagExchangeBase, TagCheckpointBase, TagUserBase}
+	bases := []int{TagExchangeBase, TagCheckpointBase, TagPoissonBase, TagUserBase}
 	for i, b := range bases {
 		if b <= 0 {
 			t.Errorf("base %#x not positive; negative tags are reserved for collectives", b)
@@ -23,6 +23,10 @@ func TestTagRegistryRanges(t *testing.T) {
 	if TagCheckpointGather < TagCheckpointBase || TagCheckpointGather >= TagCheckpointBase+tagBlockSize {
 		t.Errorf("TagCheckpointGather %#x outside checkpoint block [%#x,%#x)",
 			TagCheckpointGather, TagCheckpointBase, TagCheckpointBase+tagBlockSize)
+	}
+	if TagPoissonHalo < TagPoissonBase || TagPoissonHalo >= TagPoissonBase+tagBlockSize {
+		t.Errorf("TagPoissonHalo %#x outside poisson block [%#x,%#x)",
+			TagPoissonHalo, TagPoissonBase, TagPoissonBase+tagBlockSize)
 	}
 	// Collective-internal tags must all be negative, out of user space.
 	for _, tag := range []int{tagBarrier, tagBcast, tagGather, tagScatter, tagReduce, tagAllgather, tagAlltoall, tagScan} {

@@ -44,15 +44,27 @@ func (p *JacobiPrecond) Apply(dst, r []float64) {
 	}
 }
 
+// DefaultTol is the default relative-residual convergence tolerance shared
+// by every Krylov solver in the repository — sparse.CG, sparse.BiCGSTAB and
+// the distributed pic.DistSolver all fall back to it when SolveOptions.Tol
+// is zero, so "solver default accuracy" means one number everywhere.
+// (Simulation configs may still choose a looser application-level
+// tolerance explicitly, e.g. core.Config.PoissonTol.)
+const DefaultTol = 1e-10
+
 // SolveOptions configures the iterative solvers. Zero values select
-// defaults: MaxIter = 10*N (min 100), Tol = 1e-10 (relative residual).
+// defaults: MaxIter = 10*N (min 100), Tol = DefaultTol (relative residual).
 type SolveOptions struct {
 	MaxIter int
 	Tol     float64
 	Precond Preconditioner
 }
 
-func (o SolveOptions) withDefaults(n int) SolveOptions {
+// WithDefaults fills zero fields with the shared solver defaults for an
+// n-dimensional system. Exported so out-of-package solvers with the same
+// options surface (the distributed Poisson solver) resolve identical
+// defaults from the single definition here.
+func (o SolveOptions) WithDefaults(n int) SolveOptions {
 	if o.MaxIter <= 0 {
 		o.MaxIter = 10 * n
 		if o.MaxIter < 100 {
@@ -60,7 +72,7 @@ func (o SolveOptions) withDefaults(n int) SolveOptions {
 		}
 	}
 	if o.Tol <= 0 {
-		o.Tol = 1e-10
+		o.Tol = DefaultTol
 	}
 	if o.Precond == nil {
 		o.Precond = IdentityPrecond{}
@@ -100,7 +112,7 @@ func CG(a *CSR, b, x []float64, opts SolveOptions) (SolveResult, error) {
 	if len(b) != n || len(x) != n {
 		return SolveResult{}, fmt.Errorf("sparse: CG dimension mismatch (N=%d len(b)=%d len(x)=%d)", n, len(b), len(x))
 	}
-	o := opts.withDefaults(n)
+	o := opts.WithDefaults(n)
 	r := make([]float64, n)
 	z := make([]float64, n)
 	p := make([]float64, n)
@@ -152,7 +164,7 @@ func BiCGSTAB(a *CSR, b, x []float64, opts SolveOptions) (SolveResult, error) {
 	if len(b) != n || len(x) != n {
 		return SolveResult{}, fmt.Errorf("sparse: BiCGSTAB dimension mismatch")
 	}
-	o := opts.withDefaults(n)
+	o := opts.WithDefaults(n)
 	r := make([]float64, n)
 	rhat := make([]float64, n)
 	p := make([]float64, n)

@@ -398,3 +398,23 @@ func BenchmarkCGLaplace2D(b *testing.B) {
 		}
 	}
 }
+
+// TestDefaultTolShared pins the one shared solver tolerance: DefaultTol is
+// what every zero-Tol SolveOptions resolves to, here and in the distributed
+// Poisson solver (pic.DistSolver), which calls the same WithDefaults.
+func TestDefaultTolShared(t *testing.T) {
+	if DefaultTol != 1e-10 {
+		t.Fatalf("DefaultTol = %g, want 1e-10", DefaultTol)
+	}
+	o := SolveOptions{}.WithDefaults(50)
+	if o.Tol != DefaultTol {
+		t.Fatalf("zero Tol resolved to %g, want DefaultTol %g", o.Tol, DefaultTol)
+	}
+	if o.MaxIter != 500 {
+		t.Fatalf("zero MaxIter resolved to %d, want 10*n = 500", o.MaxIter)
+	}
+	// An explicit tolerance is left alone.
+	if o := (SolveOptions{Tol: 1e-6}).WithDefaults(50); o.Tol != 1e-6 {
+		t.Fatalf("explicit Tol overridden to %g", o.Tol)
+	}
+}
