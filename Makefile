@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint commvet bench bench-quick bench-compare clean
+.PHONY: all build test race lint commvet bench bench-quick bench-compare calibrate plasmad plasmad-smoke clean
 
 all: build
 
@@ -45,6 +45,23 @@ bench-quick:
 bench-compare:
 	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-compare OLD=old.json NEW=new.json"; exit 2; }
 	$(GO) run ./cmd/bench -compare $(OLD) $(NEW)
+
+# calibrate fits cost-model unit costs from a v3 BENCH file and writes
+# CALIBRATION.json; plasmasim/plasmad load it with -calibration:
+#   make calibrate BENCH=BENCH_2026-08-06.json
+calibrate:
+	@test -n "$(BENCH)" || { echo "usage: make calibrate BENCH=BENCH_file.json"; exit 2; }
+	$(GO) run ./cmd/bench -calibrate $(BENCH)
+
+# plasmad is the simulation-serving daemon (HTTP job API, priority queue,
+# deterministic result cache — see internal/serve and the README).
+plasmad:
+	$(GO) build -o bin/plasmad ./cmd/plasmad
+
+# plasmad-smoke runs the end-to-end daemon lifecycle check: submit, poll,
+# cache-hit re-submit, /metrics, SIGTERM drain.
+plasmad-smoke:
+	sh scripts/plasmad_smoke.sh
 
 clean:
 	rm -rf bin

@@ -236,6 +236,18 @@ func DefaultCostModel(p Platform, pl Placement) CostModel {
 	return core.DefaultCostModel(p, pl)
 }
 
+// CalibrationProfile holds measured per-unit compute costs fitted from a
+// benchmark's phase timers (cmd/bench -calibrate); Apply substitutes them
+// into a CostModel.
+type CalibrationProfile = core.CalibrationProfile
+
+// LoadCalibration reads and validates a calibration profile JSON file.
+var LoadCalibration = core.LoadCalibrationFile
+
+// ErrCanceled is the sentinel a canceled run's error matches (errors.Is)
+// when Config.Cancel fires; see Config.Cancel.
+var ErrCanceled = simmpi.ErrCanceled
+
 // Run executes the coupled simulation on the world and returns aggregated
 // statistics.
 func Run(world *World, cfg Config) (*RunStats, error) {

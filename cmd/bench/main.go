@@ -13,10 +13,13 @@
 // BENCH files and exits nonzero when any matched cell's median wall time
 // regressed by more than 20% (see compare.go).
 //
-// # Output schema ("dsmcpic-bench/v2")
+// # Output schema ("dsmcpic-bench/v3")
 //
 // v2 adds poisson_exchange, poisson_iters and poisson_final_residual to
-// each run; everything in v1 is unchanged.
+// each run; everything in v1 is unchanged. v3 adds phase_total_s (measured
+// seconds per phase summed over every rank and step, median over repeats)
+// and work (deterministic global work counts summed over ranks) — the
+// inputs of the -calibrate fit.
 //
 // Top level:
 //
@@ -39,6 +42,13 @@
 //	wall_median_s    float64             median of wall_seconds
 //	phase_median_s   map[phase]float64   median measured per-phase seconds,
 //	                                     over every (rank, step, repeat) sample
+//	phase_total_s    map[phase]float64   measured seconds per phase, summed
+//	                                     over ranks and steps (median over
+//	                                     repeats) — pairs with work for the
+//	                                     -calibrate least-squares fit
+//	work             object              global work counts summed over ranks
+//	                                     (identical across repeats; see
+//	                                     workCounts)
 //	alloc_bytes      int64               heap bytes allocated (median over repeats)
 //	allocs           int64               heap allocations (median over repeats)
 //	particles        int                 final global particle count (identical
@@ -85,6 +95,21 @@ type trafficStats struct {
 	Local    int64 `json:"local"`
 }
 
+// workCounts is a run's deterministic global work, summed over ranks.
+// cg_iter_nnz is Σ_rank (CG iterations × owned-row nnz) — the quantity the
+// cost model multiplies by its CGRowNNZ unit.
+type workCounts struct {
+	MoveStepsDSMC int64 `json:"move_steps_dsmc"`
+	MoveStepsPIC  int64 `json:"move_steps_pic"`
+	Injected      int64 `json:"injected"`
+	Candidates    int64 `json:"candidates"`
+	Collisions    int64 `json:"collisions"`
+	Reindexed     int64 `json:"reindexed"`
+	Deposited     int64 `json:"deposited"`
+	Pushed        int64 `json:"pushed"`
+	CGIterNNZ     int64 `json:"cg_iter_nnz"`
+}
+
 type runResult struct {
 	Ranks           int                     `json:"ranks"`
 	Strategy        string                  `json:"strategy"`
@@ -92,6 +117,8 @@ type runResult struct {
 	WallSeconds     []float64               `json:"wall_seconds"`
 	WallMedianS     float64                 `json:"wall_median_s"`
 	PhaseMedianS    map[string]float64      `json:"phase_median_s"`
+	PhaseTotalS     map[string]float64      `json:"phase_total_s,omitempty"`
+	Work            *workCounts             `json:"work,omitempty"`
 	AllocBytes      int64                   `json:"alloc_bytes"`
 	Allocs          int64                   `json:"allocs"`
 	Particles       int                     `json:"particles"`
@@ -125,8 +152,28 @@ func main() {
 		injectH   = flag.Int("inject-h", 1500, "H particles injected per step (global)")
 		poissonEx = flag.String("poisson-exchange", "halo", "Poisson CG ghost refresh: halo (boundary scatter) or replicated (full vector via rank 0)")
 		compare   = flag.Bool("compare", false, "diff two BENCH files: bench -compare old.json new.json; exits 1 on >20% wall regression")
+		calibrate = flag.String("calibrate", "", "fit cost-model unit costs from a v3 BENCH file and write a calibration profile")
+		calibOut  = flag.String("calibration-out", "CALIBRATION.json", "output path for -calibrate")
 	)
 	flag.Parse()
+	if *calibrate != "" {
+		rep, err := readReport(*calibrate)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err := fitCalibration(rep)
+		if err != nil {
+			fatal(err)
+		}
+		prof.Source = *calibrate
+		prof.FittedAt = time.Now().Format(time.RFC3339)
+		if err := writeCalibration(*calibOut, prof); err != nil {
+			fatal(err)
+		}
+		printCalibration(os.Stdout, prof)
+		fmt.Printf("wrote %s (%d units)\n", *calibOut, len(prof.Units))
+		return
+	}
 	if *compare {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare wants exactly two arguments: old.json new.json"))
@@ -164,7 +211,7 @@ func main() {
 	}
 
 	rep := benchReport{
-		Schema:  "dsmcpic-bench/v2",
+		Schema:  benchSchema,
 		Date:    time.Now().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -213,6 +260,7 @@ func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, r
 		Traffic:         map[string]trafficStats{},
 	}
 	phaseSamples := map[string][]float64{}
+	phaseTotals := map[string][]float64{} // per-repeat totals (Σ ranks, steps)
 	var allocBytes, allocs []int64
 	for rep := 0; rep < repeats; rep++ {
 		cfg, err := benchConfig(strat, exMode, steps, seed, injectH)
@@ -238,7 +286,13 @@ func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, r
 		allocs = append(allocs, int64(after.Mallocs-before.Mallocs))
 		for phase, durs := range collector.PhaseDurations() {
 			phaseSamples[phase] = append(phaseSamples[phase], durs...)
+			var tot float64
+			for _, d := range durs {
+				tot += d
+			}
+			phaseTotals[phase] = append(phaseTotals[phase], tot)
 		}
+		res.Work = sumWork(stats)
 		// Deterministic per seed — identical every repeat, so last wins.
 		res.Particles = stats.TotalParticles()
 		res.ModeledTotalS = stats.TotalTime()
@@ -252,6 +306,10 @@ func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, r
 	res.WallMedianS = median(res.WallSeconds)
 	for phase, samples := range phaseSamples {
 		res.PhaseMedianS[phase] = median(samples)
+	}
+	res.PhaseTotalS = map[string]float64{}
+	for phase, totals := range phaseTotals {
+		res.PhaseTotalS[phase] = median(totals)
 	}
 	res.AllocBytes = medianInt64(allocBytes)
 	res.Allocs = medianInt64(allocs)
@@ -292,8 +350,32 @@ func benchConfig(strat exchange.Strategy, exMode pic.ExchangeMode, steps int, se
 	}, nil
 }
 
-// readReport loads a BENCH JSON file for the -compare mode. Both v1 and v2
-// schemas load (v1 predates the poisson fields, which decode to zeros).
+// benchSchema is the current output schema tag.
+const benchSchema = "dsmcpic-bench/v3"
+
+// sumWork flattens a run's per-rank work counts into the global totals the
+// calibration fit consumes. CGIterNNZ multiplies before summing: each
+// rank's Poisson compute is its own iterations × its own owned nnz.
+func sumWork(stats *core.RunStats) *workCounts {
+	w := &workCounts{}
+	for r := range stats.Ranks {
+		rw := &stats.Ranks[r].Work
+		w.MoveStepsDSMC += rw.MoveStepsDSMC
+		w.MoveStepsPIC += rw.MoveStepsPIC
+		w.Injected += rw.Injected
+		w.Candidates += rw.Candidates
+		w.Collisions += rw.Collisions
+		w.Reindexed += rw.Reindexed
+		w.Deposited += rw.Deposited
+		w.Pushed += rw.Pushed
+		w.CGIterNNZ += rw.CGIterations * rw.CGOwnedNNZ
+	}
+	return w
+}
+
+// readReport loads a BENCH JSON file for the -compare and -calibrate modes.
+// All schema versions load (fields missing from older versions decode to
+// zeros; -calibrate additionally requires the v3 work counts).
 func readReport(path string) (*benchReport, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {

@@ -1,0 +1,83 @@
+// Command plasmad serves coupled DSMC/PIC simulations over HTTP: jobs are
+// submitted as JSON specs, queued by priority under admission control, run
+// on a bounded worker pool (one simmpi.World per job), and memoized in a
+// deterministic result cache. See internal/serve for the API and README.md
+// for a curl walkthrough.
+//
+// Shutdown is graceful: on SIGTERM/SIGINT the daemon stops admission,
+// lets admitted jobs finish (up to -drain-timeout), then cancels whatever
+// is still running cooperatively and exits cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers      = flag.Int("workers", 2, "concurrent-worlds cap (worker pool size)")
+		queueCap     = flag.Int("queue", 16, "admission queue capacity (beyond it: 429)")
+		cacheCap     = flag.Int("cache", 64, "retained jobs (results are evicted LRU beyond this)")
+		maxRanks     = flag.Int("max-ranks", 16, "per-job simulated rank cap")
+		maxSteps     = flag.Int("max-steps", 512, "per-job step cap")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs at shutdown")
+		calibPath    = flag.String("calibration", "", "calibration profile JSON (from bench -calibrate) overriding built-in cost-model units")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		Workers:  *workers,
+		QueueCap: *queueCap,
+		CacheCap: *cacheCap,
+		MaxRanks: *maxRanks,
+		MaxSteps: *maxSteps,
+	}
+	if *calibPath != "" {
+		prof, err := core.LoadCalibrationFile(*calibPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plasmad: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Calibration = prof
+		log.Printf("loaded calibration profile %s (%d units)", *calibPath, len(prof.Units))
+	}
+
+	srv := serve.NewServer(opts)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("plasmad listening on %s (workers=%d queue=%d)", *addr, *workers, *queueCap)
+
+	select {
+	case sig := <-sigs:
+		log.Printf("received %v: draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("listen: %v", err)
+	}
+
+	// Stop taking new jobs and run the admitted ones down, then close the
+	// listener. Order matters: clients polling /jobs/{id} during the drain
+	// must keep getting answers.
+	srv.Drain(*drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("drained; bye")
+}

@@ -52,6 +52,7 @@ func main() {
 		wcell      = flag.Int64("lb-wcell", 1, "cell weight W_cell")
 		noKM       = flag.Bool("lb-no-km", false, "disable Kuhn-Munkres remapping")
 		platform   = flag.String("platform", "tianhe2", "cost-model platform: tianhe2, bscc, tianhe3")
+		calibPath  = flag.String("calibration", "", "calibration profile JSON (from bench -calibrate) overriding the platform's built-in cost-model units")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 
 		// Observability: per-phase wall-time instrumentation (observe-only
@@ -141,6 +142,16 @@ func main() {
 		PoissonTol:       1e-6,
 		PoissonExchange:  exMode,
 		Seed:             *seed,
+	}
+	if *calibPath != "" {
+		prof, err := core.LoadCalibrationFile(*calibPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Measured units feed the same CostModel the load balancer's lii
+		// decision reads, so the rebalance points track this host.
+		cfg.Cost = prof.Apply(cfg.Cost)
+		fmt.Printf("calibration: %s (%d units)\n", *calibPath, len(prof.Units))
 	}
 	var collector *metrics.Collector
 	if *metricsOut != "" || *traceOut != "" || *measuredLB {

@@ -40,13 +40,19 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // deterministicPkgs names the packages whose state must replay exactly.
+// partition and commcost joined the set when the serving subsystem made
+// their outputs part of the cached-result contract: the initial
+// decomposition (partition) and the modeled times (commcost) both feed
+// bytes that must be identical across replays of one job spec.
 var deterministicPkgs = map[string]bool{
-	"core":     true,
-	"exchange": true,
-	"balance":  true,
-	"dsmc":     true,
-	"pic":      true,
-	"diag":     true,
+	"core":      true,
+	"exchange":  true,
+	"balance":   true,
+	"dsmc":      true,
+	"pic":       true,
+	"diag":      true,
+	"partition": true,
+	"commcost":  true,
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level

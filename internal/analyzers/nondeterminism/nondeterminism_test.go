@@ -11,6 +11,18 @@ func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "core")
 }
 
+// TestPartitionPackage and TestCommcostPackage cover the two packages
+// added to the deterministic set for the serving subsystem: the initial
+// decomposition and the modeled times are part of the cached-result
+// contract, so both must replay exactly.
+func TestPartitionPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "partition")
+}
+
+func TestCommcostPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "commcost")
+}
+
 // TestOutsideDeterministicSet proves the analyzer is scoped: the same
 // patterns in a package outside the deterministic set produce nothing.
 func TestOutsideDeterministicSet(t *testing.T) {

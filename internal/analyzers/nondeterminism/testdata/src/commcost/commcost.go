@@ -1,0 +1,24 @@
+// Fixture named "commcost": modeled communication seconds feed cached
+// results, so the cost model must replay bit-exactly.
+package commcost
+
+// pairFractionFloat is the bug the real package had before joining the
+// deterministic set: float accumulation over map order makes the mix's
+// last bits depend on Go's randomized iteration.
+func pairFractionFloat(sizes map[int]int) float64 {
+	var pairs float64
+	for _, s := range sizes {
+		pairs += float64(s) * float64(s-1) // want "floating-point accumulation over map iteration order"
+	}
+	return pairs
+}
+
+// pairFractionInt is the fix: integer accumulation commutes exactly, so
+// the conversion to float happens once, after an order-insensitive sum.
+func pairFractionInt(sizes map[int]int) float64 {
+	var pairs int64
+	for _, s := range sizes {
+		pairs += int64(s) * int64(s-1)
+	}
+	return float64(pairs)
+}

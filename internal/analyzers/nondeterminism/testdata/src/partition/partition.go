@@ -1,0 +1,39 @@
+// Fixture named "partition": the decomposition package joined the
+// deterministic set when the serving subsystem made the initial partition
+// part of the cached-result contract.
+package partition
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seededGrowth(seed uint64) int {
+	r := rand.New(rand.NewSource(int64(seed))) // injectable seeded source: fine
+	return r.Intn(4)
+}
+
+func randomTieBreak() int {
+	return rand.Intn(4) // want "global rand.Intn in deterministic package partition"
+}
+
+func timedRefinement() time.Duration {
+	t0 := time.Now()      // want "time.Now read in deterministic package partition"
+	return time.Since(t0) // want "time.Since read in deterministic package partition"
+}
+
+func gainBuckets(gains map[int]float64) []int {
+	var order []int
+	for cell := range gains {
+		order = append(order, cell) // bare range key: collect-then-sort idiom, fine
+	}
+	return order
+}
+
+func frontierInMapOrder(frontier map[int][]int32) []int32 {
+	var out []int32
+	for _, cells := range frontier {
+		out = append(out, cells...) // want "append inside map iteration"
+	}
+	return out
+}

@@ -188,11 +188,13 @@ func (p Platform) Mix(n int, pl Placement) DistanceMix {
 		for _, c := range coords {
 			sizes[key(c)]++
 		}
-		var pairs float64
+		// Integer accumulation: exact under any map iteration order (float
+		// += here would make the mix bits depend on randomized map order).
+		var pairs int64
 		for _, s := range sizes {
-			pairs += float64(s) * float64(s-1)
+			pairs += int64(s) * int64(s-1)
 		}
-		return pairs
+		return float64(pairs)
 	}
 	total := float64(n) * float64(n-1)
 	sameNode := countPairs(func(c coord) int { return c.node })

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CalibrationSchema identifies the calibration-profile JSON format.
+const CalibrationSchema = "dsmcpic-calibration/v1"
+
+// Calibration unit names: the JSON keys of CalibrationProfile.Units, each
+// naming one CostModel per-unit compute cost.
+const (
+	UnitMoveStep  = "move_step"
+	UnitInject    = "inject"
+	UnitCandidate = "candidate"
+	UnitCollision = "collision"
+	UnitReindex   = "reindex"
+	UnitDeposit   = "deposit"
+	UnitPush      = "push"
+	UnitCGRowNNZ  = "cg_row_nnz"
+)
+
+// CalibrationProfile holds measured per-unit compute costs fitted from a
+// benchmark's wall-clock phase timers (cmd/bench -calibrate). The built-in
+// DefaultCostModel units are hand-calibrated against the paper's Table IV
+// *fractions*; a profile replaces them with least-squares fits against this
+// host's actual timers, so modeled seconds track the machine the daemon
+// runs on.
+//
+// Fitted units are host-absolute: they already include whatever compute
+// factor the measuring host has, so Apply substitutes them verbatim rather
+// than rescaling by Platform.ComputeFactor.
+type CalibrationProfile struct {
+	Schema string `json:"schema"`
+	// Source names the bench result file the fit came from.
+	Source string `json:"source,omitempty"`
+	// FittedAt is an RFC 3339 timestamp (informational only).
+	FittedAt string `json:"fitted_at,omitempty"`
+
+	// Units maps unit names (Unit* constants) to fitted seconds. Units
+	// absent from the map (or non-positive) keep their built-in values —
+	// a partial fit degrades gracefully.
+	Units map[string]float64 `json:"units"`
+
+	// Residuals maps fitted phase names to the relative RMS misfit of the
+	// reconstruction (0 = perfect). Informational: consumers may warn on
+	// large residuals but the fit is applied regardless.
+	Residuals map[string]float64 `json:"residuals,omitempty"`
+}
+
+// Apply returns cm with every positively-fitted unit cost substituted.
+func (p *CalibrationProfile) Apply(cm CostModel) CostModel {
+	if p == nil {
+		return cm
+	}
+	set := func(dst *float64, unit string) {
+		if v, ok := p.Units[unit]; ok && v > 0 {
+			*dst = v
+		}
+	}
+	set(&cm.MoveStep, UnitMoveStep)
+	set(&cm.Inject, UnitInject)
+	set(&cm.Candidate, UnitCandidate)
+	set(&cm.Collision, UnitCollision)
+	set(&cm.Reindex, UnitReindex)
+	set(&cm.Deposit, UnitDeposit)
+	set(&cm.Push, UnitPush)
+	set(&cm.CGRowNNZ, UnitCGRowNNZ)
+	return cm
+}
+
+// Validate checks the schema tag and that at least one unit is usable.
+func (p *CalibrationProfile) Validate() error {
+	if p.Schema != CalibrationSchema {
+		return fmt.Errorf("core: calibration schema %q, want %q", p.Schema, CalibrationSchema)
+	}
+	for _, v := range p.Units {
+		if v > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: calibration profile has no positive units")
+}
+
+// LoadCalibrationFile reads and validates a calibration profile.
+func LoadCalibrationFile(path string) (*CalibrationProfile, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p CalibrationProfile
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return nil, fmt.Errorf("core: parse calibration %s: %v", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// TestRunCancelMidRun closes the Config.Cancel channel from an OnStep
+// probe and checks the run aborts with ErrCanceled instead of finishing
+// its remaining steps.
+func TestRunCancelMidRun(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Steps = 50 // far more than the run should complete
+
+	cancel := make(chan struct{})
+	var once sync.Once
+	var lastStep int
+	var mu sync.Mutex
+	cfg.Cancel = cancel
+	cfg.OnStep = func(step int, s *Solver) {
+		mu.Lock()
+		if step > lastStep {
+			lastStep = step
+		}
+		mu.Unlock()
+		if step == 1 {
+			once.Do(func() { close(cancel) })
+		}
+	}
+
+	world := simmpi.NewWorld(4, simmpi.Options{})
+	_, err := Run(world, cfg)
+	if !errors.Is(err, simmpi.ErrCanceled) {
+		t.Fatalf("Run returned %v; want ErrCanceled", err)
+	}
+	mu.Lock()
+	got := lastStep
+	mu.Unlock()
+	if got >= cfg.Steps-1 {
+		t.Fatalf("run completed step %d of %d despite cancellation", got, cfg.Steps)
+	}
+}
+
+// TestRunCancelLeaksNoGoroutines is the regression test for the abort
+// path: after a canceled run, the goroutine count returns to baseline —
+// no rank goroutine, watcher, or watchdog is left behind.
+func TestRunCancelLeaksNoGoroutines(t *testing.T) {
+	ref := testRefinement(t)
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 2; i++ {
+		cfg := testConfig(ref)
+		cfg.Steps = 50
+		cancel := make(chan struct{})
+		var once sync.Once
+		cfg.Cancel = cancel
+		cfg.OnStep = func(step int, s *Solver) {
+			if step == 0 {
+				once.Do(func() { close(cancel) })
+			}
+		}
+		world := simmpi.NewWorld(4, simmpi.Options{})
+		if _, err := Run(world, cfg); !errors.Is(err, simmpi.ErrCanceled) {
+			t.Fatalf("iteration %d: Run returned %v; want ErrCanceled", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after canceled runs: baseline %d, now %d",
+		baseline, runtime.NumGoroutine())
+}
+
+// TestRunCancelBeforeStart proves a pre-canceled config aborts without
+// completing a single step.
+func TestRunCancelBeforeStart(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cancel := make(chan struct{})
+	close(cancel)
+	cfg.Cancel = cancel
+	stepped := false
+	cfg.OnStep = func(step int, s *Solver) { stepped = true }
+
+	world := simmpi.NewWorld(2, simmpi.Options{})
+	_, err := Run(world, cfg)
+	if !errors.Is(err, simmpi.ErrCanceled) {
+		t.Fatalf("Run returned %v; want ErrCanceled", err)
+	}
+	if stepped {
+		t.Fatal("OnStep fired on a run canceled before its first step")
+	}
+}
+
+// TestResilientRunDoesNotRestartCanceled checks the recovery driver treats
+// cancellation as terminal: no restart, no replay.
+func TestResilientRunDoesNotRestartCanceled(t *testing.T) {
+	ref := testRefinement(t)
+	cfg := testConfig(ref)
+	cfg.Steps = 30
+	cancel := make(chan struct{})
+	var once sync.Once
+	cfg.Cancel = cancel
+	cfg.OnStep = func(step int, s *Solver) {
+		if step == 2 {
+			once.Do(func() { close(cancel) })
+		}
+	}
+	_, rec, err := ResilientRun(cfg, ResilienceOptions{
+		WorldSize:       2,
+		CheckpointEvery: 2,
+	})
+	if !errors.Is(err, simmpi.ErrCanceled) {
+		t.Fatalf("ResilientRun returned %v; want ErrCanceled", err)
+	}
+	if rec.Restarts != 0 {
+		t.Fatalf("ResilientRun restarted %d times after cancellation; want 0", rec.Restarts)
+	}
+}

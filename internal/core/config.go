@@ -106,6 +106,14 @@ type Config struct {
 	// of each other (modeled times remain the default for that reason).
 	MeasuredLB bool
 
+	// Cancel, when non-nil, aborts the run cooperatively once the channel
+	// is closed: every rank stops at its next cancellation point (the
+	// check at the top of Solver.Step, or any blocking receive inside a
+	// collective), rank goroutines unwind cleanly, and Run returns an
+	// error matching errors.Is(err, simmpi.ErrCanceled). Close the
+	// channel to cancel; sending on it is not sufficient.
+	Cancel <-chan struct{}
+
 	// OnStep, when set, is invoked by every rank after each DSMC step
 	// (step is 0-based). The solver is quiescent during the call; probes
 	// may use s.Comm for collective diagnostics, but every rank must then

@@ -148,8 +148,9 @@ func ResilientRun(cfg Config, opts ResilienceOptions) (*RunStats, *RecoveryStats
 			return stats, rec, saveErr
 		}
 		if !errors.Is(err, simmpi.ErrRankFailed) {
-			// Bad config, user panic, genuine deadlock: not recoverable by
-			// restarting.
+			// Bad config, user panic, genuine deadlock, or a cooperative
+			// cancellation: not recoverable (or not meant to be recovered)
+			// by restarting.
 			return nil, rec, err
 		}
 		if rep := world.Report(); rep != nil {

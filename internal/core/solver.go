@@ -289,6 +289,11 @@ func (s *Solver) destOf(i int) int { return int(s.Bal.CellOwner[s.St.Cell[i]]) }
 // Step runs one DSMC timestep (paper Fig. 1 loop body) and records modeled
 // component times. step is the 0-based index.
 func (s *Solver) Step(step int) error {
+	// Cancellation point: a canceled world aborts here before starting
+	// more work; ranks blocked inside collectives abort at their next
+	// receive instead. CheckCancel panics with *simmpi.CancelError, which
+	// World.Run classifies as simmpi.ErrCanceled.
+	s.Comm.CheckCancel()
 	w := NewWork()
 	w.CGOwnedNNZ = s.ownedNNZ
 	traffic := make(map[string]simmpi.PhaseStats)
@@ -548,6 +553,29 @@ func Run(world *simmpi.World, cfg Config) (*RunStats, error) {
 		return nil, err
 	}
 	stats := &RunStats{Ranks: make([]RankStats, world.Size())}
+	if c.Cancel != nil {
+		select {
+		case <-c.Cancel:
+			// Already canceled: mark the world synchronously so not a
+			// single step runs (no watcher race).
+			world.Cancel()
+		default:
+			// Bridge the config's cancel channel onto the world: one
+			// watcher goroutine per run, released when the run returns.
+			// After world.Cancel() every rank unwinds at its next
+			// cancellation point, so the watcher never outlives the Run
+			// call by more than the select below.
+			watchDone := make(chan struct{})
+			defer close(watchDone)
+			go func() {
+				select {
+				case <-c.Cancel:
+					world.Cancel()
+				case <-watchDone:
+				}
+			}()
+		}
+	}
 	runErr := world.Run(func(comm *simmpi.Comm) {
 		s, err := NewSolver(c, shared, comm)
 		if err != nil {

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler builds the daemon's HTTP API:
+//
+//	POST /jobs             submit a JobSpec (JSON body)
+//	GET  /jobs             list retained jobs
+//	GET  /jobs/{id}        job status
+//	GET  /jobs/{id}/result completed result (the cached bytes, verbatim)
+//	POST /jobs/{id}/cancel request cooperative cancellation
+//	GET  /jobs/{id}/events NDJSON progress stream (one event per step)
+//	GET  /metrics          aggregate text metrics
+//	GET  /healthz          liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// submitResponse is the POST /jobs reply body.
+type submitResponse struct {
+	ID        string   `json:"id"`
+	Key       string   `json:"key"`
+	State     JobState `json:"state"`
+	CacheHit  bool     `json:"cache_hit,omitempty"`
+	Coalesced bool     `json:"coalesced,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	out, err := s.Submit(spec)
+	if err != nil {
+		var full *ErrQueueFull
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.As(err, &full):
+			w.Header().Set("Retry-After", strconv.Itoa(full.RetryAfterSeconds))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	resp := submitResponse{
+		ID:        out.Job.ID,
+		Key:       out.Job.Key,
+		State:     out.Job.stateNow(),
+		CacheHit:  out.CacheHit,
+		Coalesced: out.Coalesced,
+	}
+	code := http.StatusAccepted
+	if out.CacheHit {
+		code = http.StatusOK // nothing to wait for: the result is ready
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": s.List()})
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *Job {
+	j, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFromPath(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	if blob := j.result(); blob != nil {
+		// Serve the stored bytes verbatim: every fetch of a result —
+		// first-run or cache-hit — returns the identical payload.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+		return
+	}
+	st := j.status()
+	if st.State == StateFailed || st.State == StateCanceled {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	writeJSON(w, http.StatusConflict, map[string]interface{}{
+		"error": "job not finished", "state": st.State, "step": st.Step,
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.CancelJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleEvents streams progress as NDJSON: one ProgressEvent per line as
+// they arrive, then a final status line, then EOF. Polling with a short
+// interval (rather than a per-event condvar) keeps the job's hot path
+// free of subscriber bookkeeping.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, terminal := j.eventsSince(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			enc.Encode(map[string]interface{}{"final": true, "status": j.status()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			// loop once more to drain trailing events, then emit final
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.MetricsText())
+}

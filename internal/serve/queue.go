@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; the HTTP layer maps it to 429 with a Retry-After estimate.
+type ErrQueueFull struct {
+	// Depth is the queue depth at rejection time.
+	Depth int
+	// RetryAfterSeconds is the server's estimate of when capacity frees
+	// up (queue depth × recent mean run time / workers, at least 1).
+	RetryAfterSeconds int
+}
+
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("serve: job queue full (%d queued); retry in ~%ds", e.Depth, e.RetryAfterSeconds)
+}
+
+// queued is one heap element. seq breaks priority ties FIFO.
+type queued struct {
+	job *Job
+	seq int64
+}
+
+// jobHeap orders by Priority descending, then seq ascending.
+type jobHeap []queued
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(queued)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queued{}
+	*h = old[:n-1]
+	return it
+}
+
+// jobQueue is the bounded priority queue feeding the worker pool. Push
+// never blocks (admission control rejects instead); Pop blocks until a
+// job is available or the queue is closed AND empty — so closing drains
+// already-admitted work rather than dropping it.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	cap    int
+	seq    int64
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job, or reports false when the queue is full or closed.
+func (q *jobQueue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.heap) >= q.cap {
+		return false
+	}
+	q.seq++
+	heap.Push(&q.heap, queued{job: j, seq: q.seq})
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next job by priority. ok is false only when the
+// queue has been closed and fully drained.
+func (q *jobQueue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	it := heap.Pop(&q.heap).(queued)
+	return it.job, true
+}
+
+// close stops admission and wakes all poppers; queued jobs still drain.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}

@@ -1,0 +1,432 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
+	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+)
+
+// ErrDraining is returned by Submit once graceful shutdown has begun.
+var ErrDraining = errors.New("serve: server is draining, not accepting jobs")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("serve: no such job")
+
+// Options configures a Server. Zero values select the defaults.
+type Options struct {
+	// Workers is the concurrent-worlds cap: at most this many
+	// simmpi.Worlds run at once, regardless of queue depth (default 2).
+	Workers int
+	// QueueCap bounds the admission queue; submissions beyond it are
+	// rejected with ErrQueueFull (default 16).
+	QueueCap int
+	// CacheCap bounds the number of retained jobs (results + terminal
+	// statuses). Oldest-touched terminal jobs are evicted first
+	// (default 64).
+	CacheCap int
+	// MaxRanks / MaxSteps bound a single job, so one submission cannot
+	// monopolize the host (defaults 16 and 512).
+	MaxRanks int
+	MaxSteps int
+	// Calibration, when non-nil, replaces the built-in cost-model unit
+	// costs of every job with measured ones (see core.CalibrationProfile
+	// and cmd/bench -calibrate).
+	Calibration *core.CalibrationProfile
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 16
+	}
+	if o.CacheCap <= 0 {
+		o.CacheCap = 64
+	}
+	if o.MaxRanks <= 0 {
+		o.MaxRanks = 16
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 512
+	}
+	return o
+}
+
+// SubmitOutcome tells a client how its submission was resolved.
+type SubmitOutcome struct {
+	Job *Job
+	// CacheHit: the job already completed; the result is served from the
+	// deterministic cache without constructing a world.
+	CacheHit bool
+	// Coalesced: an identical job is queued or running; this submission
+	// was folded into it (singleflight).
+	Coalesced bool
+}
+
+// Server multiplexes simulation jobs over a bounded worker pool with a
+// deterministic result cache. It is safe for concurrent use.
+type Server struct {
+	opts  Options
+	queue *jobQueue
+	wg    sync.WaitGroup
+
+	mu    sync.Mutex
+	byKey map[string]*Job // latest job per canonical spec key
+	byID  map[string]*Job
+	order []string // job IDs in creation order, for stable listing
+	seq   int64
+	// touched tracks cache recency per job ID (LRU eviction).
+	touched map[string]time.Time
+	// run-time history for the Retry-After estimate.
+	runSecondsSum float64
+	runsFinished  int64
+	// phaseSeconds aggregates measured per-phase wall time across all
+	// completed jobs (the /metrics payload).
+	phaseSeconds map[string]float64
+
+	draining atomic.Bool
+
+	// counters (atomic: read lock-free by /metrics).
+	nSubmitted   atomic.Int64
+	nCoalesced   atomic.Int64
+	nCacheHits   atomic.Int64
+	nCompleted   atomic.Int64
+	nFailed      atomic.Int64
+	nCanceled    atomic.Int64
+	nRejected    atomic.Int64
+	nWorldsBuilt atomic.Int64
+}
+
+// NewServer builds a server and starts its worker pool.
+func NewServer(opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{
+		opts:         o,
+		queue:        newJobQueue(o.QueueCap),
+		byKey:        make(map[string]*Job),
+		byID:         make(map[string]*Job),
+		touched:      make(map[string]time.Time),
+		phaseSeconds: make(map[string]float64),
+	}
+	s.wg.Add(o.Workers)
+	for i := 0; i < o.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// WorldsBuilt returns how many simmpi.Worlds this server has constructed —
+// the quantity the cache-determinism tests pin (a cache hit must not move
+// it).
+func (s *Server) WorldsBuilt() int64 { return s.nWorldsBuilt.Load() }
+
+// Submit resolves a job spec: cache hit, coalesce onto an identical
+// in-flight job, or admit a new one. Errors: ErrDraining, *ErrQueueFull,
+// or a validation error from normalization.
+func (s *Server) Submit(spec JobSpec) (SubmitOutcome, error) {
+	if s.draining.Load() {
+		return SubmitOutcome{}, ErrDraining
+	}
+	norm, err := spec.Normalized()
+	if err != nil {
+		return SubmitOutcome{}, err
+	}
+	if norm.Ranks > s.opts.MaxRanks {
+		return SubmitOutcome{}, fmt.Errorf("serve: ranks %d exceeds server cap %d", norm.Ranks, s.opts.MaxRanks)
+	}
+	if norm.Steps > s.opts.MaxSteps {
+		return SubmitOutcome{}, fmt.Errorf("serve: steps %d exceeds server cap %d", norm.Steps, s.opts.MaxSteps)
+	}
+	s.nSubmitted.Add(1)
+	key := norm.Key()
+	now := time.Now()
+
+	s.mu.Lock()
+	if prev, ok := s.byKey[key]; ok {
+		switch prev.stateNow() {
+		case StateDone:
+			prev.addSubmit()
+			s.touched[prev.ID] = now
+			s.mu.Unlock()
+			s.nCacheHits.Add(1)
+			return SubmitOutcome{Job: prev, CacheHit: true}, nil
+		case StateQueued, StateRunning:
+			prev.addSubmit()
+			s.touched[prev.ID] = now
+			s.mu.Unlock()
+			s.nCoalesced.Add(1)
+			return SubmitOutcome{Job: prev, Coalesced: true}, nil
+		default:
+			// failed or canceled: fall through and retry with a fresh job;
+			// the old one stays addressable by ID until evicted.
+		}
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j-%d", s.seq), norm, now)
+	s.byKey[key] = j
+	s.byID[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.touched[j.ID] = now
+	s.evictLocked()
+	s.mu.Unlock()
+
+	if !s.queue.push(j) {
+		s.mu.Lock()
+		delete(s.byID, j.ID)
+		delete(s.touched, j.ID)
+		if s.byKey[key] == j {
+			delete(s.byKey, key)
+		}
+		if n := len(s.order); n > 0 && s.order[n-1] == j.ID {
+			s.order = s.order[:n-1]
+		}
+		s.mu.Unlock()
+		s.nRejected.Add(1)
+		return SubmitOutcome{}, &ErrQueueFull{
+			Depth:             s.queue.depth(),
+			RetryAfterSeconds: s.retryAfterEstimate(),
+		}
+	}
+	return SubmitOutcome{Job: j}, nil
+}
+
+// retryAfterEstimate projects when queue capacity frees up: queue depth ×
+// mean job run time / workers, at least 1 second.
+func (s *Server) retryAfterEstimate() int {
+	s.mu.Lock()
+	mean := 2.0 // prior before any job has finished
+	if s.runsFinished > 0 {
+		mean = s.runSecondsSum / float64(s.runsFinished)
+	}
+	s.mu.Unlock()
+	est := math.Ceil(float64(s.queue.depth()) * mean / float64(s.opts.Workers))
+	if est < 1 {
+		est = 1
+	}
+	return int(est)
+}
+
+// evictLocked trims the retained-job set to CacheCap, dropping the
+// oldest-touched terminal jobs first. Running and queued jobs are never
+// evicted. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	for len(s.byID) > s.opts.CacheCap {
+		var victim *Job
+		var victimAt time.Time
+		for id, j := range s.byID {
+			if !j.stateNow().terminal() {
+				continue
+			}
+			at := s.touched[id]
+			if victim == nil || at.Before(victimAt) {
+				victim, victimAt = j, at
+			}
+		}
+		if victim == nil {
+			return // everything retained is live
+		}
+		delete(s.byID, victim.ID)
+		delete(s.touched, victim.ID)
+		if s.byKey[victim.Key] == victim {
+			delete(s.byKey, victim.Key)
+		}
+		for i, id := range s.order {
+			if id == victim.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Get returns the job with the given ID.
+func (s *Server) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// CancelJob requests cancellation of a job by ID. Queued jobs finalize as
+// canceled when a worker dequeues them; running jobs abort at their next
+// cancellation point. Terminal jobs are left untouched.
+func (s *Server) CancelJob(id string) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !j.stateNow().terminal() {
+		j.Cancel()
+	}
+	return j, nil
+}
+
+// List snapshots every retained job in creation order.
+func (s *Server) List() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.byID[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// worker is one slot of the concurrent-worlds cap.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job in a fresh simmpi.World, or finalizes it as
+// canceled if cancellation won the race while it sat in the queue.
+func (s *Server) runJob(j *Job) {
+	if !j.markRunning(time.Now()) {
+		j.finish(nil, simmpi.ErrCanceled, time.Now())
+		s.nCanceled.Add(1)
+		return
+	}
+	cfg, err := j.Spec.BuildConfig()
+	if err != nil {
+		j.finish(nil, err, time.Now())
+		s.nFailed.Add(1)
+		return
+	}
+	if s.opts.Calibration != nil {
+		cfg.Cost = s.opts.Calibration.Apply(cfg.Cost)
+	}
+	coll := metrics.NewCollector(j.Spec.Ranks, nil)
+	cfg.Metrics = coll
+	cfg.Cancel = j.cancel
+	cfg.OnStep = func(step int, sv *core.Solver) {
+		// Symmetric on every rank: the particle-count allreduce is itself a
+		// collective. Only rank 0 appends the event.
+		tot := sv.Comm.AllreduceInt64([]int64{int64(sv.St.Len())})
+		if sv.Comm.Rank() == 0 {
+			j.recordProgress(ProgressEvent{
+				Step:         step,
+				Particles:    tot[0],
+				PhaseSeconds: coll.Rank(0).StepPhaseSeconds(),
+			})
+		}
+	}
+
+	s.nWorldsBuilt.Add(1)
+	world := simmpi.NewWorld(j.Spec.Ranks, simmpi.Options{})
+	stats, err := core.Run(world, cfg)
+	now := time.Now()
+	if err != nil {
+		j.finish(nil, err, now)
+		if j.stateNow() == StateCanceled {
+			s.nCanceled.Add(1)
+		} else {
+			s.nFailed.Add(1)
+		}
+		return
+	}
+	res := buildResult(j.Key, j.Spec, stats)
+	j.finish(&res, nil, now)
+	s.nCompleted.Add(1)
+
+	s.mu.Lock()
+	s.runSecondsSum += j.runSeconds()
+	s.runsFinished++
+	for name, samples := range coll.PhaseDurations() {
+		var sum float64
+		for _, v := range samples {
+			sum += v
+		}
+		s.phaseSeconds[name] += sum
+	}
+	s.mu.Unlock()
+}
+
+// Drain performs graceful shutdown: admission stops (Submit returns
+// ErrDraining), already-admitted jobs run to completion, and after timeout
+// any still-running jobs are cooperatively canceled. Returns once every
+// worker has exited.
+func (s *Server) Drain(timeout time.Duration) {
+	s.draining.Store(true)
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return
+	case <-time.After(timeout):
+	}
+	// Too slow: cancel everything still live; cancellation points unblock
+	// the worlds, so the workers exit promptly.
+	s.mu.Lock()
+	live := make([]*Job, 0)
+	for _, j := range s.byID {
+		if !j.stateNow().terminal() {
+			live = append(live, j)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(live, func(a, b int) bool { return live[a].ID < live[b].ID })
+	for _, j := range live {
+		j.Cancel()
+	}
+	<-done
+}
+
+// MetricsText renders the aggregate text metrics payload.
+func (s *Server) MetricsText() string {
+	s.mu.Lock()
+	phases := make([]string, 0, len(s.phaseSeconds))
+	for name := range s.phaseSeconds {
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	lines := make([]string, 0, len(phases)+10)
+	lines = append(lines,
+		fmt.Sprintf("plasmad_jobs_submitted %d", s.nSubmitted.Load()),
+		fmt.Sprintf("plasmad_jobs_coalesced %d", s.nCoalesced.Load()),
+		fmt.Sprintf("plasmad_jobs_cache_hits %d", s.nCacheHits.Load()),
+		fmt.Sprintf("plasmad_jobs_completed %d", s.nCompleted.Load()),
+		fmt.Sprintf("plasmad_jobs_failed %d", s.nFailed.Load()),
+		fmt.Sprintf("plasmad_jobs_canceled %d", s.nCanceled.Load()),
+		fmt.Sprintf("plasmad_jobs_rejected %d", s.nRejected.Load()),
+		fmt.Sprintf("plasmad_worlds_built %d", s.nWorldsBuilt.Load()),
+		fmt.Sprintf("plasmad_queue_depth %d", s.queue.depth()),
+	)
+	for _, name := range phases {
+		lines = append(lines, fmt.Sprintf("plasmad_phase_seconds{phase=%q} %.6f", name, s.phaseSeconds[name]))
+	}
+	s.mu.Unlock()
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

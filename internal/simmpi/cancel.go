@@ -1,0 +1,67 @@
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cooperative cancellation.
+//
+// A one-shot CLI run either finishes or is killed with the process; a
+// serving daemon multiplexing many worlds on one host needs a third
+// outcome: stop this run now, release its rank goroutines, keep the
+// process. Cancellation here is cooperative and race-free by construction:
+// World.Cancel flips a flag and wakes every blocked receiver, blocked
+// receives abort with *CancelError (classified like the other rank-level
+// aborts), and compute-bound ranks observe the flag at their next
+// cancellation point — a Comm.CheckCancel call at a step boundary, or the
+// next blocking Recv inside any collective. No goroutine is ever killed
+// mid-operation; each unwinds through its own recover in RunWithReport.
+
+// ErrCanceled marks errors caused by a World.Cancel: the classified
+// world-level error of a canceled run matches errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("simmpi: run canceled")
+
+// CancelError is the panic value (and per-rank error) of a rank that
+// observed cancellation, either at a blocking receive or at an explicit
+// CheckCancel point. It classifies as ErrCanceled under errors.Is.
+type CancelError struct {
+	Rank int
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("simmpi: rank %d canceled", e.Rank)
+}
+
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+
+// Cancel requests cooperative termination of the current (or next) Run:
+// blocked receives abort immediately, compute-bound ranks abort at their
+// next cancellation point. Idempotent and safe from any goroutine — this
+// is the one World method intended to be called from outside the rank
+// goroutines. A canceled World must not be reused; build a fresh one.
+func (w *World) Cancel() {
+	if w.canceled.Swap(true) {
+		return
+	}
+	// Wake every blocked receiver so it observes the flag now instead of
+	// at the next watchdog tick.
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// Canceled reports whether Cancel has been called.
+func (w *World) Canceled() bool { return w.canceled.Load() }
+
+// CheckCancel is a cancellation point: it panics with *CancelError (caught
+// and classified by Run) when the world has been canceled, and is a cheap
+// atomic load otherwise. The solver calls it at step boundaries; blocking
+// receives check implicitly.
+func (c *Comm) CheckCancel() {
+	if c.world.canceled.Load() {
+		panic(&CancelError{Rank: c.rank})
+	}
+}

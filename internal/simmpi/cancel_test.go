@@ -1,0 +1,127 @@
+package simmpi
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancelUnblocksReceivers proves Cancel aborts ranks blocked in a
+// receive immediately (not after the deadline) and that the classified
+// error matches ErrCanceled.
+func TestCancelUnblocksReceivers(t *testing.T) {
+	w := NewWorld(4, Options{Deadline: time.Hour}) // deadline must not rescue the test
+	started := make(chan struct{})
+	var once atomic.Bool
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- w.Run(func(c *Comm) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			// Every rank blocks on a message nobody will ever send.
+			c.Recv((c.Rank()+1)%c.Size(), TagUserBase)
+		})
+	}()
+	<-started
+	w.Cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Run returned %v; want ErrCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after Cancel — blocked receivers were not woken")
+	}
+	if !w.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+// TestCancelDuringCollective cancels a world whose ranks are inside a
+// collective that can never complete (one rank withholds participation),
+// and checks every rank unwinds as a survivor.
+func TestCancelDuringCollective(t *testing.T) {
+	w := NewWorld(4, Options{Deadline: time.Hour})
+	entered := make(chan struct{}, 4)
+	rep := make(chan *RunReport, 1)
+	go func() {
+		rep <- w.RunWithReport(func(c *Comm) {
+			entered <- struct{}{}
+			if c.Rank() == 3 {
+				// Withhold participation until canceled: block on a recv
+				// that aborts via the cancel check.
+				c.Recv(0, TagUserBase)
+				return
+			}
+			c.Barrier() // cannot complete without rank 3
+		})
+	}()
+	for i := 0; i < 4; i++ {
+		<-entered
+	}
+	time.Sleep(10 * time.Millisecond) // let ranks reach their blocking points
+	w.Cancel()
+	select {
+	case r := <-rep:
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("classified error %v; want ErrCanceled", r.Err)
+		}
+		if len(r.Survivors) != 4 {
+			t.Fatalf("survivors %v; want all 4 ranks (cancel is not a failure)", r.Survivors)
+		}
+		if len(r.Failed) != 0 {
+			t.Fatalf("failed %v; want none", r.Failed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunWithReport did not return after Cancel")
+	}
+}
+
+// TestCancelIdempotent checks double-Cancel is safe and CheckCancel fires.
+func TestCancelIdempotent(t *testing.T) {
+	w := NewWorld(2, Options{})
+	w.Cancel()
+	w.Cancel()
+	err := w.Run(func(c *Comm) {
+		c.CheckCancel()
+		t.Error("CheckCancel did not abort on a canceled world")
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run returned %v; want ErrCanceled", err)
+	}
+}
+
+// TestCancelLeaksNoGoroutines is the leak regression: after canceling a
+// world stuck in a receive, the goroutine count returns to baseline.
+func TestCancelLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		w := NewWorld(8, Options{Deadline: time.Hour})
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- w.Run(func(c *Comm) {
+				c.Recv((c.Rank()+1)%c.Size(), TagUserBase)
+			})
+		}()
+		time.Sleep(5 * time.Millisecond)
+		w.Cancel()
+		select {
+		case <-errCh:
+		case <-time.After(10 * time.Second):
+			t.Fatal("canceled Run did not return")
+		}
+	}
+	// Give exited goroutines a moment to be reaped by the scheduler.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

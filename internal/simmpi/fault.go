@@ -137,7 +137,7 @@ type RunReport struct {
 
 // classify builds Failed/Survivors/Err from PerRank.
 func (rep *RunReport) classify() {
-	var userErr, failErr, deadErr error
+	var userErr, failErr, cancelErr, deadErr error
 	for rank, err := range rep.PerRank {
 		if err == nil {
 			rep.Survivors = append(rep.Survivors, rank)
@@ -151,6 +151,13 @@ func (rep *RunReport) classify() {
 			}
 		case *abortError:
 			rep.Survivors = append(rep.Survivors, rank)
+		case *CancelError:
+			// A canceled rank is alive and unwound cooperatively — a
+			// survivor, like a peer-failure abort.
+			rep.Survivors = append(rep.Survivors, rank)
+			if cancelErr == nil {
+				cancelErr = e
+			}
 		case *DeadlockError:
 			rep.Survivors = append(rep.Survivors, rank)
 			if deadErr == nil {
@@ -169,6 +176,10 @@ func (rep *RunReport) classify() {
 		rep.Err = userErr
 	case failErr != nil:
 		rep.Err = fmt.Errorf("%w; survivors: %v", failErr, rep.Survivors)
+	case cancelErr != nil:
+		// Cancellation explains any deadlock diagnostics it induced (a
+		// rank can exceed its receive deadline while peers unwind).
+		rep.Err = cancelErr
 	case deadErr != nil:
 		rep.Err = deadErr
 	}

@@ -15,6 +15,7 @@ package simmpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -89,6 +90,9 @@ func (mb *mailbox) get(src, tag int, deadline time.Duration, rank int) message {
 		if rf := mb.world.peerFailure(); rf != nil {
 			panic(&abortError{rank: rank, cause: rf})
 		}
+		if mb.world.canceled.Load() {
+			panic(&CancelError{Rank: rank})
+		}
 		if time.Since(start) > deadline {
 			pending := make([]PendingMessage, len(mb.queue))
 			for i, m := range mb.queue {
@@ -145,6 +149,10 @@ type World struct {
 	failMu  sync.Mutex
 	failure *RankFailure
 	report  *RunReport
+
+	// canceled is the cooperative-cancellation flag (see cancel.go):
+	// Cancel sets it, blocked receives and CheckCancel points observe it.
+	canceled atomic.Bool
 }
 
 // NewWorld creates a world of n ranks.
@@ -248,6 +256,8 @@ func (w *World) RunWithReport(f func(c *Comm)) *RunReport {
 					case *DeadlockError:
 						rep.PerRank[rank] = v
 					case *abortError:
+						rep.PerRank[rank] = v
+					case *CancelError:
 						rep.PerRank[rank] = v
 					default:
 						rep.PerRank[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, r)
