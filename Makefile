@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint commvet bench bench-quick bench-compare calibrate plasmad plasmad-smoke clean
+.PHONY: all build test race lint commvet bench bench-quick bench-compare calibrate plasmad plasmad-smoke plasmad-recovery-smoke store-faults clean
 
 all: build
 
@@ -62,6 +62,17 @@ plasmad:
 # cache-hit re-submit, /metrics, SIGTERM drain.
 plasmad-smoke:
 	sh scripts/plasmad_smoke.sh
+
+# plasmad-recovery-smoke SIGKILLs a durable daemon mid-run and proves the
+# restart replays the journal, requeues the interrupted job, and serves
+# the finished one byte-identically from the on-disk cache.
+plasmad-recovery-smoke:
+	sh scripts/plasmad_recovery_smoke.sh
+
+# store-faults runs the persistence layer's deterministic disk-fault
+# matrix (torn writes, ENOSPC, fsync failures, crashes) under -race.
+store-faults:
+	$(GO) test -race -count=1 ./internal/store/...
 
 clean:
 	rm -rf bin

@@ -53,6 +53,12 @@ var deterministicPkgs = map[string]bool{
 	"diag":      true,
 	"partition": true,
 	"commcost":  true,
+	// store journals jobs and persists results; recovery must reproduce
+	// the same on-disk state from the same operation sequence (LRU
+	// eviction order, index contents), so its clock is injected
+	// (Options.Clock) and its eviction order is a logical sequence, not
+	// wall time.
+	"store": true,
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level

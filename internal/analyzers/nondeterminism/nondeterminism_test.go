@@ -23,6 +23,14 @@ func TestCommcostPackage(t *testing.T) {
 	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "commcost")
 }
 
+// TestStorePackage covers the persistence layer's membership in the
+// deterministic set: replaying one journal + operation sequence must
+// rebuild the same on-disk state (LRU order, index bytes), so wall-clock
+// reads and map-order-sensitive iteration are banned there too.
+func TestStorePackage(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "store")
+}
+
 // TestOutsideDeterministicSet proves the analyzer is scoped: the same
 // patterns in a package outside the deterministic set produce nothing.
 func TestOutsideDeterministicSet(t *testing.T) {

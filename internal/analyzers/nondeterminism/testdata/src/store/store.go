@@ -1,0 +1,41 @@
+// Fixture named "store": the persistence layer joined the deterministic
+// set because recovery must rebuild identical on-disk state from an
+// identical operation sequence — LRU eviction order and index contents
+// included. Its clock is injected (Options.Clock) and eviction is driven
+// by a logical sequence number, never wall time.
+package store
+
+import "time"
+
+// Clock injection: assigning the time.Now function value is the sanctioned
+// wiring (the call happens outside the package, under the caller's
+// control); calling it in-package is not.
+var defaultClock func() time.Time = time.Now
+
+func syncAge(last time.Time) time.Duration {
+	return time.Since(last) // want "time.Since read in deterministic package store"
+}
+
+func stampTouch() time.Time {
+	return time.Now() // want "time.Now read in deterministic package store"
+}
+
+// evictionOrder is the canonical fix: collect the bare range keys, then
+// sort by the logical sequence — deterministic and analyzer-clean.
+func evictionOrder(touched map[string]int64) []string {
+	var keys []string
+	for k := range touched {
+		keys = append(keys, k) // bare range key: collect-then-sort idiom, fine
+	}
+	return keys
+}
+
+// indexInMapOrder is the bug the fixture guards against: an index slice
+// built in map order persists a different byte sequence every run.
+func indexInMapOrder(touched map[string]int64) []int64 {
+	var seqs []int64
+	for _, seq := range touched {
+		seqs = append(seqs, seq) // want "append inside map iteration"
+	}
+	return seqs
+}

@@ -1,0 +1,18 @@
+package metrics
+
+import "sort"
+
+// SortedNames returns the keys of a counter map in sorted order — the
+// shared rendering primitive for every deterministic exporter in the
+// tree (the Chrome-trace counter events, the daemon's /metrics text, the
+// store's persisted counters). Iterating a Go map directly would emit a
+// different byte order every run, which both the nondeterminism analyzer
+// and the byte-identical-replay tests treat as a bug.
+func SortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

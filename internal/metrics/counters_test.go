@@ -1,0 +1,17 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedNames(t *testing.T) {
+	got := SortedNames(map[string]int64{"poisson_iters": 3, "collisions": 1, "reactions": 2})
+	want := []string{"collisions", "poisson_iters", "reactions"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedNames = %v, want %v", got, want)
+	}
+	if got := SortedNames(map[string]float64(nil)); len(got) != 0 {
+		t.Fatalf("SortedNames(nil) = %v, want empty", got)
+	}
+}

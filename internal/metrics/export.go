@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // Export formats. Both walk ranks and steps in order and sort counter
@@ -98,12 +97,7 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			}
 			// Counter events are stamped at the step's first phase start.
 			ts := float64(sr.Phases[0].Start) / 1e3
-			names := make([]string, 0, len(sr.Counters))
-			for name := range sr.Counters {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			for _, name := range names {
+			for _, name := range SortedNames(sr.Counters) {
 				events = append(events, traceEvent{
 					Name: name, Ph: "C", Ts: ts, Pid: pid, Tid: reg.rank,
 					Args: map[string]any{"value": sr.Counters[name]},

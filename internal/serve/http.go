@@ -18,7 +18,7 @@ import (
 //	POST /jobs/{id}/cancel request cooperative cancellation
 //	GET  /jobs/{id}/events NDJSON progress stream (one event per step)
 //	GET  /metrics          aggregate text metrics
-//	GET  /healthz          liveness probe
+//	GET  /healthz          readiness probe (JSON; 503 while draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -28,11 +28,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is a real readiness probe, not a static liveness ping: it
+// reports store mode (durable/degraded/memory), queue depth, in-flight
+// workers, and the age of the last journal fsync. During drain it answers
+// 503 with a Retry-After so load balancers stop routing immediately —
+// clients already polling their jobs keep getting answers on the job
+// endpoints throughout the drain.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h.Status == "draining" {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterEstimate()))
+	}
+	writeJSON(w, code, h)
 }
 
 // submitResponse is the POST /jobs reply body.

@@ -118,6 +118,10 @@ type Job struct {
 	submits   int // total submissions resolved to this job (1 + coalesced)
 	curStep   int
 	events    []ProgressEvent
+	// deadline is set when the per-job wall-clock timeout fired; the
+	// cancellation it triggered then classifies as "timeout", not
+	// "canceled".
+	deadline time.Duration
 
 	// resultJSON is marshaled exactly once, at completion; cached and
 	// repeated fetches serve these bytes verbatim, which is what makes the
@@ -139,6 +143,31 @@ func newJob(id string, spec JobSpec, now time.Time) *Job {
 		submitted: now,
 		submits:   1,
 	}
+}
+
+// recoveredJob rebuilds a job from the persistent store at startup. A
+// terminal state arrives with its outcome already decided (resultJSON for
+// done, errMsg/errClass otherwise) and a closed done channel; a queued
+// state yields a job ready for the worker pool, exactly as if it had
+// just been admitted.
+func recoveredJob(id string, spec JobSpec, state JobState, resultJSON []byte, errMsg, errClass string, now time.Time) *Job {
+	j := newJob(id, spec, now)
+	j.state = state
+	j.resultJSON = resultJSON
+	j.errMsg = errMsg
+	j.errClass = errClass
+	if state.terminal() {
+		close(j.done)
+	}
+	return j
+}
+
+// markDeadlineExceeded records that the per-job wall-clock timeout fired,
+// before the associated Cancel lands.
+func (j *Job) markDeadlineExceeded(after time.Duration) {
+	j.mu.Lock()
+	j.deadline = after
+	j.mu.Unlock()
 }
 
 // Cancel requests cooperative cancellation. Idempotent; a no-op once the
@@ -198,8 +227,13 @@ func (j *Job) finish(res *Result, err error, now time.Time) {
 		j.resultJSON = blob
 	case errors.Is(err, simmpi.ErrCanceled):
 		j.state = StateCanceled
-		j.errMsg = err.Error()
-		j.errClass = "canceled"
+		if j.deadline > 0 {
+			j.errMsg = fmt.Sprintf("job deadline exceeded (%s): %v", j.deadline, err)
+			j.errClass = "timeout"
+		} else {
+			j.errMsg = err.Error()
+			j.errClass = "canceled"
+		}
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/core"
 	"github.com/plasma-hpc/dsmcpic/internal/metrics"
 	"github.com/plasma-hpc/dsmcpic/internal/simmpi"
+	"github.com/plasma-hpc/dsmcpic/internal/store"
 )
 
 // ErrDraining is returned by Submit once graceful shutdown has begun.
@@ -40,6 +42,23 @@ type Options struct {
 	// costs of every job with measured ones (see core.CalibrationProfile
 	// and cmd/bench -calibrate).
 	Calibration *core.CalibrationProfile
+
+	// Store, when non-nil, persists the job table and result cache
+	// across restarts (see internal/store). All store methods are
+	// nil-receiver-safe, so the wiring below calls them unconditionally.
+	Store *store.Store
+	// Recovered is the store's startup report; NewServer folds its jobs
+	// back into the in-memory tables (done jobs become servable cache
+	// entries, unfinished ones are requeued unless NoRequeue is set).
+	Recovered *store.RecoveryReport
+	// NoRequeue finalizes recovered admitted-but-unfinished jobs as
+	// failed ("interrupted by restart") instead of re-running them.
+	NoRequeue bool
+	// JobTimeout, when positive, is the per-job wall-clock deadline:
+	// a running job past it is cooperatively canceled through the same
+	// Config.Cancel bridge as an explicit cancel, and reports error
+	// class "timeout".
+	JobTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -104,9 +123,13 @@ type Server struct {
 	nCanceled    atomic.Int64
 	nRejected    atomic.Int64
 	nWorldsBuilt atomic.Int64
+	nRunning     atomic.Int64 // workers currently executing a world
+	nRecovered   atomic.Int64 // jobs restored from the persistent store
+	nRequeued    atomic.Int64 // recovered unfinished jobs re-admitted
 }
 
-// NewServer builds a server and starts its worker pool.
+// NewServer builds a server, folds in any recovered persistent state,
+// and starts the worker pool.
 func NewServer(opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
@@ -117,11 +140,73 @@ func NewServer(opts Options) *Server {
 		touched:      make(map[string]time.Time),
 		phaseSeconds: make(map[string]float64),
 	}
+	s.recover()
 	s.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// recover folds the store's startup report into the job tables: done jobs
+// become servable cache entries (their result bytes come verified off
+// disk, so a resubmission is a byte-identical cache hit), failed/canceled
+// jobs keep their terminal status, and admitted-but-unfinished jobs are
+// requeued — a SIGKILL costs at most the work that was in flight. Runs
+// before the workers start, so no locking subtleties.
+func (s *Server) recover() {
+	rep := s.opts.Recovered
+	if rep == nil {
+		return
+	}
+	now := time.Now()
+	for _, rec := range rep.Jobs {
+		var spec JobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			continue // journaled spec unreadable: nothing to serve or rerun
+		}
+		norm, err := spec.Normalized()
+		if err != nil || norm.Key() != rec.Key {
+			continue // spec no longer normalizes to the journaled key
+		}
+		var j *Job
+		switch rec.State {
+		case "done":
+			blob, ok := s.opts.Store.GetResult(rec.Key)
+			if !ok {
+				continue // store.Open already dropped these; belt and braces
+			}
+			j = recoveredJob(rec.ID, norm, StateDone, blob, "", "", now)
+		case "failed":
+			j = recoveredJob(rec.ID, norm, StateFailed, nil, rec.Err, rec.ErrClass, now)
+		case "canceled":
+			j = recoveredJob(rec.ID, norm, StateCanceled, nil, rec.Err, rec.ErrClass, now)
+		default: // queued or running at crash time
+			if s.opts.NoRequeue {
+				j = recoveredJob(rec.ID, norm, StateFailed, nil,
+					"interrupted by daemon restart (requeue disabled)", "interrupted", now)
+				s.opts.Store.RecordState(rec.ID, "failed", "interrupted by daemon restart (requeue disabled)", "interrupted")
+			} else {
+				j = recoveredJob(rec.ID, norm, StateQueued, nil, "", "", now)
+				if s.queue.push(j) {
+					s.opts.Store.RecordState(rec.ID, "queued", "", "")
+					s.nRequeued.Add(1)
+				} else {
+					j = recoveredJob(rec.ID, norm, StateFailed, nil,
+						"recovery queue overflow", "interrupted", now)
+					s.opts.Store.RecordState(rec.ID, "failed", "recovery queue overflow", "interrupted")
+				}
+			}
+		}
+		s.byKey[rec.Key] = j
+		s.byID[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.touched[j.ID] = now
+		s.nRecovered.Add(1)
+	}
+	if seq := store.MaxJobSeq(rep.Jobs); seq > s.seq {
+		s.seq = seq
+	}
 }
 
 // WorldsBuilt returns how many simmpi.Worlds this server has constructed —
@@ -158,6 +243,7 @@ func (s *Server) Submit(spec JobSpec) (SubmitOutcome, error) {
 			s.touched[prev.ID] = now
 			s.mu.Unlock()
 			s.nCacheHits.Add(1)
+			s.opts.Store.Touch(key) // keep hot results out of the LRU's reach
 			return SubmitOutcome{Job: prev, CacheHit: true}, nil
 		case StateQueued, StateRunning:
 			prev.addSubmit()
@@ -195,6 +281,9 @@ func (s *Server) Submit(spec JobSpec) (SubmitOutcome, error) {
 			Depth:             s.queue.depth(),
 			RetryAfterSeconds: s.retryAfterEstimate(),
 		}
+	}
+	if specBlob, err := json.Marshal(norm); err == nil {
+		s.opts.Store.RecordAdmit(j.ID, key, specBlob)
 	}
 	return SubmitOutcome{Job: j}, nil
 }
@@ -234,6 +323,7 @@ func (s *Server) evictLocked() {
 		if victim == nil {
 			return // everything retained is live
 		}
+		s.opts.Store.DropJob(victim.ID)
 		delete(s.byID, victim.ID)
 		delete(s.touched, victim.ID)
 		if s.byKey[victim.Key] == victim {
@@ -306,15 +396,27 @@ func (s *Server) worker() {
 // runJob executes one job in a fresh simmpi.World, or finalizes it as
 // canceled if cancellation won the race while it sat in the queue.
 func (s *Server) runJob(j *Job) {
+	s.nRunning.Add(1)
+	defer s.nRunning.Add(-1)
 	if !j.markRunning(time.Now()) {
 		j.finish(nil, simmpi.ErrCanceled, time.Now())
 		s.nCanceled.Add(1)
+		s.recordTerminal(j)
 		return
+	}
+	s.opts.Store.RecordState(j.ID, "running", "", "")
+	if s.opts.JobTimeout > 0 {
+		timer := time.AfterFunc(s.opts.JobTimeout, func() {
+			j.markDeadlineExceeded(s.opts.JobTimeout)
+			j.Cancel()
+		})
+		defer timer.Stop()
 	}
 	cfg, err := j.Spec.BuildConfig()
 	if err != nil {
 		j.finish(nil, err, time.Now())
 		s.nFailed.Add(1)
+		s.recordTerminal(j)
 		return
 	}
 	if s.opts.Calibration != nil {
@@ -347,11 +449,13 @@ func (s *Server) runJob(j *Job) {
 		} else {
 			s.nFailed.Add(1)
 		}
+		s.recordTerminal(j)
 		return
 	}
 	res := buildResult(j.Key, j.Spec, stats)
 	j.finish(&res, nil, now)
 	s.nCompleted.Add(1)
+	s.recordTerminal(j)
 
 	s.mu.Lock()
 	s.runSecondsSum += j.runSeconds()
@@ -364,6 +468,21 @@ func (s *Server) runJob(j *Job) {
 		s.phaseSeconds[name] += sum
 	}
 	s.mu.Unlock()
+}
+
+// recordTerminal persists a job's terminal outcome. Result bytes land
+// durably *before* the "done" state record: journal replay drops a done
+// job whose result is missing, so this ordering guarantees a recovered
+// done job is always servable byte-identically.
+func (s *Server) recordTerminal(j *Job) {
+	if s.opts.Store == nil {
+		return
+	}
+	st := j.status()
+	if blob := j.result(); blob != nil {
+		s.opts.Store.PutResult(j.Key, blob)
+	}
+	s.opts.Store.RecordState(j.ID, string(st.State), st.Error, st.ErrClass)
 }
 
 // Drain performs graceful shutdown: admission stops (Submit returns
@@ -400,6 +519,47 @@ func (s *Server) Drain(timeout time.Duration) {
 	<-done
 }
 
+// HealthStatus is the /healthz readiness payload.
+type HealthStatus struct {
+	// Status is "ok" while serving, "draining" during graceful shutdown.
+	Status string `json:"status"`
+	// StoreMode is durable, degraded, or memory (no store configured).
+	StoreMode string `json:"store_mode"`
+	QueueDepth int `json:"queue_depth"`
+	// InFlight counts workers currently executing a world.
+	InFlight int `json:"in_flight"`
+	Workers  int `json:"workers"`
+	Retained int `json:"retained_jobs"`
+	// JournalSyncAgeSeconds is the age of the last durable journal write
+	// (-1 when no store is configured or nothing has been journaled yet).
+	JournalSyncAgeSeconds float64 `json:"journal_sync_age_seconds"`
+}
+
+// Health snapshots readiness for the /healthz probe.
+func (s *Server) Health() HealthStatus {
+	h := HealthStatus{
+		Status:                "ok",
+		StoreMode:             "memory",
+		QueueDepth:            s.queue.depth(),
+		InFlight:              int(s.nRunning.Load()),
+		Workers:               s.opts.Workers,
+		JournalSyncAgeSeconds: -1,
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	if st := s.opts.Store; st != nil {
+		h.StoreMode = string(st.Mode())
+		if last := st.LastSync(); !last.IsZero() {
+			h.JournalSyncAgeSeconds = time.Since(last).Seconds()
+		}
+	}
+	s.mu.Lock()
+	h.Retained = len(s.byID)
+	s.mu.Unlock()
+	return h
+}
+
 // MetricsText renders the aggregate text metrics payload.
 func (s *Server) MetricsText() string {
 	s.mu.Lock()
@@ -417,6 +577,9 @@ func (s *Server) MetricsText() string {
 		fmt.Sprintf("plasmad_jobs_failed %d", s.nFailed.Load()),
 		fmt.Sprintf("plasmad_jobs_canceled %d", s.nCanceled.Load()),
 		fmt.Sprintf("plasmad_jobs_rejected %d", s.nRejected.Load()),
+		fmt.Sprintf("plasmad_jobs_recovered %d", s.nRecovered.Load()),
+		fmt.Sprintf("plasmad_jobs_requeued %d", s.nRequeued.Load()),
+		fmt.Sprintf("plasmad_jobs_inflight %d", s.nRunning.Load()),
 		fmt.Sprintf("plasmad_worlds_built %d", s.nWorldsBuilt.Load()),
 		fmt.Sprintf("plasmad_queue_depth %d", s.queue.depth()),
 	)
@@ -424,6 +587,15 @@ func (s *Server) MetricsText() string {
 		lines = append(lines, fmt.Sprintf("plasmad_phase_seconds{phase=%q} %.6f", name, s.phaseSeconds[name]))
 	}
 	s.mu.Unlock()
+	if st := s.opts.Store; st != nil {
+		lines = append(lines, fmt.Sprintf("plasmad_store_mode{mode=%q} 1", st.Mode()))
+		c := st.Counters()
+		for _, name := range store.SortedCounterNames(c) {
+			lines = append(lines, fmt.Sprintf("plasmad_store_%s %d", name, c[name]))
+		}
+	} else {
+		lines = append(lines, `plasmad_store_mode{mode="memory"} 1`)
+	}
 	out := ""
 	for _, l := range lines {
 		out += l + "\n"

@@ -1,0 +1,271 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+)
+
+// The result cache: one file per canonical JobSpec SHA-256 under
+// results/, each framed as
+//
+//	[4B magic "PRS1"][4B CRC32-IEEE(payload)][payload]
+//
+// written via temp-file + fsync + rename so a crash can never publish a
+// half-written result, and verified on every read so a corrupt file is
+// quarantined (moved to quarantine/, never served). Recency for LRU
+// eviction lives in an on-disk index (index.json, atomically rewritten)
+// keyed by a logical touch sequence — not wall-clock time, so replaying
+// the same operations yields the same evictions.
+
+const (
+	resultsDir    = "results"
+	quarantineDir = "quarantine"
+	indexFile     = "index.json"
+	resultMagic   = "PRS1"
+	resultHeader  = 8
+)
+
+// cacheIndex is the persisted LRU state: key → last-touch sequence.
+type cacheIndex struct {
+	Seq     int64            `json:"seq"`
+	Touched map[string]int64 `json:"touched"`
+}
+
+// resultCache manages the results directory. Not safe for concurrent use;
+// the Store serializes access.
+type resultCache struct {
+	fs  Filesystem
+	dir string
+	cap int
+	idx cacheIndex
+}
+
+func openResultCache(fs Filesystem, dir string, capacity int) (*resultCache, error) {
+	c := &resultCache{fs: fs, dir: dir, cap: capacity, idx: cacheIndex{Touched: make(map[string]int64)}}
+	if err := fs.MkdirAll(Join(dir, resultsDir)); err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll(Join(dir, quarantineDir)); err != nil {
+		return nil, err
+	}
+	if buf, err := fs.ReadFile(Join(dir, indexFile)); err == nil {
+		var idx cacheIndex
+		if json.Unmarshal(buf, &idx) == nil && idx.Touched != nil {
+			c.idx = idx
+		}
+		// An unreadable or corrupt index is not fatal: recency resets,
+		// the results themselves are still content-verified files.
+	}
+	return c, nil
+}
+
+func (c *resultCache) resultPath(key string) string {
+	return Join(c.dir, resultsDir, key+".res")
+}
+
+// frameResult wraps payload in the magic+CRC header.
+func frameResult(payload []byte) []byte {
+	buf := make([]byte, resultHeader+len(payload))
+	copy(buf[0:4], resultMagic)
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[resultHeader:], payload)
+	return buf
+}
+
+// unframeResult verifies and strips the header.
+func unframeResult(buf []byte) ([]byte, error) {
+	if len(buf) < resultHeader {
+		return nil, fmt.Errorf("store: result file too short (%d bytes)", len(buf))
+	}
+	if string(buf[0:4]) != resultMagic {
+		return nil, fmt.Errorf("store: result file has bad magic")
+	}
+	payload := buf[resultHeader:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(buf[4:8]) {
+		return nil, fmt.Errorf("store: result file CRC mismatch")
+	}
+	return payload, nil
+}
+
+// put durably writes one result and updates the index, evicting beyond
+// capacity. Returns the keys evicted (their files are removed).
+func (c *resultCache) put(key string, payload []byte) (evicted []string, err error) {
+	path := c.resultPath(key)
+	tmpPath := path + ".tmp"
+	tmp, err := c.fs.Create(tmpPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, err = tmp.Write(frameResult(payload)); err != nil {
+		tmp.Close()
+		c.fs.Remove(tmpPath)
+		return nil, err
+	}
+	if err = tmp.Sync(); err != nil {
+		tmp.Close()
+		c.fs.Remove(tmpPath)
+		return nil, err
+	}
+	if err = tmp.Close(); err != nil {
+		c.fs.Remove(tmpPath)
+		return nil, err
+	}
+	if err = c.fs.Rename(tmpPath, path); err != nil {
+		c.fs.Remove(tmpPath)
+		return nil, err
+	}
+	c.touch(key)
+	evicted = c.evict()
+	if err := c.writeIndex(); err != nil {
+		// The result itself is durable; a stale index only costs recency
+		// accuracy after a crash. Report upward for counting, not fatal.
+		return evicted, err
+	}
+	return evicted, nil
+}
+
+// get reads and verifies one result. A missing file returns (nil, false,
+// nil); a corrupt file is quarantined and reported via the error while
+// still returning ok=false (the caller treats it as a miss).
+func (c *resultCache) get(key string) (payload []byte, ok bool, err error) {
+	buf, rerr := c.fs.ReadFile(c.resultPath(key))
+	if rerr != nil {
+		if isNotExist(rerr) {
+			return nil, false, nil
+		}
+		return nil, false, rerr
+	}
+	payload, uerr := unframeResult(buf)
+	if uerr != nil {
+		qerr := c.quarantine(key + ".res")
+		delete(c.idx.Touched, key)
+		if qerr != nil {
+			return nil, false, fmt.Errorf("%w (quarantine failed: %v)", uerr, qerr)
+		}
+		return nil, false, uerr
+	}
+	return payload, true, nil
+}
+
+// touch bumps the key's recency.
+func (c *resultCache) touch(key string) {
+	c.idx.Seq++
+	c.idx.Touched[key] = c.idx.Seq
+}
+
+// remove deletes one result and its index entry.
+func (c *resultCache) remove(key string) error {
+	delete(c.idx.Touched, key)
+	return c.fs.Remove(c.resultPath(key))
+}
+
+// evict trims to capacity, oldest touch first; ties (equal seq cannot
+// happen, seq is unique) are moot, but sorting is by (seq, key) anyway so
+// the order is fully deterministic.
+func (c *resultCache) evict() (evicted []string) {
+	if c.cap <= 0 || len(c.idx.Touched) <= c.cap {
+		return nil
+	}
+	keys := make([]string, 0, len(c.idx.Touched))
+	for k := range c.idx.Touched {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := c.idx.Touched[keys[i]], c.idx.Touched[keys[j]]
+		if si != sj {
+			return si < sj
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys[:len(keys)-c.cap] {
+		c.remove(k)
+		evicted = append(evicted, k)
+	}
+	return evicted
+}
+
+// quarantine moves a results/ file aside instead of deleting it, so a
+// corrupt entry stays inspectable but can never be served.
+func (c *resultCache) quarantine(name string) error {
+	return c.fs.Rename(Join(c.dir, resultsDir, name), Join(c.dir, quarantineDir, name))
+}
+
+// writeIndex atomically rewrites index.json.
+func (c *resultCache) writeIndex() error {
+	blob, err := json.Marshal(c.idx)
+	if err != nil {
+		return err
+	}
+	path := Join(c.dir, indexFile)
+	tmpPath := path + ".tmp"
+	tmp, err := c.fs.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	if _, err = tmp.Write(blob); err != nil {
+		tmp.Close()
+		c.fs.Remove(tmpPath)
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		tmp.Close()
+		c.fs.Remove(tmpPath)
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		c.fs.Remove(tmpPath)
+		return err
+	}
+	return c.fs.Rename(tmpPath, path)
+}
+
+// reconcile scans results/ against the journal's view: files that fail
+// verification are quarantined, files with no index entry get one (seq 0,
+// oldest — they survive until genuinely old), and index entries whose
+// files vanished are dropped. It returns the verified keys and the names
+// of quarantined files.
+func (c *resultCache) reconcile() (verified []string, quarantined []string, err error) {
+	names, err := c.fs.ReadDir(Join(c.dir, resultsDir))
+	if err != nil {
+		return nil, nil, err
+	}
+	present := make(map[string]bool)
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			// A crashed half-written temp file: never published, remove.
+			c.fs.Remove(Join(c.dir, resultsDir, name))
+			continue
+		}
+		key := strings.TrimSuffix(name, ".res")
+		if key == name {
+			continue // foreign file: leave it alone
+		}
+		buf, rerr := c.fs.ReadFile(Join(c.dir, resultsDir, name))
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		if _, uerr := unframeResult(buf); uerr != nil {
+			if qerr := c.quarantine(name); qerr == nil {
+				quarantined = append(quarantined, name)
+			}
+			delete(c.idx.Touched, key)
+			continue
+		}
+		present[key] = true
+		if _, ok := c.idx.Touched[key]; !ok {
+			c.idx.Touched[key] = 0
+		}
+		verified = append(verified, key)
+	}
+	for key := range c.idx.Touched {
+		if !present[key] {
+			delete(c.idx.Touched, key)
+		}
+	}
+	sort.Strings(verified)
+	return verified, quarantined, nil
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// Deterministic I/O fault injection — the simmpi.FaultPlan idiom lifted
+// to the filesystem. A FaultPlan names exact trigger points (the Nth
+// write, a cumulative byte offset, the Nth fsync) so a test can place a
+// fault at every journal record boundary, or derive the points from a
+// seed and sweep a whole matrix. Nothing here reads a clock or the
+// global rand: two runs with the same plan inject the same faults.
+
+// Injected fault sentinels, distinguishable with errors.Is.
+var (
+	// ErrTornWrite marks a write that persisted only a prefix of its
+	// buffer before the simulated crash/power-cut.
+	ErrTornWrite = errors.New("store: injected torn write")
+	// ErrNoSpace marks writes rejected by the simulated full disk (the
+	// ENOSPC analogue; partial data may have landed first, as on a real
+	// disk).
+	ErrNoSpace = errors.New("store: injected ENOSPC")
+	// ErrSyncFailed marks an injected fsync failure.
+	ErrSyncFailed = errors.New("store: injected fsync failure")
+	// ErrDiskDown marks the persistent-failure mode: every operation from
+	// the trigger on fails, emulating a dead device or revoked mount.
+	ErrDiskDown = errors.New("store: injected persistent disk failure")
+)
+
+// FaultPlan describes deterministic I/O faults. Counters are 1-based and
+// global across all files of the wrapped filesystem; 0 disables a
+// trigger. The zero plan injects nothing.
+type FaultPlan struct {
+	// TornWriteAtByte fires when cumulative bytes written would cross
+	// this offset: the crossing write persists only up to the offset and
+	// fails with ErrTornWrite; every later operation fails with
+	// ErrDiskDown (the process "died" mid-write — recovery happens on
+	// the next Open).
+	TornWriteAtByte int64
+	// ENOSPCAfterBytes is the disk-capacity budget: writes beyond it
+	// persist the in-budget prefix and fail with ErrNoSpace. Unlike a
+	// torn write the filesystem stays up — later smaller writes that fit
+	// (after Removes free nothing in this simulation) still fail, which
+	// models a full disk.
+	ENOSPCAfterBytes int64
+	// FailSyncAt fails the Nth Sync call with ErrSyncFailed (one-shot).
+	FailSyncAt int
+	// FailOpsFrom makes every filesystem/file operation from the Nth on
+	// fail with ErrDiskDown — the persistent-failure mode that must
+	// degrade the daemon to in-memory serving, not kill it.
+	FailOpsFrom int
+}
+
+// SeededPlan derives a plan pseudo-randomly from a seed, for fault-matrix
+// sweeps: the fault class and its trigger point both come from the seed,
+// so `for seed := 0; seed < N; seed++` exercises a reproducible spread of
+// torn writes, ENOSPC cliffs, fsync failures, and disk deaths within the
+// given budget of operations and bytes.
+func SeededPlan(seed uint64, maxOps int, maxBytes int64) FaultPlan {
+	r := rng.New(seed, 0xFA01)
+	var p FaultPlan
+	switch r.Intn(4) {
+	case 0:
+		p.TornWriteAtByte = 1 + int64(r.Intn(int(maxBytes)))
+	case 1:
+		p.ENOSPCAfterBytes = 1 + int64(r.Intn(int(maxBytes)))
+	case 2:
+		p.FailSyncAt = 1 + r.Intn(maxOps)
+	case 3:
+		p.FailOpsFrom = 1 + r.Intn(maxOps)
+	}
+	return p
+}
+
+// String names the armed trigger, for test logs.
+func (p FaultPlan) String() string {
+	switch {
+	case p.TornWriteAtByte > 0:
+		return fmt.Sprintf("torn-write@byte %d", p.TornWriteAtByte)
+	case p.ENOSPCAfterBytes > 0:
+		return fmt.Sprintf("enospc@byte %d", p.ENOSPCAfterBytes)
+	case p.FailSyncAt > 0:
+		return fmt.Sprintf("fail-sync#%d", p.FailSyncAt)
+	case p.FailOpsFrom > 0:
+		return fmt.Sprintf("disk-down@op %d", p.FailOpsFrom)
+	}
+	return "no-fault"
+}
+
+// FaultFS wraps a Filesystem, injecting the faults its plan describes.
+// Safe for concurrent use (the store serializes mutations, but reads may
+// race recovery in tests).
+type FaultFS struct {
+	inner Filesystem
+	plan  FaultPlan
+
+	mu      sync.Mutex
+	ops     int   // every Filesystem/File call
+	written int64 // cumulative bytes handed to Write
+	syncs   int   // Sync calls
+	down    bool  // latched by a torn write or FailOpsFrom
+}
+
+// NewFaultFS wraps inner with the given plan.
+func NewFaultFS(inner Filesystem, plan FaultPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// Down reports whether the filesystem has latched into the dead state.
+func (f *FaultFS) Down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// Ops returns the operation count so far (for boundary-sweep tests).
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// BytesWritten returns cumulative bytes offered to Write so far.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// opGate counts one operation and reports whether it must fail.
+func (f *FaultFS) opGate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.down {
+		return ErrDiskDown
+	}
+	if f.plan.FailOpsFrom > 0 && f.ops >= f.plan.FailOpsFrom {
+		f.down = true
+		return ErrDiskDown
+	}
+	return nil
+}
+
+// writeGate decides the fate of an n-byte write: how many bytes to let
+// through and which error (nil = full write).
+func (f *FaultFS) writeGate(n int) (allow int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.down {
+		return 0, ErrDiskDown
+	}
+	if f.plan.FailOpsFrom > 0 && f.ops >= f.plan.FailOpsFrom {
+		f.down = true
+		return 0, ErrDiskDown
+	}
+	before := f.written
+	f.written += int64(n)
+	if p := f.plan.TornWriteAtByte; p > 0 && f.written > p {
+		if before >= p { // already past the tear point: the device is gone
+			f.down = true
+			return 0, ErrDiskDown
+		}
+		f.down = true // the "process" dies with this write
+		return int(p - before), ErrTornWrite
+	}
+	if p := f.plan.ENOSPCAfterBytes; p > 0 && f.written > p {
+		allow = 0
+		if before < p {
+			allow = int(p - before)
+		}
+		return allow, ErrNoSpace
+	}
+	return n, nil
+}
+
+func (f *FaultFS) syncGate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.down {
+		return ErrDiskDown
+	}
+	if f.plan.FailOpsFrom > 0 && f.ops >= f.plan.FailOpsFrom {
+		f.down = true
+		return ErrDiskDown
+	}
+	f.syncs++
+	if f.plan.FailSyncAt > 0 && f.syncs == f.plan.FailSyncAt {
+		return ErrSyncFailed
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.opGate(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if err := f.opGate(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	if err := f.opGate(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.opGate(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.opGate(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.opGate(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.opGate(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// faultFile applies the write/sync gates to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	allow, gateErr := w.fs.writeGate(len(p))
+	n := 0
+	if allow > 0 {
+		var err error
+		n, err = w.inner.Write(p[:allow])
+		if err != nil {
+			return n, err
+		}
+	}
+	if gateErr != nil {
+		return n, gateErr
+	}
+	return n, nil
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.syncGate(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error {
+	// Close is never failed by the plan: a real close after a device
+	// death still returns, and failing it would only mask the write
+	// error the caller already saw.
+	return w.inner.Close()
+}

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultFSTornWritePersistsExactPrefix(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{TornWriteAtByte: 10})
+	w, err := ffs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("123456")); err != nil {
+		t.Fatalf("in-budget write failed: %v", err)
+	}
+	n, err := w.Write([]byte("789abcdef"))
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("crossing write: n=%d err=%v, want ErrTornWrite", n, err)
+	}
+	if n != 4 { // bytes 7..10 of the cumulative stream
+		t.Fatalf("torn write persisted %d bytes, want 4", n)
+	}
+	if !ffs.Down() {
+		t.Fatal("filesystem not latched down after torn write")
+	}
+	if _, err := ffs.ReadFile("f"); !errors.Is(err, ErrDiskDown) {
+		t.Fatalf("post-tear op: %v, want ErrDiskDown", err)
+	}
+	// The prefix really landed (inspect the raw substrate).
+	if buf, _ := mem.ReadFile("f"); !bytes.Equal(buf, []byte("123456789a")) {
+		t.Fatalf("substrate holds %q, want the 10-byte prefix", buf)
+	}
+}
+
+func TestFaultFSENOSPCKeepsFilesystemUp(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{ENOSPCAfterBytes: 5})
+	w, _ := ffs.Create("f")
+	if _, err := w.Write([]byte("12345")); err != nil {
+		t.Fatalf("in-budget write: %v", err)
+	}
+	if _, err := w.Write([]byte("6")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-budget write: %v, want ErrNoSpace", err)
+	}
+	// Reads still work: the disk is full, not dead.
+	if _, err := ffs.ReadFile("f"); err != nil {
+		t.Fatalf("read on full disk: %v", err)
+	}
+	if ffs.Down() {
+		t.Fatal("ENOSPC must not latch the disk down")
+	}
+}
+
+func TestFaultFSFailSyncAtIsOneShot(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{FailSyncAt: 2})
+	w, _ := ffs.Create("f")
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync 2: %v, want ErrSyncFailed", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 3 (after the one-shot): %v", err)
+	}
+}
+
+func TestFaultFSFailOpsFromIsPersistent(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{FailOpsFrom: 3})
+	if err := ffs.MkdirAll("d"); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if _, err := ffs.Create("d/f"); err != nil { // op 2
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ffs.Create("d/g"); !errors.Is(err, ErrDiskDown) {
+			t.Fatalf("op %d after trigger: %v, want ErrDiskDown", 3+i, err)
+		}
+	}
+}

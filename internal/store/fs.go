@@ -1,0 +1,92 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable-file surface the store needs: sequential writes,
+// durability barriers, and close. Every mutation path in the store goes
+// through this interface so the fault-injection wrapper (FaultFS) can
+// tear writes, exhaust space, and fail fsyncs deterministically.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes the file to stable storage (fsync). The store treats a
+	// record as durable only after Sync returns nil.
+	Sync() error
+	Close() error
+}
+
+// Filesystem abstracts every filesystem operation the store performs.
+// Production uses OSFS; tests wrap it (or MemFS) in a FaultFS to drive
+// the recovery paths deterministically.
+type Filesystem interface {
+	// MkdirAll creates dir and parents (nil if it already exists).
+	MkdirAll(dir string) error
+	// Create opens path truncated for writing, creating it if needed —
+	// the temp-file half of the atomic write idiom.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if needed — the
+	// journal's mode.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes path (nil error if it does not exist).
+	Remove(path string) error
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists the file names in dir, sorted; a missing dir is an
+	// empty listing, not an error.
+	ReadDir(dir string) ([]string, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error {
+	err := os.Remove(path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// osIsNotExist reports whether err is the OS-level missing-file error.
+func osIsNotExist(err error) bool { return os.IsNotExist(err) }
+
+// Join is filepath.Join re-exported so callers build store paths without
+// importing path/filepath themselves.
+func Join(elem ...string) string { return filepath.Join(elem...) }

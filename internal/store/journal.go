@@ -1,0 +1,197 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The job journal: an append-only log of CRC32-framed records, replayed
+// at startup to rebuild the job table. Frame layout, all fields
+// big-endian:
+//
+//	[4B magic "PJL1"][4B payload length][4B CRC32-IEEE(payload)][payload]
+//
+// Appends are a single Write followed by Sync, so a crash can only leave
+// a torn *tail*: replay accepts every whole, checksummed frame and stops
+// at the first short or corrupt one, reporting how many tail bytes it
+// dropped. Compaction (segment rotation) rewrites the live state into a
+// temp segment and renames it over the journal atomically — the same
+// temp+fsync+rename idiom as core.Checkpoint.SaveFile — which is also
+// how a corrupt tail is physically removed after recovery.
+
+const (
+	journalFile = "journal.log"
+	frameMagic  = "PJL1"
+	frameHeader = 12 // magic + length + crc
+	// maxRecordBytes rejects absurd frame lengths when replaying garbage,
+	// so a corrupt length field cannot make recovery allocate gigabytes.
+	maxRecordBytes = 16 << 20
+)
+
+// errStopReplay distinguishes "good prefix ended" from real I/O errors.
+var errStopReplay = errors.New("store: journal replay stopped")
+
+// journal owns the append handle and byte accounting for one log file.
+type journal struct {
+	fs    Filesystem
+	path  string
+	w     File  // nil until the first append (or after a failure)
+	bytes int64 // current on-disk size, counting only whole good frames
+	recs  int64 // records appended + replayed
+}
+
+// frame serializes one payload into a framed record.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	copy(buf[0:4], frameMagic)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// parseFrames walks buf and calls visit for every whole, checksummed
+// frame. It returns the number of clean bytes consumed and a description
+// of why walking stopped ("" when the buffer ended exactly on a frame
+// boundary).
+func parseFrames(buf []byte, visit func(payload []byte) error) (clean int64, stop string, err error) {
+	off := 0
+	for off < len(buf) {
+		rest := buf[off:]
+		if len(rest) < frameHeader {
+			return int64(off), fmt.Sprintf("short header (%d bytes) at offset %d", len(rest), off), nil
+		}
+		if string(rest[0:4]) != frameMagic {
+			return int64(off), fmt.Sprintf("bad magic at offset %d", off), nil
+		}
+		n := binary.BigEndian.Uint32(rest[4:8])
+		if n > maxRecordBytes {
+			return int64(off), fmt.Sprintf("implausible record length %d at offset %d", n, off), nil
+		}
+		if len(rest) < frameHeader+int(n) {
+			return int64(off), fmt.Sprintf("truncated payload (want %d, have %d) at offset %d", n, len(rest)-frameHeader, off), nil
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[8:12]) {
+			return int64(off), fmt.Sprintf("CRC mismatch at offset %d", off), nil
+		}
+		if verr := visit(payload); verr != nil {
+			if errors.Is(verr, errStopReplay) {
+				return int64(off), "replay aborted", nil
+			}
+			return int64(off), "", verr
+		}
+		off += frameHeader + int(n)
+	}
+	return int64(off), "", nil
+}
+
+// openJournal replays the existing log (if any). droppedTail reports how
+// many trailing bytes were unreadable — a torn append from a previous
+// crash; they are physically removed by the compaction the store runs
+// right after replay.
+func openJournal(fs Filesystem, dir string, visit func(payload []byte) error) (j *journal, droppedTail int64, stopReason string, err error) {
+	j = &journal{fs: fs, path: Join(dir, journalFile)}
+	buf, rerr := fs.ReadFile(j.path)
+	if rerr != nil {
+		// A missing journal is a fresh store, not an error; other read
+		// errors are fatal for durable mode (caller degrades).
+		if len(buf) == 0 && isNotExist(rerr) {
+			return j, 0, "", nil
+		}
+		return nil, 0, "", rerr
+	}
+	clean, stop, verr := parseFrames(buf, func(p []byte) error {
+		j.recs++
+		return visit(p)
+	})
+	if verr != nil {
+		return nil, 0, "", verr
+	}
+	j.bytes = clean
+	return j, int64(len(buf)) - clean, stop, nil
+}
+
+// append frames payload, writes it and fsyncs. On any error the handle is
+// dropped so the next append retries a fresh open (and the store's error
+// policy decides whether to degrade).
+func (j *journal) append(payload []byte) error {
+	if j.w == nil {
+		w, err := j.fs.OpenAppend(j.path)
+		if err != nil {
+			return err
+		}
+		j.w = w
+	}
+	buf := frame(payload)
+	if _, err := j.w.Write(buf); err != nil {
+		j.w.Close()
+		j.w = nil
+		return err
+	}
+	if err := j.w.Sync(); err != nil {
+		j.w.Close()
+		j.w = nil
+		return err
+	}
+	j.bytes += int64(len(buf))
+	j.recs++
+	return nil
+}
+
+// rewrite atomically replaces the journal with the given payloads — the
+// segment-rotation/compaction primitive. On success the append handle
+// points at the new segment.
+func (j *journal) rewrite(payloads [][]byte) error {
+	if j.w != nil {
+		j.w.Close()
+		j.w = nil
+	}
+	tmpPath := j.path + ".tmp"
+	tmp, err := j.fs.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, p := range payloads {
+		buf := frame(p)
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			j.fs.Remove(tmpPath)
+			return err
+		}
+		total += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		j.fs.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		j.fs.Remove(tmpPath)
+		return err
+	}
+	if err := j.fs.Rename(tmpPath, j.path); err != nil {
+		j.fs.Remove(tmpPath)
+		return err
+	}
+	j.bytes = total
+	j.recs = int64(len(payloads))
+	return nil
+}
+
+// close releases the append handle.
+func (j *journal) close() {
+	if j.w != nil {
+		j.w.Close()
+		j.w = nil
+	}
+}
+
+// isNotExist matches the OSFS missing-file error without importing os in
+// every caller; MemFS and FaultFS pass the underlying error through.
+func isNotExist(err error) bool {
+	return errors.Is(err, errFileNotFound) || osIsNotExist(err)
+}

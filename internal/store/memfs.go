@@ -1,0 +1,151 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory Filesystem: the substrate for the deterministic
+// fault matrix (no disk, no flakiness, safe under -race) and for
+// crash-simulation tests, which "reboot" by reopening a store over the
+// same MemFS. It models the durability boundary explicitly: bytes written
+// but not yet synced are lost by Crash(), exactly the data a real power
+// cut takes with it.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+// errFileNotFound is MemFS's missing-file error (matched by isNotExist).
+var errFileNotFound = errors.New("store: file not found")
+
+// NewMemFS builds an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+type memFile struct {
+	durable []byte // synced bytes: survive Crash
+	pending []byte // written-not-synced bytes: lost by Crash
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[path] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		f = &memFile{}
+		m.files[path] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return errFileNotFound
+	}
+	// POSIX rename is atomic and implicitly durable here: the rename
+	// carries the file's full current contents (MemFS does not model
+	// unsynced directory entries).
+	f.durable = append(f.durable, f.pending...)
+	f.pending = nil
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, errFileNotFound
+	}
+	out := make([]byte, 0, len(f.durable)+len(f.pending))
+	out = append(out, f.durable...)
+	out = append(out, f.pending...)
+	return out, nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var paths []string
+	for path := range m.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	prefix := dir + "/"
+	var names []string
+	for _, path := range paths {
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			names = append(names, path[len(prefix):])
+		}
+	}
+	return names, nil
+}
+
+// Crash drops every written-but-unsynced byte, simulating a power cut or
+// SIGKILL. Files themselves survive (metadata is assumed journaled by
+// the host filesystem); only unsynced data is lost.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.pending = nil
+	}
+}
+
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.pending = append(h.f.pending, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.durable = append(h.f.durable, h.f.pending...)
+	h.f.pending = nil
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	// Close does not imply durability — matching the POSIX reality the
+	// journal's explicit Sync calls exist for.
+	return nil
+}

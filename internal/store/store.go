@@ -1,0 +1,553 @@
+// Package store is the crash-safe persistence layer behind the serving
+// daemon (internal/serve): an append-only job journal with CRC32-framed
+// records and atomic segment rotation, plus a content-addressed result
+// cache (one verified file per canonical JobSpec SHA-256) with LRU
+// eviction driven by an on-disk index.
+//
+// Durability contract:
+//
+//   - A journal record is durable once RecordAdmit/RecordState returns:
+//     each append is one write + fsync, and replay accepts every whole
+//     checksummed frame, dropping at most a torn tail.
+//   - A result is durable once PutResult returns: temp file + fsync +
+//     rename, verified by checksum on every read. A corrupt result file
+//     is quarantined (moved aside, never served, never fatal).
+//   - Recovery (Open) replays the journal, reconciles it against the
+//     results directory, and reports which jobs are servable from cache
+//     and which were admitted but never finished — the daemon requeues
+//     the latter, so a SIGKILL costs at most the work in flight.
+//
+// Failure policy: the store never takes the daemon down. A failed journal
+// append triggers one compaction attempt (a full atomic rewrite of the
+// live state, which also heals torn tails and post-fsync-failure
+// uncertainty); if that also fails the store latches into degraded mode —
+// every later mutation is a no-op, Mode reports it, and the daemon keeps
+// serving from memory. All filesystem access goes through the injectable
+// Filesystem interface so the deterministic FaultFS can exercise every
+// one of these paths (torn writes, ENOSPC, fsync failures, crash points)
+// in tests.
+//
+// The package is in the commvet nondeterminism analyzer's deterministic
+// set: it never reads the wall clock directly (the clock is injected, the
+// balance.Balancer.Clock pattern) and LRU recency is a logical sequence,
+// so identical operation sequences produce identical on-disk state.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/metrics"
+)
+
+// Mode is the store's health state.
+type Mode string
+
+const (
+	// ModeDurable: journal and cache writes are reaching stable storage.
+	ModeDurable Mode = "durable"
+	// ModeDegraded: persistent disk failure; the store has stopped
+	// persisting and the daemon serves from memory only.
+	ModeDegraded Mode = "degraded"
+)
+
+// JobRecord is the journaled view of one job: what survives a crash.
+type JobRecord struct {
+	ID       string          `json:"id"`
+	Key      string          `json:"key"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	State    string          `json:"state,omitempty"`
+	Err      string          `json:"err,omitempty"`
+	ErrClass string          `json:"err_class,omitempty"`
+}
+
+// journalOp is one journal payload: an admit (full record), a state
+// transition, a drop (eviction), or a compaction snapshot ("job", full
+// record including state).
+type journalOp struct {
+	Op  string    `json:"op"`
+	Job JobRecord `json:"job"`
+}
+
+// Options configures Open. Zero values select defaults.
+type Options struct {
+	// FS is the filesystem; nil selects the real one (OSFS).
+	FS Filesystem
+	// CacheCap bounds the number of persisted results (LRU beyond it,
+	// default 64).
+	CacheCap int
+	// JournalMaxBytes triggers compaction when the journal grows past it
+	// (default 1 MiB).
+	JournalMaxBytes int64
+	// Clock stamps LastSync for the health probe. Defaults to time.Now,
+	// assigned as a function value at construction so the package itself
+	// stays wall-clock-free (the balance.Balancer.Clock pattern).
+	Clock func() time.Time
+	// Logf receives recovery and degradation notices (default: discard).
+	Logf func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.CacheCap <= 0 {
+		o.CacheCap = 64
+	}
+	if o.JournalMaxBytes <= 0 {
+		o.JournalMaxBytes = 1 << 20
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// RecoveryReport summarizes what Open found on disk.
+type RecoveryReport struct {
+	// Jobs is the latest journaled state of every live job, in admit
+	// order. Jobs whose state says done but whose result did not survive
+	// verification are dropped (and counted), not listed.
+	Jobs []JobRecord
+	// ResultKeys lists the cache keys whose result files verified clean.
+	ResultKeys []string
+	// Quarantined lists result files moved aside for failing checksum.
+	Quarantined []string
+	// DroppedTailBytes is how much torn journal tail replay discarded.
+	DroppedTailBytes int64
+	// TailReason describes why replay stopped early ("" = clean end).
+	TailReason string
+}
+
+// Store is the persistence layer. Safe for concurrent use; all methods
+// are no-ops once the store has degraded.
+type Store struct {
+	mu    sync.Mutex
+	opts  Options
+	fs    Filesystem
+	dir   string
+	j     *journal
+	cache *resultCache
+	mode  Mode
+
+	jobs     map[string]*JobRecord
+	order    []string // admit order of live job IDs
+	lastSync time.Time
+
+	counters map[string]int64
+}
+
+// Open mounts (or initializes) a store at dir, replaying the journal and
+// reconciling the result cache. Open itself returning an error means the
+// directory is unusable (the caller should fall back to memory-only
+// serving); once Open succeeds the store never fails hard again.
+func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
+	o := opts.withDefaults()
+	fs := o.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	cache, err := openResultCache(fs, dir, o.CacheCap)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open cache: %w", err)
+	}
+	s := &Store{
+		opts:     o,
+		fs:       fs,
+		dir:      dir,
+		cache:    cache,
+		mode:     ModeDurable,
+		jobs:     make(map[string]*JobRecord),
+		counters: make(map[string]int64),
+	}
+	j, droppedTail, tailReason, err := openJournal(fs, dir, s.applyOp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: replay journal: %w", err)
+	}
+	s.j = j
+	rep := &RecoveryReport{DroppedTailBytes: droppedTail, TailReason: tailReason}
+	if droppedTail > 0 {
+		o.Logf("store: journal tail torn (%s); dropped %d bytes, compacting", tailReason, droppedTail)
+		s.counters["journal_torn_tail_bytes"] += droppedTail
+	}
+
+	verified, quarantined, err := cache.reconcile()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reconcile cache: %w", err)
+	}
+	rep.ResultKeys = verified
+	rep.Quarantined = quarantined
+	s.counters["results_quarantined"] += int64(len(quarantined))
+	for _, name := range quarantined {
+		o.Logf("store: quarantined corrupt result file %s", name)
+	}
+
+	// Drop done-jobs whose result bytes did not survive: serving them
+	// would promise a result we cannot produce byte-identically.
+	ok := make(map[string]bool, len(verified))
+	for _, k := range verified {
+		ok[k] = true
+	}
+	live := s.order[:0]
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		if rec.State == "done" && !ok[rec.Key] {
+			o.Logf("store: dropping job %s: journal says done but result %s is missing/corrupt", id, rec.Key)
+			s.counters["jobs_dropped_no_result"]++
+			delete(s.jobs, id)
+			continue
+		}
+		live = append(live, id)
+		rep.Jobs = append(rep.Jobs, *rec)
+	}
+	s.order = live
+
+	// Rotate the journal segment if replay dropped a tail or the log
+	// carries dead weight — the rewrite removes the corruption (and any
+	// dropped jobs) physically and atomically.
+	if droppedTail > 0 || int64(len(rep.Jobs)) < s.j.recs || s.j.bytes > o.JournalMaxBytes {
+		if cerr := s.compactLocked(); cerr != nil {
+			s.degradeLocked("compaction at open", cerr)
+		}
+	}
+	if err := s.cache.writeIndex(); err != nil {
+		s.counters["index_write_errors"]++
+	}
+	s.counters["jobs_recovered"] = int64(len(rep.Jobs))
+	s.counters["results_recovered"] = int64(len(verified))
+	return s, rep, nil
+}
+
+// applyOp folds one replayed journal payload into the job table.
+func (s *Store) applyOp(payload []byte) error {
+	var op journalOp
+	if err := json.Unmarshal(payload, &op); err != nil {
+		// An unparseable-but-checksummed record means a writer bug, not
+		// disk corruption; skip it rather than losing the rest of the log.
+		s.counters["journal_bad_records"]++
+		return nil
+	}
+	switch op.Op {
+	case "admit", "job":
+		if op.Job.ID == "" || op.Job.Key == "" {
+			s.counters["journal_bad_records"]++
+			return nil
+		}
+		if _, exists := s.jobs[op.Job.ID]; !exists {
+			s.order = append(s.order, op.Job.ID)
+		}
+		rec := op.Job
+		if rec.State == "" {
+			rec.State = "queued"
+		}
+		s.jobs[op.Job.ID] = &rec
+	case "state":
+		if rec, exists := s.jobs[op.Job.ID]; exists {
+			rec.State = op.Job.State
+			rec.Err = op.Job.Err
+			rec.ErrClass = op.Job.ErrClass
+		}
+	case "drop":
+		if _, exists := s.jobs[op.Job.ID]; exists {
+			delete(s.jobs, op.Job.ID)
+			for i, id := range s.order {
+				if id == op.Job.ID {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+		}
+	default:
+		s.counters["journal_bad_records"]++
+	}
+	return nil
+}
+
+// Mode reports durable or degraded.
+func (s *Store) Mode() Mode {
+	if s == nil {
+		return ModeDegraded
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// LastSync returns when the journal last reached stable storage (zero
+// before the first durable append) — the health probe's fsync-age source.
+func (s *Store) LastSync() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSync
+}
+
+// Counters snapshots the store's monotonic counters plus current sizes.
+func (s *Store) Counters() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters)+4)
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	out["journal_bytes"] = s.j.bytes
+	out["journal_records"] = s.j.recs
+	out["jobs_live"] = int64(len(s.jobs))
+	out["results_indexed"] = int64(len(s.cache.idx.Touched))
+	if s.mode == ModeDegraded {
+		out["degraded"] = 1
+	} else {
+		out["degraded"] = 0
+	}
+	return out
+}
+
+// degradeLocked latches degraded mode. Caller holds s.mu (or is in Open
+// before the store is shared).
+func (s *Store) degradeLocked(what string, err error) {
+	if s.mode == ModeDegraded {
+		return
+	}
+	s.mode = ModeDegraded
+	s.counters["degradations"]++
+	s.j.close()
+	s.opts.Logf("store: %s failed (%v); degrading to in-memory serving", what, err)
+}
+
+// appendLocked journals one op with the append→compact→degrade policy.
+func (s *Store) appendLocked(op journalOp) {
+	if s.mode == ModeDegraded {
+		return
+	}
+	payload, err := json.Marshal(op)
+	if err != nil {
+		s.counters["journal_bad_records"]++
+		return
+	}
+	if err := s.j.append(payload); err != nil {
+		s.counters["journal_append_errors"]++
+		s.opts.Logf("store: journal append failed (%v); attempting compaction", err)
+		if cerr := s.compactLocked(); cerr != nil {
+			s.degradeLocked("journal append + compaction", cerr)
+			return
+		}
+		// Compaction rewrote the whole live state — including this op's
+		// effect, which the caller already applied to s.jobs.
+	}
+	s.lastSync = s.opts.Clock()
+	if s.j.bytes > s.opts.JournalMaxBytes {
+		if cerr := s.compactLocked(); cerr != nil {
+			s.degradeLocked("journal rotation", cerr)
+		}
+	}
+}
+
+// compactLocked rewrites the journal from the live job table (segment
+// rotation). Caller holds s.mu.
+func (s *Store) compactLocked() error {
+	payloads := make([][]byte, 0, len(s.jobs))
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		blob, err := json.Marshal(journalOp{Op: "job", Job: *rec})
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, blob)
+	}
+	if err := s.j.rewrite(payloads); err != nil {
+		return err
+	}
+	s.counters["journal_compactions"]++
+	s.lastSync = s.opts.Clock()
+	return nil
+}
+
+// RecordAdmit journals a newly admitted job (state queued).
+func (s *Store) RecordAdmit(id, key string, spec json.RawMessage) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := &JobRecord{ID: id, Key: key, Spec: spec, State: "queued"}
+	if _, exists := s.jobs[id]; !exists {
+		s.order = append(s.order, id)
+	}
+	s.jobs[id] = rec
+	s.appendLocked(journalOp{Op: "admit", Job: *rec})
+}
+
+// RecordState journals a job state transition.
+func (s *Store) RecordState(id, state, errMsg, errClass string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, exists := s.jobs[id]
+	if !exists {
+		return
+	}
+	rec.State = state
+	rec.Err = errMsg
+	rec.ErrClass = errClass
+	s.appendLocked(journalOp{Op: "state", Job: JobRecord{ID: id, State: state, Err: errMsg, ErrClass: errClass}})
+}
+
+// DropJob journals an eviction: the job (and, when no other live job
+// shares its key, its cached result) is forgotten.
+func (s *Store) DropJob(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, exists := s.jobs[id]
+	if !exists {
+		return
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.appendLocked(journalOp{Op: "drop", Job: JobRecord{ID: id, Key: rec.Key}})
+	if s.mode == ModeDegraded {
+		return
+	}
+	shared := false
+	for _, oid := range s.order {
+		if s.jobs[oid].Key == rec.Key {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		if err := s.cache.remove(rec.Key); err != nil {
+			s.counters["cache_remove_errors"]++
+		}
+		if err := s.cache.writeIndex(); err != nil {
+			s.counters["index_write_errors"]++
+		}
+	}
+}
+
+// PutResult durably stores result bytes under the canonical key and
+// applies LRU eviction. A failed write is counted, logged, and otherwise
+// harmless: the result simply is not cached across restarts.
+func (s *Store) PutResult(key string, payload []byte) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeDegraded {
+		return
+	}
+	evicted, err := s.cache.put(key, payload)
+	if err != nil {
+		s.counters["result_write_errors"]++
+		s.opts.Logf("store: persisting result %s failed: %v", key, err)
+		if isDiskDown(err) {
+			s.degradeLocked("result write", err)
+		}
+		return
+	}
+	s.counters["results_written"]++
+	s.counters["results_evicted"] += int64(len(evicted))
+	for _, k := range evicted {
+		s.opts.Logf("store: evicted result %s (LRU, cap %d)", k, s.opts.CacheCap)
+	}
+}
+
+// GetResult reads and verifies the cached result for key. Corrupt files
+// are quarantined and reported as a miss.
+func (s *Store) GetResult(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeDegraded {
+		return nil, false
+	}
+	payload, ok, err := s.cache.get(key)
+	if err != nil {
+		s.counters["result_read_errors"]++
+		s.opts.Logf("store: reading result %s failed: %v", key, err)
+		if isDiskDown(err) {
+			s.degradeLocked("result read", err)
+		}
+		return nil, false
+	}
+	return payload, ok
+}
+
+// Touch bumps a key's LRU recency (cache hits call this so hot results
+// survive eviction).
+func (s *Store) Touch(key string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeDegraded {
+		return
+	}
+	if _, ok := s.cache.idx.Touched[key]; !ok {
+		return
+	}
+	s.cache.touch(key)
+	if err := s.cache.writeIndex(); err != nil {
+		s.counters["index_write_errors"]++
+	}
+}
+
+// Close releases the journal handle (results are already durable).
+func (s *Store) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.j.close()
+}
+
+// isDiskDown matches the persistent-failure sentinel. Real filesystems
+// gone read-only (EROFS/EIO) render as generic errors and degrade via the
+// journal append→compact path instead; matching here is a fast path.
+func isDiskDown(err error) bool {
+	return errors.Is(err, ErrDiskDown)
+}
+
+// MaxJobSeq parses "j-<n>" IDs and returns the largest n, so a recovered
+// daemon continues its ID sequence instead of colliding with journaled
+// jobs.
+func MaxJobSeq(jobs []JobRecord) int64 {
+	var max int64
+	for _, rec := range jobs {
+		if !strings.HasPrefix(rec.ID, "j-") {
+			continue
+		}
+		n, err := strconv.ParseInt(rec.ID[2:], 10, 64)
+		if err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// SortedCounterNames returns the counter names sorted — the /metrics
+// rendering helper, shared with the other deterministic exporters.
+func SortedCounterNames(c map[string]int64) []string {
+	return metrics.SortedNames(c)
+}

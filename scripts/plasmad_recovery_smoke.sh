@@ -1,0 +1,150 @@
+#!/usr/bin/env sh
+# plasmad_recovery_smoke.sh — crash-recovery smoke test of the durable daemon.
+#
+# Starts plasmad with a -data-dir, completes a small job and saves its
+# result bytes, launches a longer job, then SIGKILLs the daemon mid-run —
+# no drain, no fsync courtesy. A second daemon on the same -data-dir must:
+#   * report durable store mode on /healthz,
+#   * requeue the interrupted job and run it to completion,
+#   * answer the first job's re-submission as a cache hit (HTTP 200)
+#     with byte-identical result bytes,
+# and finally exit 0 on SIGTERM. Used by CI and `make plasmad-recovery-smoke`.
+#
+# Requirements: go toolchain, curl. No other dependencies.
+set -eu
+
+ADDR="${PLASMAD_ADDR:-127.0.0.1:18081}"
+BASE="http://$ADDR"
+BIN="${PLASMAD_BIN:-bin/plasmad}"
+DATA="$(mktemp -d)"
+LOG="$(mktemp)"
+PID=""
+
+fail() {
+	echo "plasmad_recovery_smoke: FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+	rm -rf "$DATA" "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/plasmad
+
+start_daemon() {
+	"$BIN" -addr "$ADDR" -workers 1 -data-dir "$DATA" -drain-timeout 60s >>"$LOG" 2>&1 &
+	PID=$!
+	i=0
+	until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -le 50 ] || fail "daemon did not become healthy"
+		sleep 0.2
+	done
+}
+
+wait_done() {
+	# wait_done <job-id> — poll until done; fail on failed/canceled.
+	i=0
+	while :; do
+		ST="$(curl -fsS "$BASE/jobs/$1")"
+		case "$ST" in
+		*'"state":"done"'*) return 0 ;;
+		*'"state":"failed"'* | *'"state":"canceled"'*) fail "job $1 ended badly: $ST" ;;
+		esac
+		i=$((i + 1))
+		[ "$i" -le 300 ] || fail "job $1 did not finish: $ST"
+		sleep 0.2
+	done
+}
+
+start_daemon
+
+# /healthz must report the durable store.
+H="$(curl -fsS "$BASE/healthz")"
+case "$H" in
+*'"store_mode":"durable"'*) ;;
+*) fail "healthz does not report durable store: $H" ;;
+esac
+
+# Job A: small, run to completion, keep the result bytes.
+SPEC_A='{"mesh_nz":6,"ranks":2,"steps":3,"seed":7,"inject_h":400}'
+RESP="$(curl -fsS -X POST -d "$SPEC_A" "$BASE/jobs")"
+JOB_A="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB_A" ] || fail "submit A: no job id: $RESP"
+wait_done "$JOB_A"
+curl -fsS "$BASE/jobs/$JOB_A/result" >"$DATA/result_a.first"
+echo "job A ($JOB_A) done, result saved"
+
+# Job B: long enough to still be running when we pull the plug.
+SPEC_B='{"mesh_nz":10,"ranks":2,"steps":200,"seed":11,"inject_h":2000}'
+RESP="$(curl -fsS -X POST -d "$SPEC_B" "$BASE/jobs")"
+JOB_B="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB_B" ] || fail "submit B: no job id: $RESP"
+sleep 0.5
+
+# Crash: SIGKILL, no drain. The journal's torn tail is the store's problem.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+echo "daemon SIGKILLed mid-run (job B in flight)"
+
+start_daemon
+echo "daemon restarted on the same data dir"
+
+# The restarted daemon must still be durable (a recovery that degraded the
+# store would hide data-loss bugs behind the in-memory fallback).
+H="$(curl -fsS "$BASE/healthz")"
+case "$H" in
+*'"store_mode":"durable"'*) ;;
+*) fail "healthz after restart not durable: $H" ;;
+esac
+
+# Job B must have been requeued under its original id and finish.
+ST="$(curl -fsS "$BASE/jobs/$JOB_B")" || fail "requeued job B not addressable"
+wait_done "$JOB_B"
+echo "job B requeued and completed"
+
+# Re-submitting job A's spec must be a cache hit (HTTP 200, same id) with
+# byte-identical result bytes — served from disk, no world built.
+CODE="$(curl -fsS -o /tmp/plasmad_recovery_resub.$$ -w '%{http_code}' -X POST -d "$SPEC_A" "$BASE/jobs")"
+RESUB="$(cat /tmp/plasmad_recovery_resub.$$)"
+rm -f /tmp/plasmad_recovery_resub.$$
+[ "$CODE" = "200" ] || fail "post-crash resubmit returned HTTP $CODE: $RESUB"
+case "$RESUB" in
+*'"cache_hit":true'*) ;;
+*) fail "post-crash resubmit was not a cache hit: $RESUB" ;;
+esac
+case "$RESUB" in
+*"\"id\":\"$JOB_A\""*) ;;
+*) fail "post-crash resubmit lost job A's id: $RESUB" ;;
+esac
+curl -fsS "$BASE/jobs/$JOB_A/result" >"$DATA/result_a.second"
+cmp -s "$DATA/result_a.first" "$DATA/result_a.second" ||
+	fail "recovered result not byte-identical: $(cat "$DATA/result_a.first") vs $(cat "$DATA/result_a.second")"
+echo "job A served byte-identically from the recovered cache"
+
+# Metrics must show the recovery counters.
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q '^plasmad_jobs_recovered 2$' || fail "metrics: want 2 recovered jobs: $METRICS"
+echo "$METRICS" | grep -q '^plasmad_jobs_requeued 1$' || fail "metrics: want 1 requeued job: $METRICS"
+echo "$METRICS" | grep -q 'plasmad_store_mode{mode="durable"} 1' || fail "metrics: store not durable: $METRICS"
+
+# Clean SIGTERM exit.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -le 150 ] || fail "daemon did not exit after SIGTERM"
+	sleep 0.2
+done
+set +e
+wait "$PID"
+RC=$?
+set -e
+[ "$RC" -eq 0 ] || fail "daemon exited $RC after SIGTERM"
+PID=""
+
+echo "plasmad_recovery_smoke: PASS"
