@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint commvet bench bench-quick bench-compare calibrate plasmad plasmad-smoke plasmad-recovery-smoke store-faults clean
+.PHONY: all build test race lint lint-fix-report commvet bench bench-quick bench-compare calibrate plasmad plasmad-smoke plasmad-recovery-smoke store-faults clean
 
 all: build
 
@@ -28,6 +28,12 @@ lint: commvet
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
 	fi
+
+# lint-fix-report runs commvet standalone and groups the findings by
+# analyzer (triage view: fix one class of problem at a time). Exits
+# nonzero when there is anything to fix, so it doubles as a gate.
+lint-fix-report:
+	$(GO) run ./cmd/commvet -report ./...
 
 # bench writes BENCH_<date>.json: the reproducible benchmark matrix over
 # the plume case (rank counts x exchange strategies, fixed seed). See the

@@ -3,13 +3,18 @@
 //
 //	go vet -vettool=$(pwd)/bin/commvet ./...   # unitchecker protocol
 //	go run ./cmd/commvet ./...                 # standalone, loads packages itself
+//	go run ./cmd/commvet -report ./...         # standalone, grouped by analyzer
 //
 // In vettool mode the go command hands the tool one JSON config file per
-// package (source files, import map, export-data locations); commvet
-// type-checks against the compiler's export data and reports diagnostics
-// on stderr, exiting 2 if any. In standalone mode it resolves the package
-// patterns via `go list` and type-checks from source — slower, but with no
-// build-cache dependency.
+// package (source files, import map, export-data locations, dependency
+// fact files); commvet type-checks against the compiler's export data,
+// imports cross-package facts from the dependencies' vetx files, reports
+// diagnostics on stderr (exiting 2 if any), and writes this package's
+// facts to its own vetx file for dependents. In standalone mode it
+// resolves the package patterns via `go list -deps -test` and type-checks
+// from source, propagating facts in memory in dependency order — slower,
+// but with no build-cache dependency, and it covers test sources for the
+// analyzers that opt in.
 //
 // Suppress a false positive with a trailing comment on the offending line
 // (or the line above):
@@ -20,6 +25,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/plasma-hpc/dsmcpic/internal/analysis"
@@ -46,15 +52,23 @@ func main() {
 		}
 	}
 
+	report := false
+	if len(args) > 0 && args[0] == "-report" {
+		report = true
+		args = args[1:]
+	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(args, report))
 }
 
 // standalone loads the patterns with go list and analyzes every matched
-// package.
-func standalone(patterns []string) int {
+// package plus its in-module dependencies, in dependency order, carrying
+// facts forward in memory. Diagnostics are reported only for the matched
+// packages; with report=true they are grouped per analyzer instead of
+// streamed in package order.
+func standalone(patterns []string, report bool) int {
 	dir, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -65,16 +79,48 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "commvet:", err)
 		return 1
 	}
+	suite := analyzers.All()
+	facts := analysis.NewFactSet()
+	type located struct {
+		pos  string
+		diag analysis.Diagnostic
+	}
+	byAnalyzer := make(map[string][]located)
 	exit := 0
 	for _, p := range pkgs {
-		diags, err := analysis.Run(analyzers.All(), p.Fset, p.Files, p.Pkg, p.Info)
+		diags, exported, err := analysis.RunWithFacts(suite, p.Fset, p.Files, p.Pkg, p.Info, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "commvet: %s: %v\n", p.ImportPath, err)
 			return 1
 		}
+		facts.Add(exported)
+		if !p.Target {
+			continue
+		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", p.Fset.Position(d.Pos), d.Message, d.Analyzer)
 			exit = 2
+			if report {
+				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], located{pos: p.Fset.Position(d.Pos).String(), diag: d})
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", p.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			}
+		}
+	}
+	if report {
+		names := make([]string, 0, len(byAnalyzer))
+		for name := range byAnalyzer {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			found := byAnalyzer[name]
+			fmt.Fprintf(os.Stderr, "%s (%d finding(s))\n", name, len(found))
+			for _, l := range found {
+				fmt.Fprintf(os.Stderr, "  %s: %s\n", l.pos, l.diag.Message)
+			}
+		}
+		if exit == 0 {
+			fmt.Fprintln(os.Stderr, "commvet: no findings")
 		}
 	}
 	return exit

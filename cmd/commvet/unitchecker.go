@@ -4,6 +4,14 @@
 // golang.org/x/tools/go/analysis/unitchecker. The tool also answers the
 // go command's two probes (-V=full for the build cache key, -flags for
 // CLI flag registration; both handled in main.go).
+//
+// Facts ride the go command's vetx cache: each run writes this package's
+// exported facts (analysis.PackageFacts, JSON) to cfg.VetxOutput, and
+// reads its dependencies' facts from the files listed in cfg.PackageVetx.
+// Dependency-only (VetxOnly) runs therefore still execute the
+// fact-producing analyzers for in-module packages — their diagnostics are
+// discarded, but their facts are what make interprocedural findings
+// (collectivesync v2, cancelcheck) possible in dependent packages.
 package main
 
 import (
@@ -19,10 +27,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/plasma-hpc/dsmcpic/internal/analysis"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers"
 )
+
+// modulePath gates fact production: only this module's packages can carry
+// commvet facts, so dependency runs over the standard library stay on the
+// empty-vetx fast path.
+const modulePath = "github.com/plasma-hpc/dsmcpic"
 
 // vetConfig mirrors cmd/go/internal/work.vetConfig (the fields commvet
 // consumes; unknown JSON fields are ignored).
@@ -34,11 +48,18 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
-	Standard                  map[string]bool
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	GoVersion                 string
 	SucceedOnTypecheckFailure bool
+}
+
+// inModule reports whether the import path (possibly a test variant)
+// belongs to this module.
+func inModule(path string) bool {
+	p := analysis.TrimTestVariant(path)
+	return p == modulePath || strings.HasPrefix(p, modulePath+"/")
 }
 
 // unitcheck analyzes one package described by a vet config file and
@@ -55,19 +76,18 @@ func unitcheck(cfgFile string) int {
 		return 1
 	}
 
-	// The go command caches the vetx (facts) output per package. The
-	// commvet analyzers are fact-free, so an empty file both satisfies the
-	// protocol and lets dependency runs hit the cache.
-	writeVetx := func() {
+	writeVetx := func(facts []byte) {
 		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
 				fmt.Fprintln(os.Stderr, "commvet:", err)
 			}
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependency-only run: no diagnostics wanted, no facts produced.
-		writeVetx()
+	if cfg.VetxOnly && !inModule(cfg.ImportPath) {
+		// Dependency-only run outside the module: commvet facts only
+		// describe this module's packages, so an empty vetx file satisfies
+		// the protocol and keeps these runs cache-cheap.
+		writeVetx(nil)
 		return 0
 	}
 	if cfg.Compiler == "gccgo" {
@@ -122,13 +142,59 @@ func unitcheck(cfgFile string) int {
 		return 1
 	}
 
-	diags, err := analysis.Run(analyzers.All(), fset, files, pkg, info)
+	// Dependency facts: one vetx file per direct or indirect dependency.
+	// Register each under its listed path and its test-variant-free
+	// spelling — importObject looks facts up by obj.Pkg().Path(), and
+	// export data may record either form for in-package test variants.
+	deps := analysis.NewFactSet()
+	for depPath, vetxFile := range cfg.PackageVetx {
+		if !inModule(depPath) {
+			continue
+		}
+		blob, err := os.ReadFile(vetxFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commvet: reading facts of %s: %v\n", depPath, err)
+			return 1
+		}
+		pf, err := analysis.DecodePackageFacts(depPath, blob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "commvet:", err)
+			return 1
+		}
+		deps.Add(pf)
+		if trimmed := analysis.TrimTestVariant(depPath); trimmed != depPath {
+			alias, err := analysis.DecodePackageFacts(trimmed, blob)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "commvet:", err)
+				return 1
+			}
+			deps.Add(alias)
+		}
+	}
+
+	suite := analyzers.All()
+	if cfg.VetxOnly {
+		// Facts-only run: skip analyzers that cannot contribute facts.
+		factful := suite[:0:0]
+		for _, a := range suite {
+			if a.HasFacts() {
+				factful = append(factful, a)
+			}
+		}
+		suite = factful
+	}
+	diags, exported, err := analysis.RunWithFacts(suite, fset, files, pkg, info, deps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "commvet: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	writeVetx()
-	if len(diags) == 0 {
+	blob, err := exported.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "commvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	writeVetx(blob)
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {

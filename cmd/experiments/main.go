@@ -17,6 +17,11 @@ import (
 // tabler is any experiment result that can render itself.
 type tabler interface{ Table() string }
 
+// now is the wall clock, injectable so the elapsed-time banner can be
+// pinned in tests (the experiment tables themselves are seeded and never
+// read the clock; see internal/experiments).
+var now = time.Now
+
 func main() {
 	id := flag.String("id", "all", "experiment id: fig5, fig8, fig9, table2, fig10, table3, table4, fig11, table5, fig12, table6, fig13, fig14, fig15, all")
 	preset := flag.String("preset", "quick", "quick (reduced ranks/steps) or full (paper-scale sweep)")
@@ -72,13 +77,13 @@ func main() {
 		if want != "all" && e.id != want {
 			continue
 		}
-		start := time.Now()
+		start := now()
 		res, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s (%s) ==\n%s\n", e.id, time.Since(start).Round(time.Millisecond), res.Table())
+		fmt.Printf("== %s (%s) ==\n%s\n", e.id, now().Sub(start).Round(time.Millisecond), res.Table())
 		ran++
 	}
 	if ran == 0 {

@@ -2,14 +2,16 @@
 // golang.org/x/tools/go/analysis driver contract, sized for this repo's
 // commvet suite. The module builds offline (no network, no module cache),
 // so the real x/tools framework is unavailable; this package mirrors its
-// API shape — Analyzer, Pass, Diagnostic, Reportf — closely enough that
-// migrating the analyzers onto x/tools later is a mechanical import swap
-// (tracked in ROADMAP.md).
+// API shape — Analyzer, Pass, Diagnostic, Reportf, and (since v2)
+// serializable object/package Facts — closely enough that migrating the
+// analyzers onto x/tools later is a mechanical import swap (tracked in
+// ROADMAP.md).
 //
-// Analyzers are pure functions over one type-checked package. They never
-// need cross-package facts: every property commvet enforces (collective
-// placement, tag discipline, determinism, float comparison) is decidable
-// from a single package's syntax plus type information.
+// Analyzers are functions over one type-checked package. Cross-package
+// properties (a collective hidden behind a helper in another package, a
+// cancellation check threaded through a callee) travel as Facts: exported
+// while analyzing the defining package, imported by downstream packages
+// in dependency order. See facts.go for the model and the wire format.
 package analysis
 
 import (
@@ -32,6 +34,16 @@ type Analyzer struct {
 	// through pass.Report. The returned value is unused (kept for x/tools
 	// signature compatibility).
 	Run func(*Pass) (interface{}, error)
+	// FactTypes lists the fact types (as typed nil pointers) this
+	// analyzer exports or imports. An analyzer that uses Facts without
+	// declaring them here errors loudly at the first Export/Import call.
+	FactTypes []Fact
+	// RunOnTests includes _test.go files in the analysis. Most commvet
+	// analyzers leave it false: the SPMD discipline governs production
+	// solver code, and tests deliberately poke raw tags, rank-divergent
+	// calls, and wall clocks. Checks that are just as valid in test code
+	// (float equality, hot-path allocation) opt in.
+	RunOnTests bool
 }
 
 // Pass is the interface between the driver and one analyzer run over one
@@ -43,6 +55,8 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	facts *passFacts
 }
 
 // Diagnostic is one reported problem.
@@ -57,31 +71,79 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Run applies each analyzer to the package and returns the surviving
-// diagnostics sorted by position. Diagnostics suppressed by a
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// being analyzed. Facts on objects reachable from other packages
+// (package-level functions, methods on named types, vars, types) are
+// serialized and visible to downstream ImportObjectFact calls; facts on
+// keyless objects (locals) remain visible within this pass only.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.exportObject(obj, fact)
+}
+
+// ImportObjectFact copies the fact of this analyzer attached to obj into
+// *fact and reports whether one existed. obj may belong to this package
+// (facts exported earlier in this pass) or to a dependency (facts carried
+// by the driver).
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.importObject(obj, fact)
+}
+
+// ExportPackageFact attaches a package-level fact to the current package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.exportPackage(fact)
+}
+
+// ImportPackageFact copies the package-level fact of the package with the
+// given path into *fact and reports whether one existed.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	return p.facts.importPackage(path, fact)
+}
+
+// Run applies each analyzer to the package with no dependency facts and
+// discards exported facts — the single-package entry point, sufficient
+// for analyzers whose properties are decidable within one package.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, _, err := RunWithFacts(analyzers, fset, files, pkg, info, nil)
+	return diags, err
+}
+
+// RunWithFacts applies each analyzer to the package, resolving imported
+// facts from deps (facts of the package's dependencies, keyed by package
+// path; nil means none) and returning the facts this package exports
+// alongside the surviving diagnostics. Diagnostics suppressed by a
 // "//commvet:ignore <name> <reason>" comment on the same line or the line
 // immediately above are dropped (the explicit per-line escape hatch for
 // false positives; see DESIGN.md).
-func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	// The discipline commvet enforces governs production solver code;
-	// tests deliberately exercise raw tags, rank-divergent calls, and
-	// wall-clock edge cases, so _test.go files are type-checked with the
-	// package but excluded from analysis.
-	analyzed := make([]*ast.File, 0, len(files))
+//
+// Drivers must call RunWithFacts in dependency order — a package before
+// its importers — and feed each result's facts into the next calls' deps;
+// that is what makes interprocedural analyzers (collectivesync v2,
+// cancelcheck) see through cross-package helpers.
+func RunWithFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps *FactSet) ([]Diagnostic, *PackageFacts, error) {
+	// Split production from test sources once; each analyzer picks its
+	// view via RunOnTests. Ignore directives are honored from all files
+	// either way.
+	prod := make([]*ast.File, 0, len(files))
 	for _, f := range files {
 		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
 			continue
 		}
-		analyzed = append(analyzed, f)
+		prod = append(prod, f)
 	}
+	out := &PackageFacts{Path: pkg.Path()}
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		view := prod
+		if a.RunOnTests {
+			view = files
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
-			Files:     analyzed,
+			Files:     view,
 			Pkg:       pkg,
 			TypesInfo: info,
+			facts:     &passFacts{analyzer: a, pkg: pkg, imported: deps, out: out},
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -89,7 +151,10 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			diags = append(diags, d)
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		if err := pass.facts.err; err != nil {
+			return nil, nil, err
 		}
 	}
 	diags = filterIgnored(fset, files, diags)
@@ -99,7 +164,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags, out, nil
 }
 
 // ignoreDirective is the comment prefix that suppresses a diagnostic.

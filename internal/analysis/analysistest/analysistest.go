@@ -11,8 +11,12 @@
 //	// want "first" "second"
 //
 // Lines without a want comment must produce no diagnostics. Fixture
-// packages live under <dir>/src/<pkg>/ and may import only the standard
-// library (resolved by the offline source importer).
+// packages live under <dir>/src/<pkg>/ and may import the standard
+// library (resolved by the offline source importer) or sibling fixture
+// packages by bare name — Run(t, dir, a, "helper", "caller") analyzes
+// both in the order given, carrying the analyzer's facts from one to the
+// next through a full encode/decode round-trip, so fixtures exercise the
+// same serialization path as the go vet unitchecker.
 package analysistest
 
 import (
@@ -44,59 +48,125 @@ type expectation struct {
 // wantRe extracts the double-quoted regexps of a want comment.
 var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
-// Run loads dir/src/pkgname, applies the analyzer, and reports mismatches
-// between produced diagnostics and // want expectations through t.
-func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgname string) {
-	t.Helper()
-	pkgdir := filepath.Join(dir, "src", pkgname)
+// fixturePkg is one parsed, type-checked fixture package.
+type fixturePkg struct {
+	files   []*ast.File
+	pkg     *types.Package
+	info    *types.Info
+	expects []*expectation
+}
+
+// fixtureLoader type-checks fixture packages under dir/src/<name>,
+// resolving imports of sibling fixtures recursively and everything else
+// through the offline source importer.
+type fixtureLoader struct {
+	dir     string
+	fset    *token.FileSet
+	checked map[string]*fixturePkg
+	std     types.Importer
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.dir, "src", path)); err == nil && fi.IsDir() {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *fixtureLoader) load(pkgname string) (*fixturePkg, error) {
+	if fp := ld.checked[pkgname]; fp != nil {
+		return fp, nil
+	}
+	pkgdir := filepath.Join(ld.dir, "src", pkgname)
 	entries, err := os.ReadDir(pkgdir)
 	if err != nil {
-		t.Fatalf("analysistest: %v", err)
+		return nil, fmt.Errorf("analysistest: %v", err)
 	}
-
-	fset := token.NewFileSet()
-	var files []*ast.File
-	var expects []*expectation
+	fp := &fixturePkg{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		path := filepath.Join(pkgdir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("analysistest: %v", err)
+			return nil, fmt.Errorf("analysistest: %v", err)
 		}
-		files = append(files, f)
-		exp, err := parseExpectations(fset, f)
+		fp.files = append(fp.files, f)
+		exp, err := parseExpectations(ld.fset, f)
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
-		expects = append(expects, exp...)
+		fp.expects = append(fp.expects, exp...)
 	}
-	if len(files) == 0 {
-		t.Fatalf("analysistest: no Go files in %s", pkgdir)
+	if len(fp.files) == 0 {
+		return nil, fmt.Errorf("analysistest: no Go files in %s", pkgdir)
 	}
-
-	info := &types.Info{
+	fp.info = &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check(pkgname, fset, files, info)
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(pkgname, ld.fset, fp.files, fp.info)
 	if err != nil {
-		t.Fatalf("analysistest: type-checking fixture %s: %v", pkgname, err)
+		return nil, fmt.Errorf("analysistest: type-checking fixture %s: %v", pkgname, err)
+	}
+	fp.pkg = pkg
+	ld.checked[pkgname] = fp
+	return fp, nil
+}
+
+// Run loads each dir/src/<pkg> in order, applies the analyzer to all of
+// them with facts flowing from earlier packages to later ones, and
+// reports mismatches between produced diagnostics and // want
+// expectations through t. List packages in dependency order: a fixture
+// that imports a sibling must come after it.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		dir:     dir,
+		fset:    fset,
+		checked: make(map[string]*fixturePkg),
+		std:     importer.ForCompiler(fset, "source", nil),
 	}
 
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, pkg, info)
-	if err != nil {
-		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	deps := analysis.NewFactSet()
+	var diags []analysis.Diagnostic
+	var expects []*expectation
+	for _, pkgname := range pkgs {
+		fp, err := ld.load(pkgname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, fp.expects...)
+		ds, exported, err := analysis.RunWithFacts([]*analysis.Analyzer{a}, ld.fset, fp.files, fp.pkg, fp.info, deps)
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, pkgname, err)
+		}
+		diags = append(diags, ds...)
+		// Round-trip the facts through their wire encoding so fixtures
+		// exercise exactly what the unitchecker persists between packages.
+		blob, err := exported.Encode()
+		if err != nil {
+			t.Fatalf("analysistest: encoding facts of %s: %v", pkgname, err)
+		}
+		decoded, err := analysis.DecodePackageFacts(pkgname, blob)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		deps.Add(decoded)
 	}
 
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+		pos := ld.fset.Position(d.Pos)
 		if !claim(expects, pos.Filename, pos.Line, d.Message) {
 			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
 		}

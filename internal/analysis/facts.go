@@ -1,0 +1,346 @@
+// Facts: serializable, per-object and per-package analysis results that
+// flow across package boundaries in dependency order — the mechanism that
+// turns the commvet suite from per-function checks into interprocedural
+// ones. The design mirrors golang.org/x/tools/go/analysis Facts closely:
+//
+//   - A Fact is a pointer to a JSON-serializable struct implementing the
+//     marker method AFact. Each analyzer declares its fact types in
+//     Analyzer.FactTypes and sees only its own facts (namespaced by
+//     analyzer name), so two analyzers can attach different facts to the
+//     same function without colliding.
+//   - While analyzing package P, Pass.ExportObjectFact attaches a fact to
+//     one of P's own objects (a package-level function, method, var, or
+//     type). When a *downstream* package is analyzed, the same analyzer
+//     calls Pass.ImportObjectFact on the imported object and receives the
+//     fact back — the driver carried it across the package boundary.
+//   - Facts serialize to a flat JSON list (one vetx-style blob per
+//     package). The standalone driver keeps them in memory in dependency
+//     order; the unitchecker driver writes the blob to the go command's
+//     VetxOutput file and reads dependencies' blobs from PackageVetx, so
+//     `go vet -vettool` caching works per package, facts included.
+//
+// Objects are keyed by a stable textual path ("FuncName" for package-level
+// objects, "Recv.Method" for methods) rather than by pointer identity,
+// because the importing package sees *different* types.Object instances
+// (from export data or a separately checked source unit) than the
+// exporting package did. Only objects addressable by such a key can carry
+// serialized facts; that covers everything a cross-package caller can
+// reference.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is an analyzer-defined result about an object or package,
+// serializable as JSON. Implementations must be pointers to structs.
+type Fact interface {
+	// AFact is a marker method; it does nothing.
+	AFact()
+}
+
+// wireFact is the serialized form of one exported fact.
+type wireFact struct {
+	// Analyzer namespaces the fact (analyzers never see each other's).
+	Analyzer string `json:"analyzer"`
+	// Object is the stable object key ("" for a package-level fact).
+	Object string `json:"object,omitempty"`
+	// Type is the concrete Go type of the fact (reflect.Type.String()),
+	// matched at import time against the caller's fact pointer.
+	Type string `json:"type"`
+	// Data is the fact's JSON encoding.
+	Data json.RawMessage `json:"data"`
+}
+
+// PackageFacts is the complete fact output of analyzing one package: what
+// the unitchecker writes to its vetx file and what the standalone driver
+// hands to dependent packages.
+type PackageFacts struct {
+	// Path is the package path the facts were exported under.
+	Path  string
+	facts []wireFact
+}
+
+// Encode serializes the fact set. An empty set encodes to an empty blob
+// (zero bytes), which keeps the vetx file byte-identical to the fact-free
+// v1 output for packages exporting nothing.
+func (pf *PackageFacts) Encode() ([]byte, error) {
+	if pf == nil || len(pf.facts) == 0 {
+		return nil, nil
+	}
+	// Deterministic output: sort by (analyzer, object, type). Export order
+	// already is deterministic (AST order), but don't rely on it.
+	sorted := append([]wireFact(nil), pf.facts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(sorted)
+}
+
+// Len reports how many facts the set holds.
+func (pf *PackageFacts) Len() int {
+	if pf == nil {
+		return 0
+	}
+	return len(pf.facts)
+}
+
+// DecodePackageFacts parses a blob produced by Encode. Empty (or nil) data
+// yields an empty, valid set — the fact-free fast path.
+func DecodePackageFacts(path string, data []byte) (*PackageFacts, error) {
+	pf := &PackageFacts{Path: path}
+	if len(data) == 0 {
+		return pf, nil
+	}
+	if err := json.Unmarshal(data, &pf.facts); err != nil {
+		return nil, fmt.Errorf("analysis: decoding facts for %s: %v", path, err)
+	}
+	return pf, nil
+}
+
+// FactSet is the dependency-side view: the facts of every package already
+// analyzed, keyed by package path. The driver fills it in dependency order
+// so that when package P is analyzed, every package P imports is present.
+type FactSet struct {
+	pkgs map[string]*PackageFacts
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{pkgs: make(map[string]*PackageFacts)}
+}
+
+// Add registers one package's facts (replacing any previous entry for the
+// same path). A nil FactSet or nil facts are tolerated no-ops.
+func (fs *FactSet) Add(pf *PackageFacts) {
+	if fs == nil || pf == nil {
+		return
+	}
+	fs.pkgs[pf.Path] = pf
+}
+
+// lookup finds the encoded fact for (pkgPath, objKey, analyzer, typeName).
+func (fs *FactSet) lookup(pkgPath, objKey, analyzer, typeName string) (json.RawMessage, bool) {
+	if fs == nil {
+		return nil, false
+	}
+	pf := fs.pkgs[pkgPath]
+	if pf == nil {
+		return nil, false
+	}
+	for _, f := range pf.facts {
+		if f.Analyzer == analyzer && f.Object == objKey && f.Type == typeName {
+			return f.Data, true
+		}
+	}
+	return nil, false
+}
+
+// ObjectKey returns the stable cross-package key for obj: "Name" for a
+// package-level object, "Recv.Name" for a method (pointer receivers are
+// keyed the same as value receivers). Objects without a stable key —
+// locals, struct fields, interface method *values* on unnamed types —
+// return ok=false; they cannot carry serialized facts.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// factTypeName is the wire identifier of a fact's concrete type.
+func factTypeName(fact Fact) string {
+	return reflect.TypeOf(fact).String()
+}
+
+// validFactType checks that fact is a non-nil pointer declared in the
+// analyzer's FactTypes (matching x/tools' contract: undeclared fact types
+// are a programming error, caught loudly).
+func validFactType(a *Analyzer, fact Fact) error {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Ptr {
+		return fmt.Errorf("analysis: %s: fact %T must be a pointer to a struct", a.Name, fact)
+	}
+	for _, proto := range a.FactTypes {
+		if reflect.TypeOf(proto) == t {
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: %s: fact type %s not declared in FactTypes", a.Name, t)
+}
+
+// passFacts is the per-(package, analyzer) fact state behind a Pass.
+type passFacts struct {
+	analyzer *Analyzer
+	pkg      *types.Package
+	imported *FactSet
+	out      *PackageFacts
+	// objFacts holds this pass's own exports, by object identity, so
+	// same-package imports work even for objects with no stable key.
+	objFacts map[types.Object][]Fact
+	pkgFacts []Fact
+	err      error // first fact-protocol violation, reported by the driver
+}
+
+func (pf *passFacts) setErr(err error) {
+	if pf.err == nil {
+		pf.err = err
+	}
+}
+
+// exportObject attaches fact to obj, which must belong to the current
+// package. Facts on objects with a stable key are serialized for
+// downstream packages; keyless objects (locals) stay pass-local.
+func (pf *passFacts) exportObject(obj types.Object, fact Fact) {
+	if err := validFactType(pf.analyzer, fact); err != nil {
+		pf.setErr(err)
+		return
+	}
+	if obj == nil || obj.Pkg() != pf.pkg {
+		pf.setErr(fmt.Errorf("analysis: %s: ExportObjectFact on object of another package (%v)", pf.analyzer.Name, obj))
+		return
+	}
+	if pf.objFacts == nil {
+		pf.objFacts = make(map[types.Object][]Fact)
+	}
+	pf.objFacts[obj] = append(pf.objFacts[obj], fact)
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		pf.setErr(fmt.Errorf("analysis: %s: encoding fact %T for %s: %v", pf.analyzer.Name, fact, key, err))
+		return
+	}
+	pf.out.facts = append(pf.out.facts, wireFact{
+		Analyzer: pf.analyzer.Name, Object: key, Type: factTypeName(fact), Data: data,
+	})
+}
+
+// importObject copies the fact attached to obj (by this analyzer) into
+// *fact and reports whether one existed. Same-package objects resolve
+// from this pass's in-memory exports; imported objects resolve from the
+// dependency fact set via their stable key.
+func (pf *passFacts) importObject(obj types.Object, fact Fact) bool {
+	if err := validFactType(pf.analyzer, fact); err != nil {
+		pf.setErr(err)
+		return false
+	}
+	if obj == nil {
+		return false
+	}
+	want := reflect.TypeOf(fact)
+	if obj.Pkg() == pf.pkg {
+		for _, f := range pf.objFacts[obj] {
+			if reflect.TypeOf(f) == want {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				return true
+			}
+		}
+		return false
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	data, ok := pf.imported.lookup(obj.Pkg().Path(), key, pf.analyzer.Name, factTypeName(fact))
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, fact); err != nil {
+		pf.setErr(fmt.Errorf("analysis: %s: decoding fact %s.%s: %v", pf.analyzer.Name, obj.Pkg().Path(), key, err))
+		return false
+	}
+	return true
+}
+
+// exportPackage attaches a package-level fact to the current package.
+func (pf *passFacts) exportPackage(fact Fact) {
+	if err := validFactType(pf.analyzer, fact); err != nil {
+		pf.setErr(err)
+		return
+	}
+	pf.pkgFacts = append(pf.pkgFacts, fact)
+	data, err := json.Marshal(fact)
+	if err != nil {
+		pf.setErr(fmt.Errorf("analysis: %s: encoding package fact %T: %v", pf.analyzer.Name, fact, err))
+		return
+	}
+	pf.out.facts = append(pf.out.facts, wireFact{
+		Analyzer: pf.analyzer.Name, Type: factTypeName(fact), Data: data,
+	})
+}
+
+// importPackage copies the package fact of path (or of the current
+// package when path matches it) into *fact.
+func (pf *passFacts) importPackage(path string, fact Fact) bool {
+	if err := validFactType(pf.analyzer, fact); err != nil {
+		pf.setErr(err)
+		return false
+	}
+	if path == pf.pkg.Path() {
+		want := reflect.TypeOf(fact)
+		for _, f := range pf.pkgFacts {
+			if reflect.TypeOf(f) == want {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				return true
+			}
+		}
+		return false
+	}
+	data, ok := pf.imported.lookup(path, "", pf.analyzer.Name, factTypeName(fact))
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, fact); err != nil {
+		pf.setErr(fmt.Errorf("analysis: %s: decoding package fact of %s: %v", pf.analyzer.Name, path, err))
+		return false
+	}
+	return true
+}
+
+// HasFacts reports whether the analyzer declares fact types — drivers use
+// it to skip fact-free analyzers on dependency-only (VetxOnly) runs.
+func (a *Analyzer) HasFacts() bool { return len(a.FactTypes) > 0 }
+
+// TrimTestVariant strips the go command's test-variant suffix from an
+// import path: "pkg [pkg.test]" → "pkg". Fact sets register test variants
+// under both spellings so importers resolve either view.
+func TrimTestVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

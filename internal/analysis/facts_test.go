@@ -1,0 +1,290 @@
+package analysis_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+)
+
+// depthFact records how many call hops separate a function from Target.
+type depthFact struct {
+	Depth int `json:"depth"`
+}
+
+func (*depthFact) AFact() {}
+
+// originFact is a package-level fact naming where the chain starts.
+type originFact struct {
+	Pkg string `json:"pkg"`
+}
+
+func (*originFact) AFact() {}
+
+// chainAnalyzer exports a depthFact on Target, propagates it through
+// single-call wrappers (depth+1, across package boundaries via imported
+// facts), and reports every call whose callee carries a fact. It is the
+// minimal interprocedural analyzer: any driver bug that drops, reorders,
+// or fails to round-trip facts changes its diagnostics.
+var chainAnalyzer = &analysis.Analyzer{
+	Name:      "chain",
+	Doc:       "test analyzer: propagate call-depth facts",
+	FactTypes: []analysis.Fact{(*depthFact)(nil), (*originFact)(nil)},
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				if fd.Name.Name == "Target" {
+					pass.ExportObjectFact(obj, &depthFact{Depth: 1})
+					pass.ExportPackageFact(&originFact{Pkg: pass.Pkg.Path()})
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := staticCallee(pass.TypesInfo, call)
+					if callee == nil {
+						return true
+					}
+					var d depthFact
+					if pass.ImportObjectFact(callee, &d) {
+						pass.Reportf(call.Pos(), "call to %s reaches Target (depth %d)", callee.Name(), d.Depth)
+						pass.ExportObjectFact(obj, &depthFact{Depth: d.Depth + 1})
+					}
+					return true
+				})
+			}
+		}
+		return nil, nil
+	},
+}
+
+// staticCallee resolves call's callee when it is a plain function
+// reference (local or package-qualified).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// memImporter resolves imports from previously checked in-memory packages.
+type memImporter struct {
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+func (m *memImporter) Import(path string) (*types.Package, error) {
+	if p := m.pkgs[path]; p != nil {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// checkedPkg is one in-memory package ready for RunWithFacts.
+type checkedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// checkSource parses and type-checks one single-file package whose import
+// path equals its name, resolving imports from deps.
+func checkSource(t *testing.T, fset *token.FileSet, imp *memImporter, path, src string) *checkedPkg {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", path, err)
+	}
+	imp.pkgs[path] = pkg
+	return &checkedPkg{files: []*ast.File{f}, pkg: pkg, info: info}
+}
+
+// chainSources is a three-package call chain: leaf (Target) <- mid
+// (Wrap calls leaf.Target) <- top (Use calls mid.Wrap). The fact must
+// cross two package boundaries for top to report.
+var chainSources = []struct{ path, src string }{
+	{"leaf", `package leaf
+func Target() {}
+`},
+	{"mid", `package mid
+import "leaf"
+func Wrap() { leaf.Target() }
+`},
+	{"top", `package top
+import "mid"
+func Use() { mid.Wrap() }
+`},
+}
+
+// runChain analyzes the three chain packages in dependency order. Facts
+// cross package boundaries through transport, letting tests choose the
+// in-memory path (cold, one process) or the encode/decode path (what the
+// unitchecker does between separate `go vet` invocations).
+func runChain(t *testing.T, transport func(*analysis.PackageFacts) *analysis.PackageFacts) (map[string][]analysis.Diagnostic, map[string]*analysis.PackageFacts) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &memImporter{pkgs: make(map[string]*types.Package), std: importer.Default()}
+	deps := analysis.NewFactSet()
+	diags := make(map[string][]analysis.Diagnostic)
+	factsByPkg := make(map[string]*analysis.PackageFacts)
+	for _, s := range chainSources {
+		cp := checkSource(t, fset, imp, s.path, s.src)
+		ds, exported, err := analysis.RunWithFacts(
+			[]*analysis.Analyzer{chainAnalyzer}, fset, cp.files, cp.pkg, cp.info, deps)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", s.path, err)
+		}
+		diags[s.path] = ds
+		factsByPkg[s.path] = exported
+		deps.Add(transport(exported))
+	}
+	return diags, factsByPkg
+}
+
+// identityTransport hands the in-memory fact object straight to the
+// dependents — the standalone driver's cold path.
+func identityTransport(pf *analysis.PackageFacts) *analysis.PackageFacts { return pf }
+
+// wireTransport round-trips facts through their serialized form — the
+// unitchecker's incremental path (vetx files between processes).
+func wireTransport(t *testing.T) func(*analysis.PackageFacts) *analysis.PackageFacts {
+	return func(pf *analysis.PackageFacts) *analysis.PackageFacts {
+		blob, err := pf.Encode()
+		if err != nil {
+			t.Fatalf("encoding facts for %s: %v", pf.Path, err)
+		}
+		decoded, err := analysis.DecodePackageFacts(pf.Path, blob)
+		if err != nil {
+			t.Fatalf("decoding facts for %s: %v", pf.Path, err)
+		}
+		return decoded
+	}
+}
+
+// TestFactEncodeRoundTrip pins the wire format: encoding is deterministic,
+// decode(encode(x)) re-encodes to identical bytes, and the empty set
+// encodes to nil (keeping fact-free vetx output byte-identical to the
+// pre-facts format).
+func TestFactEncodeRoundTrip(t *testing.T) {
+	_, facts := runChain(t, identityTransport)
+
+	leaf := facts["leaf"]
+	if leaf.Len() == 0 {
+		t.Fatal("leaf exported no facts; want a depthFact on Target and a package originFact")
+	}
+	blob, err := leaf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("non-empty fact set encoded to empty blob")
+	}
+	blob2, err := leaf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("Encode is not deterministic across calls")
+	}
+	decoded, err := analysis.DecodePackageFacts("leaf", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != leaf.Len() {
+		t.Errorf("decoded %d facts, want %d", decoded.Len(), leaf.Len())
+	}
+	reblob, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, reblob) {
+		t.Errorf("round-trip changed the encoding:\n before %s\n after  %s", blob, reblob)
+	}
+
+	// Empty set: nil blob both ways.
+	empty, err := analysis.DecodePackageFacts("nothing", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := empty.Encode(); err != nil || b != nil {
+		t.Errorf("empty set Encode = (%q, %v), want (nil, nil)", b, err)
+	}
+}
+
+// TestFactPropagationAcrossThreePackages proves facts flow in dependency
+// order across two package boundaries: Target's fact (leaf) is seen by
+// mid's Wrap, and the re-exported depth-2 fact is seen by top's Use.
+func TestFactPropagationAcrossThreePackages(t *testing.T) {
+	diags, facts := runChain(t, identityTransport)
+
+	wantMsg := func(pkg, want string) {
+		t.Helper()
+		ds := diags[pkg]
+		if len(ds) != 1 {
+			t.Fatalf("%s: got %d diagnostics %v, want 1", pkg, len(ds), ds)
+		}
+		if ds[0].Message != want {
+			t.Errorf("%s diagnostic = %q, want %q", pkg, ds[0].Message, want)
+		}
+	}
+	if len(diags["leaf"]) != 0 {
+		t.Errorf("leaf: unexpected diagnostics %v", diags["leaf"])
+	}
+	wantMsg("mid", "call to Target reaches Target (depth 1)")
+	wantMsg("top", "call to Wrap reaches Target (depth 2)")
+
+	// mid must have re-exported a deeper fact for top to import.
+	if facts["mid"].Len() == 0 {
+		t.Error("mid exported no facts; propagation would stop at one hop")
+	}
+}
+
+// TestColdAndIncrementalDiagnosticsAgree is the cache-coherence
+// regression: analyzing with facts handed over in memory (cold build,
+// standalone driver) and with facts round-tripped through their encoded
+// form (incremental build, unitchecker vetx files) must produce identical
+// diagnostics in every package. A wire-format field that fails to
+// serialize state would make `go vet` results depend on cache warmth.
+func TestColdAndIncrementalDiagnosticsAgree(t *testing.T) {
+	cold, _ := runChain(t, identityTransport)
+	incr, _ := runChain(t, wireTransport(t))
+
+	for _, s := range chainSources {
+		c, i := cold[s.path], incr[s.path]
+		if fmt.Sprint(c) != fmt.Sprint(i) {
+			t.Errorf("%s: cold diagnostics %v != incremental diagnostics %v", s.path, c, i)
+		}
+	}
+}

@@ -2,8 +2,18 @@
 // parsed, type-checked packages using only the standard library plus the
 // go command itself. It exists because commvet must run offline: the
 // golang.org/x/go/packages loader is unavailable, so we shell out to
-// `go list -json -deps`, which emits dependencies before dependents, and
-// type-check each package from source in that order.
+// `go list -json -deps -test`, which emits dependencies before
+// dependents, and type-check each package from source in that order.
+//
+// The returned slice preserves that dependency order, and includes the
+// in-module dependencies of the named patterns (Target=false) alongside
+// the named packages themselves (Target=true): a facts-aware driver
+// analyzes every package in order so cross-package facts exist by the
+// time their importers need them, but reports diagnostics only for
+// targets. Test sources ride along as the go command's test variants
+// ("pkg [pkg.test]" with the package's _test.go files merged, and
+// "pkg_test [pkg.test]" for external test packages); the synthesized
+// ".test" main packages are dropped.
 package load
 
 import (
@@ -16,8 +26,10 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -28,6 +40,7 @@ type listPackage struct {
 	GoFiles    []string
 	Standard   bool
 	DepOnly    bool
+	ForTest    string
 	Imports    []string
 	ImportMap  map[string]string
 	Error      *struct{ Err string }
@@ -41,18 +54,23 @@ type Package struct {
 	Pkg        *types.Package
 	Info       *types.Info
 	// Target reports whether the package was named by the patterns (as
-	// opposed to pulled in as a dependency); only targets are analyzed.
+	// opposed to pulled in as a dependency); only targets are reported.
 	Target bool
 }
 
 // Packages loads and type-checks the packages matching patterns, plus the
 // dependencies needed to type-check them. The go command resolves the
 // patterns; type-checking is from source, in dependency order, with a
-// shared package cache.
+// shared package cache. Standard-library dependencies are type-checked
+// for import resolution but not returned.
 func Packages(dir string, patterns []string) ([]*Package, error) {
-	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	args := append([]string{"list", "-e", "-json", "-deps", "-test"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
+	// Pure-Go view: with cgo enabled, stdlib packages like net list
+	// cgo-dependent GoFiles (_C_* symbols) that cannot be type-checked
+	// from source. The module itself is pure Go, so the views agree.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
@@ -82,17 +100,39 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 		ld.byPath[lp.ImportPath] = lp
 	}
 
+	// When a package's test variant is among the roots ("pkg [pkg.test]"),
+	// the base package is analyzed only as a dependency: the variant holds
+	// the same production files plus the _test.go files, so treating both
+	// as targets would double-report every production diagnostic.
+	hasTestVariant := make(map[string]bool)
+	for _, lp := range listed {
+		// "pkg [pkg.test]" is the in-package variant; external "pkg_test"
+		// variants are additional packages, not replacements.
+		if lp.ForTest != "" && !lp.DepOnly && strings.HasPrefix(lp.ImportPath, lp.ForTest+" [") {
+			hasTestVariant[lp.ForTest] = true
+		}
+	}
+
 	var out []*Package
 	for _, lp := range listed {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
+		if strings.HasSuffix(lp.ImportPath, ".test") && lp.Name == "main" {
+			// Synthesized test-binary main: generated files, nothing to
+			// analyze (and nothing imports it).
+			continue
+		}
 		pkg, err := ld.check(lp)
 		if err != nil {
 			return nil, err
 		}
-		if lp.DepOnly {
+		if lp.Standard {
 			continue
+		}
+		target := !lp.DepOnly
+		if target && lp.ForTest == "" && hasTestVariant[lp.ImportPath] {
+			target = false
 		}
 		out = append(out, &Package{
 			ImportPath: lp.ImportPath,
@@ -100,7 +140,7 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 			Files:      pkg.files,
 			Pkg:        pkg.tpkg,
 			Info:       pkg.info,
-			Target:     true,
+			Target:     target,
 		})
 	}
 	return out, nil

@@ -1,13 +1,17 @@
 // Package analyzers registers the commvet suite: the static checks that
-// enforce this repo's SPMD communication and determinism discipline. See
-// DESIGN.md ("Static analysis & SPMD discipline") for the rationale behind
-// each pass and ROADMAP.md for candidate packages not yet covered.
+// enforce this repo's SPMD communication, determinism, durability, and
+// hot-path allocation discipline. See DESIGN.md ("Static analysis & SPMD
+// discipline") for the rationale behind each pass and ROADMAP.md for
+// candidate packages not yet covered.
 package analyzers
 
 import (
 	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/cancelcheck"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers/collectivesync"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/durability"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers/floatcompare"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/hotalloc"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers/nondeterminism"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers/tagdiscipline"
 )
@@ -16,8 +20,11 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		collectivesync.Analyzer,
+		cancelcheck.Analyzer,
 		tagdiscipline.Analyzer,
 		nondeterminism.Analyzer,
 		floatcompare.Analyzer,
+		durability.Analyzer,
+		hotalloc.Analyzer,
 	}
 }

@@ -51,6 +51,25 @@ func IsCollective(name string) bool {
 	return false
 }
 
+// Callee returns the statically-known callee of call — a package-level
+// function or a method, from this package or an imported one — or nil for
+// calls through function values, built-ins, and type conversions. This is
+// the resolution step interprocedural analyzers use before consulting
+// facts attached to the callee.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
 // IsRankCall reports whether call is Comm.Rank().
 func IsRankCall(info *types.Info, call *ast.CallExpr) bool {
 	return CommMethod(info, call) == "Rank"

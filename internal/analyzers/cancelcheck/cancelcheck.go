@@ -1,0 +1,333 @@
+// Package cancelcheck enforces cooperative-cancellation discipline in the
+// layers above simmpi: a loop that issues blocking simmpi operations
+// (Recv, collectives) must contain a cancellation point, so a canceled
+// world unblocks promptly instead of finishing an unbounded amount of
+// work. The gap it closes is real: simmpi's mailbox hands over *queued*
+// matching messages without consulting the canceled flag, so a rank that
+// keeps finding its messages already delivered can drain an entire
+// receive loop — or run whole extra timesteps — without ever observing
+// cancellation. Only an explicit point (Comm.CheckCancel, or a select on
+// Config.Cancel / a done channel) bounds that latency.
+//
+// The check is interprocedural via facts. Every function exports:
+//
+//   - PerformsBlocking{Ops}: the blocking simmpi operations it can
+//     transitively reach (a call to exchange.Exchange blocks just as much
+//     as a direct Alltoallv);
+//   - ChecksCancellation{}: it transitively contains a cancellation point.
+//
+// A loop needs a cancellation point when it has *unguarded* blocking
+// work: a direct blocking Comm call, or a call to a fact-carrying
+// function that does not itself check cancellation. Calls to functions
+// that do check (e.g. Solver.Step, which opens with CheckCancel) count as
+// the loop's cancellation point.
+//
+// Scope: packages core and serve (plus simmpi, whose collectives are
+// where the blocking originates). The package that *defines* the Comm
+// type is exempt from the loop check — its bounded per-round Recv loops
+// ARE the primitives, and a blocked receive there already aborts on
+// cancellation; the unbounded application loops above are where explicit
+// points matter. Function literals are analyzed in place for their own
+// loops, but their contents are not attributed to the enclosing function:
+// closures like OnStep run on world ranks, not on the goroutine that
+// built them.
+package cancelcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/astq"
+)
+
+// PerformsBlocking marks a function that transitively issues blocking
+// simmpi operations (Recv or collectives).
+type PerformsBlocking struct {
+	// Ops holds the sorted, deduplicated blocking Comm method names.
+	Ops []string
+}
+
+// AFact marks PerformsBlocking as a serializable analysis fact.
+func (*PerformsBlocking) AFact() {}
+
+// ChecksCancellation marks a function that transitively contains a
+// cancellation point (Comm.CheckCancel or a cancel-channel receive).
+type ChecksCancellation struct{}
+
+// AFact marks ChecksCancellation as a serializable analysis fact.
+func (*ChecksCancellation) AFact() {}
+
+// Analyzer is the cancelcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cancelcheck",
+	Doc:  "loops issuing blocking simmpi operations must contain a cancellation point (Comm.CheckCancel or a cancel-channel select)",
+	Run:  run,
+	FactTypes: []analysis.Fact{
+		(*PerformsBlocking)(nil),
+		(*ChecksCancellation)(nil),
+	},
+}
+
+// checkedPkgs are the packages whose loops the analyzer reports on (by
+// import-path base). Everything else still exports facts, so blocking
+// helpers anywhere in the module are visible to these packages.
+var checkedPkgs = map[string]bool{
+	"core":   true,
+	"serve":  true,
+	"simmpi": true,
+}
+
+// isBlocking reports whether a Comm method name is a blocking operation:
+// all collectives plus Recv (Send is buffered mailbox delivery).
+func isBlocking(name string) bool {
+	return name == "Recv" || astq.IsCollective(name)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	fns := computeFacts(pass)
+	for fn, n := range fns {
+		if len(n.blocking) > 0 {
+			ops := make([]string, 0, len(n.blocking))
+			for op := range n.blocking {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			pass.ExportObjectFact(fn, &PerformsBlocking{Ops: ops})
+		}
+		if n.checks {
+			pass.ExportObjectFact(fn, &ChecksCancellation{})
+		}
+	}
+
+	base := path.Base(analysis.TrimTestVariant(pass.Pkg.Path()))
+	if !checkedPkgs[base] || definesComm(pass.Pkg) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLoops(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// definesComm reports whether pkg declares the named type Comm — i.e. it
+// is the communication-primitive layer itself.
+func definesComm(pkg *types.Package) bool {
+	obj := pkg.Scope().Lookup("Comm")
+	tn, ok := obj.(*types.TypeName)
+	return ok && tn.Pkg() == pkg
+}
+
+// fnNode accumulates per-function analysis state during the fixpoint.
+type fnNode struct {
+	blocking map[string]bool
+	checks   bool
+	calls    []*types.Func // same-package static callees
+}
+
+// computeFacts derives each declared function's transitive blocking set
+// and cancellation-point flag: direct detections plus imported callee
+// facts, closed over the same-package call graph. FuncLit bodies are
+// excluded throughout (see the package comment).
+func computeFacts(pass *analysis.Pass) map[*types.Func]*fnNode {
+	info := pass.TypesInfo
+	nodes := make(map[*types.Func]*fnNode)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &fnNode{blocking: make(map[string]bool)}
+			inspectSkippingFuncLits(fd.Body, func(nd ast.Node) {
+				if isCancelRecv(nd) {
+					n.checks = true
+					return
+				}
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if name := astq.CommMethod(info, call); name != "" {
+					if name == "CheckCancel" {
+						n.checks = true
+					} else if isBlocking(name) {
+						n.blocking[name] = true
+					}
+					return
+				}
+				callee := astq.Callee(info, call)
+				if callee == nil {
+					return
+				}
+				if callee.Pkg() == pass.Pkg {
+					n.calls = append(n.calls, callee)
+					return
+				}
+				var checks ChecksCancellation
+				calleeChecks := pass.ImportObjectFact(callee, &checks)
+				if calleeChecks {
+					n.checks = true
+				}
+				var blk PerformsBlocking
+				if !calleeChecks && pass.ImportObjectFact(callee, &blk) {
+					for _, op := range blk.Ops {
+						n.blocking[op] = true
+					}
+				}
+			})
+			nodes[fn] = n
+		}
+	}
+
+	// Fixpoint: blocking propagates from callees that do not check (a
+	// checking callee guards its own blocking); the checks flag propagates
+	// unconditionally. Both only grow, so the sweep terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, callee := range n.calls {
+				cn := nodes[callee]
+				if cn == nil {
+					continue
+				}
+				if cn.checks && !n.checks {
+					n.checks = true
+					changed = true
+				}
+				if !cn.checks {
+					for op := range cn.blocking {
+						if !n.blocking[op] {
+							n.blocking[op] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return nodes
+}
+
+// inspectSkippingFuncLits walks the AST below root, not descending into
+// function literals.
+func inspectSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isCancelRecv reports whether n is a receive from a cancellation
+// channel: <-x where x's final name mentions cancel or done (c.Cancel,
+// ctx.Done(), watchDone, ...).
+func isCancelRecv(n ast.Node) bool {
+	un, ok := n.(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "<-" {
+		return false
+	}
+	name := trailingName(un.X)
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "cancel") || strings.Contains(lower, "done")
+}
+
+// trailingName extracts the last identifier of an expression chain:
+// c.Cancel -> "Cancel", ctx.Done() -> "Done", quit -> "quit".
+func trailingName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return trailingName(x.Fun)
+	}
+	return ""
+}
+
+// checkLoops reports for/range loops with unguarded blocking work and no
+// cancellation point. Function literals are separate scopes: their loops
+// are checked on their own, and their contents do not satisfy or indict
+// an enclosing loop.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			checkLoops(pass, x.Body)
+			return false
+		case *ast.ForStmt:
+			checkLoop(pass, x.Body)
+		case *ast.RangeStmt:
+			checkLoop(pass, x.Body)
+		}
+		return true
+	})
+}
+
+// checkLoop examines one loop body (including nested loops — a point
+// anywhere in the body covers the whole iteration).
+func checkLoop(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var ops []string
+	seen := make(map[string]bool)
+	hasPoint := false
+	inspectSkippingFuncLits(body, func(nd ast.Node) {
+		if isCancelRecv(nd) {
+			hasPoint = true
+			return
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if name := astq.CommMethod(info, call); name != "" {
+			if name == "CheckCancel" {
+				hasPoint = true
+			} else if isBlocking(name) && !seen[name] {
+				seen[name] = true
+				ops = append(ops, name)
+			}
+			return
+		}
+		callee := astq.Callee(info, call)
+		if callee == nil {
+			return
+		}
+		var checks ChecksCancellation
+		if pass.ImportObjectFact(callee, &checks) {
+			hasPoint = true
+			return
+		}
+		var blk PerformsBlocking
+		if pass.ImportObjectFact(callee, &blk) {
+			for _, op := range blk.Ops {
+				if !seen[op] {
+					seen[op] = true
+					ops = append(ops, op)
+				}
+			}
+		}
+	})
+	if len(ops) > 0 && !hasPoint {
+		sort.Strings(ops)
+		pass.Reportf(body.Pos(), "loop issues blocking simmpi operation(s) %s without a cancellation point; call Comm.CheckCancel (or select on the cancel channel) each iteration so a canceled world unblocks promptly", strings.Join(ops, ", "))
+	}
+}

@@ -1,0 +1,12 @@
+package cancelcheck_test
+
+import (
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/analysistest"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/cancelcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", cancelcheck.Analyzer, "commstub", "core")
+}

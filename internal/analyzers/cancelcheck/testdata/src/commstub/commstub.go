@@ -1,0 +1,30 @@
+// Fixture stub of the simmpi surface: defines the Comm type (making this
+// package the exempt primitive layer) and a blocking helper whose
+// PerformsBlocking fact crosses into the core fixture.
+package commstub
+
+type Comm struct{ rank, size int }
+
+func (c *Comm) Rank() int                           { return c.rank }
+func (c *Comm) Size() int                           { return c.size }
+func (c *Comm) CheckCancel()                        {}
+func (c *Comm) Barrier()                            {}
+func (c *Comm) Bcast(root int, data []byte) []byte  { return data }
+func (c *Comm) AllreduceInt64(vals []int64) []int64 { return vals }
+func (c *Comm) Send(dst, tag int, data []byte)      {}
+func (c *Comm) Recv(src, tag int) []byte            { return nil }
+
+// SyncRound performs a collective; callers inherit the blocking fact.
+func SyncRound(c *Comm) {
+	c.Barrier()
+}
+
+// primitiveLoop would be a finding in an application package, but the
+// Comm-defining package is exempt: these bounded per-round receive loops
+// ARE the primitives, and a blocked Recv aborts on cancellation.
+func primitiveLoop(c *Comm) {
+	for d := 1; d < c.size; d *= 2 {
+		c.Send((c.rank+d)%c.size, 9, nil)
+		_ = c.Recv((c.rank-d+c.size)%c.size, 9)
+	}
+}

@@ -1,0 +1,91 @@
+// Fixture for the cancelcheck analyzer: application-layer loops over
+// blocking simmpi operations, positive and negative.
+package core
+
+import "commstub"
+
+// helperBlocks transitively blocks (exports PerformsBlocking{Barrier}).
+func helperBlocks(c *commstub.Comm) {
+	c.Barrier()
+}
+
+// helperChecks blocks but checks cancellation first: calling it gives the
+// caller's loop a cancellation point every iteration.
+func helperChecks(c *commstub.Comm) {
+	c.CheckCancel()
+	c.Barrier()
+}
+
+// --- positive cases ---
+
+func badDirect(c *commstub.Comm) {
+	for i := 0; i < 10; i++ { // want "loop issues blocking simmpi operation\(s\) Recv without a cancellation point"
+		_ = c.Recv(0, 1)
+	}
+}
+
+func badIndirect(c *commstub.Comm) {
+	for i := 0; i < 10; i++ { // want "loop issues blocking simmpi operation\(s\) Barrier without a cancellation point"
+		helperBlocks(c)
+	}
+}
+
+func badCrossPackage(c *commstub.Comm) {
+	for i := 0; i < 3; i++ { // want "loop issues blocking simmpi operation\(s\) Barrier without a cancellation point"
+		commstub.SyncRound(c)
+	}
+}
+
+func badRange(c *commstub.Comm, parts [][]byte) {
+	for range parts { // want "loop issues blocking simmpi operation\(s\) AllreduceInt64 without a cancellation point"
+		_ = c.AllreduceInt64([]int64{1})
+	}
+}
+
+// --- negative cases ---
+
+func goodExplicit(c *commstub.Comm) {
+	for i := 0; i < 10; i++ {
+		c.CheckCancel()
+		_ = c.Recv(0, 1)
+	}
+}
+
+func goodViaCheckingCallee(c *commstub.Comm) {
+	for i := 0; i < 10; i++ {
+		helperChecks(c)
+	}
+}
+
+func goodSelectCancel(c *commstub.Comm, cancel chan struct{}) {
+	for i := 0; i < 10; i++ {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		c.Barrier()
+	}
+}
+
+func nonBlockingLoop(c *commstub.Comm) {
+	// Send is buffered mailbox delivery: not a blocking op.
+	for i := 0; i < 10; i++ {
+		c.Send(0, 1, nil)
+	}
+}
+
+func closureNotAttributed(c *commstub.Comm) []func() {
+	// Building a closure does not block; the closure runs elsewhere.
+	fs := make([]func(), 0, 3)
+	for i := 0; i < 3; i++ {
+		fs = append(fs, func() { c.Barrier() })
+	}
+	return fs
+}
+
+func suppressed(c *commstub.Comm) {
+	for i := 0; i < 2; i++ { //commvet:ignore cancelcheck fixture exercises the escape hatch
+		_ = c.Recv(0, 1)
+	}
+}

@@ -14,25 +14,55 @@
 // variable assigned (directly or transitively) from one. This is the
 // compile-time sibling of what MPI correctness tools like MUST detect at
 // run time.
+//
+// Since v2 the check is interprocedural: every function that transitively
+// reaches a collective — directly, through same-package helpers, or
+// through helpers in other packages — carries a PerformsCollective fact,
+// and a *call* to such a function under rank-dependent control flow is
+// flagged exactly like a direct collective. A collective hidden two
+// packages away behind wrapper functions no longer escapes the check.
 package collectivesync
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 
 	"github.com/plasma-hpc/dsmcpic/internal/analysis"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers/astq"
 )
 
+// PerformsCollective is attached to every function that transitively
+// issues at least one simmpi collective. It is what lets a downstream
+// package see that calling helper.SyncAll() means calling Barrier.
+type PerformsCollective struct {
+	// Collectives holds the sorted, deduplicated names of the collective
+	// Comm methods the function can reach.
+	Collectives []string
+}
+
+// AFact marks PerformsCollective as a serializable analysis fact.
+func (*PerformsCollective) AFact() {}
+
 // Analyzer is the collectivesync pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "collectivesync",
-	Doc:  "flag simmpi collective calls reachable only under rank-dependent control flow (SPMD divergence deadlock)",
-	Run:  run,
+	Name:      "collectivesync",
+	Doc:       "flag simmpi collective calls (direct or via fact-carrying helpers) reachable only under rank-dependent control flow (SPMD divergence deadlock)",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*PerformsCollective)(nil)},
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	// Phase 1: compute which of this package's functions transitively
+	// perform collectives and export a fact for each, so both phase 2 here
+	// and downstream packages can resolve call sites against them.
+	for fn, colls := range computePerforms(pass) {
+		pass.ExportObjectFact(fn, &PerformsCollective{Collectives: colls})
+	}
+
+	// Phase 2: the divergence walk.
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -43,6 +73,97 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 	}
 	return nil, nil
+}
+
+// computePerforms maps each function declared in this package to the
+// collectives it can transitively reach. Direct Comm calls and imported
+// callees' facts seed the sets; a worklist closes them over the
+// same-package call graph (handling helper chains and mutual recursion).
+// Function literals count toward their enclosing declaration: a closure
+// is built to be run, and attributing its collectives to the constructor
+// over-approximates safely.
+func computePerforms(pass *analysis.Pass) map[*types.Func][]string {
+	info := pass.TypesInfo
+	type node struct {
+		colls map[string]bool
+		calls []*types.Func // same-package static callees
+	}
+	nodes := make(map[*types.Func]*node)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &node{colls: make(map[string]bool)}
+			ast.Inspect(fd.Body, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := astq.CommMethod(info, call); name != "" {
+					if astq.IsCollective(name) {
+						n.colls[name] = true
+					}
+					return true
+				}
+				callee := astq.Callee(info, call)
+				if callee == nil {
+					return true
+				}
+				if callee.Pkg() == pass.Pkg {
+					n.calls = append(n.calls, callee)
+					return true
+				}
+				var fact PerformsCollective
+				if pass.ImportObjectFact(callee, &fact) {
+					for _, c := range fact.Collectives {
+						n.colls[c] = true
+					}
+				}
+				return true
+			})
+			nodes[fn] = n
+		}
+	}
+
+	// Fixpoint over the same-package call graph: sets only grow, so the
+	// loop terminates once a full sweep adds nothing.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, callee := range n.calls {
+				cn := nodes[callee]
+				if cn == nil {
+					continue
+				}
+				for c := range cn.colls {
+					if !n.colls[c] {
+						n.colls[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	out := make(map[*types.Func][]string)
+	for fn, n := range nodes {
+		if len(n.colls) == 0 {
+			continue
+		}
+		colls := make([]string, 0, len(n.colls))
+		for c := range n.colls {
+			colls = append(colls, c)
+		}
+		sort.Strings(colls)
+		out[fn] = colls
+	}
+	return out
 }
 
 // checkFunc analyzes one function body. Function literals are analyzed in
@@ -102,6 +223,10 @@ func taintRankVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool 
 }
 
 // exprRankDep reports whether e mentions Comm.Rank() or a tainted local.
+// Function literals are opaque: a closure whose *body* calls Rank() is
+// still the same function value on every rank, so it neither taints the
+// variable holding it nor makes a condition mentioning it divergent —
+// its invocations are analyzed on their own.
 func exprRankDep(info *types.Info, tainted map[types.Object]bool, e ast.Expr) bool {
 	if e == nil {
 		return false
@@ -109,6 +234,8 @@ func exprRankDep(info *types.Info, tainted map[types.Object]bool, e ast.Expr) bo
 	dep := false
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
 		case *ast.CallExpr:
 			if astq.IsRankCall(info, x) {
 				dep = true
@@ -197,11 +324,12 @@ func (v *visitor) stmt(s ast.Stmt, divergent bool) {
 	}
 }
 
-// leaf inspects a non-control statement for collective calls. Function
-// literals re-enter the statement walker so their internal control flow is
-// analyzed too: a collective under a rank branch inside a closure is just
-// as divergent, and a closure built under a rank branch only ever runs on
-// those ranks.
+// leaf inspects a non-control statement for collective calls — direct
+// Comm methods, or calls to functions whose PerformsCollective fact says
+// a collective hides behind them. Function literals re-enter the
+// statement walker so their internal control flow is analyzed too: a
+// collective under a rank branch inside a closure is just as divergent,
+// and a closure built under a rank branch only ever runs on those ranks.
 func (v *visitor) leaf(s ast.Stmt, divergent bool) {
 	ast.Inspect(s, func(n ast.Node) bool {
 		switch x := n.(type) {
@@ -209,9 +337,22 @@ func (v *visitor) leaf(s ast.Stmt, divergent bool) {
 			v.stmts(x.Body.List, divergent)
 			return false
 		case *ast.CallExpr:
-			name := astq.CommMethod(v.pass.TypesInfo, x)
-			if name != "" && astq.IsCollective(name) && divergent {
-				v.report(x.Pos(), name)
+			if !divergent {
+				return true
+			}
+			if name := astq.CommMethod(v.pass.TypesInfo, x); name != "" {
+				if astq.IsCollective(name) {
+					v.report(x.Pos(), name)
+				}
+				return true
+			}
+			callee := astq.Callee(v.pass.TypesInfo, x)
+			if callee == nil {
+				return true
+			}
+			var fact PerformsCollective
+			if v.pass.ImportObjectFact(callee, &fact) {
+				v.reportIndirect(x.Pos(), callee, fact.Collectives)
 			}
 		}
 		return true
@@ -220,6 +361,14 @@ func (v *visitor) leaf(s ast.Stmt, divergent bool) {
 
 func (v *visitor) report(pos token.Pos, name string) {
 	v.pass.Reportf(pos, "collective %s is only reached under a rank-dependent condition; all ranks must issue the same collectives in the same order (SPMD divergence deadlock)", name)
+}
+
+func (v *visitor) reportIndirect(pos token.Pos, callee *types.Func, colls []string) {
+	name := callee.Name()
+	if pkg := callee.Pkg(); pkg != nil && pkg != v.pass.Pkg {
+		name = pkg.Name() + "." + name
+	}
+	v.pass.Reportf(pos, "call to %s, which performs collective %s, is only reached under a rank-dependent condition; all ranks must issue the same collectives in the same order (SPMD divergence deadlock)", name, strings.Join(colls, ", "))
 }
 
 // terminates reports whether a block always leaves the function (its final

@@ -10,3 +10,10 @@ import (
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata", collectivesync.Analyzer, "comm")
 }
+
+// TestCrossPackage proves the v2 acceptance case: a collective reached
+// only through a helper in a different package is flagged at the
+// rank-guarded call site, two package boundaries away from the Barrier.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", collectivesync.Analyzer, "prim", "mid", "leaf")
+}

@@ -1,0 +1,29 @@
+// Fixture package 3: the call chain leaf.run -> mid.Sync2 -> prim.SyncAll
+// -> Comm.Barrier crosses two package boundaries. Intraprocedural v1
+// could not see the Barrier from here; the fact chain makes the
+// rank-guarded call site a finding.
+package leaf
+
+import (
+	"mid"
+	"prim"
+)
+
+func run(c *prim.Comm) {
+	if c.Rank() == 0 {
+		mid.Sync2(c) // want "call to mid.Sync2, which performs collective Barrier, is only reached under a rank-dependent condition"
+	}
+	mid.Sync2(c) // every rank: fine
+}
+
+func rootOnlyP2P(c *prim.Comm) {
+	if c.Rank() == 0 {
+		mid.Ping(c) // collective-free helper under a rank branch: fine
+	}
+}
+
+func ignored(c *prim.Comm) {
+	if c.Rank() == 0 {
+		mid.Sync2(c) //commvet:ignore collectivesync fixture exercises the escape hatch
+	}
+}

@@ -1,0 +1,16 @@
+// Fixture package 2: wraps prim's helper one level deeper. Sync2 has no
+// collective call in its own body — only the imported PerformsCollective
+// fact on prim.SyncAll reveals that it performs Barrier.
+package mid
+
+import "prim"
+
+// Sync2 transitively performs Barrier (via prim.SyncAll).
+func Sync2(c *prim.Comm) {
+	prim.SyncAll(c)
+}
+
+// Ping is collective-free.
+func Ping(c *prim.Comm) {
+	prim.Notify(c, 0)
+}

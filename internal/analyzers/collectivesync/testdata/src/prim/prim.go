@@ -1,0 +1,32 @@
+// Fixture package 1 of the cross-package chain: defines the Comm stub and
+// a helper wrapping a collective. Analyzed first; exports
+// PerformsCollective facts for SyncAll and (via analysistest's fact
+// round-trip) makes them visible to the mid and leaf fixtures.
+package prim
+
+type Comm struct{ rank, size int }
+
+func (c *Comm) Rank() int                          { return c.rank }
+func (c *Comm) Size() int                          { return c.size }
+func (c *Comm) Barrier()                           {}
+func (c *Comm) Bcast(root int, data []byte) []byte { return data }
+func (c *Comm) Send(dst, tag int, data []byte)     {}
+func (c *Comm) Recv(src, tag int) []byte           { return nil }
+
+// SyncAll performs a collective; callers inherit the fact.
+func SyncAll(c *Comm) {
+	c.Barrier()
+}
+
+// Notify is collective-free; calling it under a rank branch is fine.
+func Notify(c *Comm, dst int) {
+	c.Send(dst, 1, nil)
+}
+
+// localIndirect proves the fact works in the defining package too: the
+// helper call under a rank branch is as divergent as the Barrier inside.
+func localIndirect(c *Comm) {
+	if c.Rank() == 0 {
+		SyncAll(c) // want "call to SyncAll, which performs collective Barrier, is only reached under a rank-dependent condition"
+	}
+}

@@ -1,0 +1,251 @@
+// Package durability enforces the store's crash-safety orderings as
+// static checks over the injectable Filesystem/File interfaces (matching
+// is structural — named types "Filesystem" and "File" — so fixtures and
+// internal/store are checked identically):
+//
+//	R1 fsync-before-rename: a File obtained from Filesystem.Create and
+//	   written must be Sync()ed before the function Renames anything into
+//	   place. Rename publishes atomically; without the fsync the
+//	   published name can point at unwritten blocks after a crash.
+//
+//	R2 result-before-done: journaling the literal state "done"
+//	   (RecordState(..., "done", ...)) must be preceded in the same
+//	   function by PutResult — replay drops a done job whose result is
+//	   missing, so the reverse order can lose a completed job.
+//
+//	R3 write-then-sync: a function that writes a File must Sync it
+//	   (after the last write) or hand the barrier upward — functions
+//	   named Write*/Sync*/Close*/Flush* and append helpers on the File
+//	   itself are the pass-through wrappers and are exempt.
+//
+// Scope: packages store and serve. Test files are excluded (fault
+// fixtures deliberately write unsynced files); suppress intentional
+// violations with "//commvet:ignore durability <reason>".
+package durability
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+)
+
+// Analyzer is the durability pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "durability",
+	Doc:  "enforce store crash-safety orderings: fsync before rename, result written before done journaled, writes followed by sync",
+	Run:  run,
+}
+
+// checkedPkgs are the packages the analyzer reports on (by import-path
+// base).
+var checkedPkgs = map[string]bool{
+	"store": true,
+	"serve": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	base := path.Base(analysis.TrimTestVariant(pass.Pkg.Path()))
+	if !checkedPkgs[base] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isNamed reports whether t (or its pointee) is a named type with the
+// given name.
+func isNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// methodOn returns the method name if call is a method call on a value
+// of the named interface/struct type, else "".
+func methodOn(info *types.Info, call *ast.CallExpr, typeName string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return ""
+	}
+	if isNamed(s.Recv(), typeName) {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// recvObj resolves the receiver expression of a method call to its
+// variable object, when the receiver is a plain identifier or a
+// single-level field selection (tmp, j.w, c.fs). Deeper expressions
+// return nil and are tracked by no rule.
+func recvObj(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// wrapperExempt reports whether the function is a pass-through wrapper
+// that legitimately writes without syncing: the caller owns the barrier.
+func wrapperExempt(name string) bool {
+	for _, p := range []string{"Write", "Sync", "Close", "Flush"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fileUse tracks one File-typed variable's lifecycle inside a function.
+type fileUse struct {
+	obj        types.Object
+	fromCreate bool
+	lastWrite  *ast.CallExpr // last Write* call, nil if never written
+	syncAfter  bool          // a Sync on this file after the last write
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var (
+		uses       []*fileUse
+		byObj      = map[types.Object]*fileUse{}
+		renames    []*ast.CallExpr
+		putResults []*ast.CallExpr
+		dones      []*ast.CallExpr
+	)
+	use := func(obj types.Object) *fileUse {
+		if obj == nil {
+			return nil
+		}
+		u := byObj[obj]
+		if u == nil {
+			u = &fileUse{obj: obj}
+			byObj[obj] = u
+			uses = append(uses, u)
+		}
+		return u
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// A File var assigned from Filesystem.Create starts a temp-file
+		// publish sequence.
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && methodOn(info, call, "Filesystem") == "Create" {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if u := use(obj); u != nil {
+						u.fromCreate = true
+					}
+				}
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch methodOn(info, call, "Filesystem") {
+		case "Rename":
+			renames = append(renames, call)
+			return true
+		}
+		switch name := methodOn(info, call, "File"); {
+		case strings.HasPrefix(name, "Write"):
+			if u := use(recvObj(info, call)); u != nil {
+				u.lastWrite = call
+				u.syncAfter = false
+			}
+		case name == "Sync":
+			if u := use(recvObj(info, call)); u != nil {
+				u.syncAfter = true
+			}
+		}
+		// R2 markers: by method name, so both the Store methods and the
+		// serve-side Storage interface calls match.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "PutResult":
+				putResults = append(putResults, call)
+			case "RecordState":
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.BasicLit); ok && lit.Value == `"done"` {
+						dones = append(dones, call)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// R1: every written Create-file must be synced before the publish
+	// rename. The rename's position orders it against the file's writes.
+	for _, rn := range renames {
+		for _, u := range uses {
+			if u.fromCreate && u.lastWrite != nil && !u.syncAfter && u.lastWrite.Pos() < rn.Pos() {
+				pass.Reportf(rn.Pos(), "rename publishes %s without a preceding Sync; fsync-before-rename is required or a crash can publish unwritten data", u.obj.Name())
+			}
+		}
+	}
+
+	// R3: a written File must be synced after its last write, unless this
+	// function is a pass-through wrapper. Files covered by an R1 report
+	// above are not double-reported: the rename check subsumes the sync.
+	if !wrapperExempt(fd.Name.Name) {
+		for _, u := range uses {
+			if u.lastWrite == nil || u.syncAfter {
+				continue
+			}
+			covered := false
+			for _, rn := range renames {
+				if u.fromCreate && u.lastWrite.Pos() < rn.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(u.lastWrite.Pos(), "File %s is written but never Sync()ed in this function; a crash can lose the write (journal appends are Write+Sync)", u.obj.Name())
+			}
+		}
+	}
+
+	// R2: "done" must not be journaled before the result bytes are put.
+	for _, d := range dones {
+		ok := false
+		for _, p := range putResults {
+			if p.Pos() < d.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(d.Pos(), `state "done" is journaled without a preceding PutResult in this function; replay drops a done job whose result is missing (result-before-done ordering)`)
+		}
+	}
+}

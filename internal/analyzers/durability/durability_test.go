@@ -1,0 +1,12 @@
+package durability_test
+
+import (
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/analysistest"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/durability"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", durability.Analyzer, "store")
+}

@@ -1,0 +1,109 @@
+// Fixture for the durability analyzer: a structural stand-in for
+// internal/store's Filesystem/File interfaces plus positive and negative
+// cases for the three orderings.
+package store
+
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type Filesystem interface {
+	Create(path string) (File, error)
+	OpenAppend(path string) (File, error)
+	Rename(oldpath, newpath string) error
+}
+
+type journal struct {
+	fs Filesystem
+	w  File
+}
+
+type state struct{ fs Filesystem }
+
+func (s *state) RecordState(id, st, errMsg, errClass string) {}
+func (s *state) PutResult(key string, payload []byte)        {}
+
+// --- R1: fsync-before-rename ---
+
+func goodPut(fs Filesystem, payload []byte) error {
+	tmp, err := fs.Create("x.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return fs.Rename("x.tmp", "x")
+}
+
+func badPut(fs Filesystem, payload []byte) error {
+	tmp, err := fs.Create("x.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return fs.Rename("x.tmp", "x") // want "rename publishes tmp without a preceding Sync"
+}
+
+func renameOnly(fs Filesystem) error {
+	// Quarantine-style move of an existing file: nothing written here.
+	return fs.Rename("a", "b")
+}
+
+// --- R3: write-then-sync ---
+
+func (j *journal) goodAppend(rec []byte) error {
+	if _, err := j.w.Write(rec); err != nil {
+		return err
+	}
+	return j.w.Sync()
+}
+
+func (j *journal) badAppend(rec []byte) error {
+	_, err := j.w.Write(rec) // want "File w is written but never Sync\(\)ed in this function"
+	return err
+}
+
+// WriteRecord is a pass-through wrapper: the caller owns the barrier.
+func (j *journal) WriteRecord(rec []byte) error {
+	_, err := j.w.Write(rec)
+	return err
+}
+
+func (j *journal) suppressedAppend(rec []byte) error {
+	_, err := j.w.Write(rec) //commvet:ignore durability fixture exercises the escape hatch
+	return err
+}
+
+// --- R2: result-before-done ---
+
+func goodFinish(s *state, key, id string, blob []byte) {
+	s.PutResult(key, blob)
+	s.RecordState(id, "done", "", "")
+}
+
+func badFinish(s *state, key, id string, blob []byte) {
+	s.RecordState(id, "done", "", "") // want "state \"done\" is journaled without a preceding PutResult"
+	s.PutResult(key, blob)
+}
+
+func dynamicState(s *state, id, st string) {
+	// Not the literal "done": out of R2's reach by design.
+	s.RecordState(id, st, "", "")
+}

@@ -19,16 +19,21 @@ package floatcompare
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 
 	"github.com/plasma-hpc/dsmcpic/internal/analysis"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers/astq"
 )
 
-// Analyzer is the floatcompare pass.
+// Analyzer is the floatcompare pass. It runs on test sources too: an
+// exact float assertion in a test is the same latent flake as in the
+// kernel it checks (replay tests that genuinely assert bitwise equality
+// carry a reasoned //commvet:ignore).
 var Analyzer = &analysis.Analyzer{
-	Name: "floatcompare",
-	Doc:  "flag ==/!= on computed floating-point operands in physics packages (compare with a tolerance instead)",
-	Run:  run,
+	Name:       "floatcompare",
+	Doc:        "flag ==/!= on computed floating-point operands in physics packages (compare with a tolerance instead)",
+	Run:        run,
+	RunOnTests: true,
 }
 
 // physicsPkgs names the packages holding numerical kernels.
@@ -39,7 +44,8 @@ var physicsPkgs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !physicsPkgs[pass.Pkg.Name()] {
+	// Match external test packages ("core_test") to their subject package.
+	if !physicsPkgs[strings.TrimSuffix(pass.Pkg.Name(), "_test")] {
 		return nil, nil
 	}
 	for _, f := range pass.Files {

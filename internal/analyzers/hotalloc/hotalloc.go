@@ -1,0 +1,155 @@
+// Package hotalloc flags per-iteration heap allocations inside functions
+// marked with a "//commvet:hot" doc-comment directive — the per-step
+// particle loops (push/move/deposit/collide) whose cost the paper's
+// balance model assumes is pure compute. An allocation there turns into
+// GC pressure proportional to particle count × steps, and pre-SoA kernel
+// work needs these paths allocation-clean.
+//
+// Flagged in hot functions:
+//
+//   - append whose base is not visibly preallocated (a make with an
+//     explicit length/capacity in this function, or a buf[:0]-style
+//     reuse slice);
+//   - map allocations: map composite literals and make(map...);
+//   - function literals (closures capture and escape).
+//
+// make([]T, n) itself is not flagged: preallocation is the fix, and
+// one-time setup allocations before the particle loop are the normal
+// pattern. Suppress deliberate allocations with
+// "//commvet:ignore hotalloc <reason>". Runs over test files too — hot
+// helpers shared by benchmarks keep the same discipline.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis"
+)
+
+// hotDirective marks a function as allocation-sensitive.
+const hotDirective = "//commvet:hot"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "hotalloc",
+	Doc:        "flag heap allocations (append without prealloc, map literals, closures) in functions marked //commvet:hot",
+	Run:        run,
+	RunOnTests: true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd.Doc) {
+				continue
+			}
+			checkHot(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isHot reports whether the doc comment carries the hot directive.
+func isHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isMake reports whether call is the builtin make.
+func isMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
+}
+
+// preallocated collects the objects of variables assigned from a make
+// call with an explicit length (and optionally capacity): appends to
+// them show sizing intent and are exempt.
+func preallocated(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != len(st.Lhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isMake(info, call) && len(call.Args) >= 2 {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						mark(id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range st.Values {
+				if call, ok := v.(*ast.CallExpr); ok && isMake(info, call) && len(call.Args) >= 2 {
+					mark(st.Names[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHot(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	prealloc := preallocated(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure in hot function allocates (captures escape); hoist the function literal out of the hot path")
+			return false
+		case *ast.CompositeLit:
+			if t := info.TypeOf(x); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(x.Pos(), "map literal in hot function allocates; hoist the map out of the hot path and reuse it")
+				}
+			}
+		case *ast.CallExpr:
+			if isMake(info, x) {
+				if t := info.TypeOf(x); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(x.Pos(), "make(map) in hot function allocates; hoist the map out of the hot path and reuse it")
+					}
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(x.Args) > 0 {
+					switch base := ast.Unparen(x.Args[0]).(type) {
+					case *ast.SliceExpr:
+						// append(buf[:0], ...) reuse idiom: exempt.
+						return true
+					case *ast.Ident:
+						if obj := info.Uses[base]; obj != nil && prealloc[obj] {
+							return true
+						}
+					}
+					pass.Reportf(x.Pos(), "append in hot function may reallocate per iteration; preallocate the slice with make(len/cap) or reuse a buffer")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/analysis/analysistest"
+	"github.com/plasma-hpc/dsmcpic/internal/analyzers/hotalloc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "kernels")
+}

@@ -1,0 +1,74 @@
+// Fixture for the hotalloc analyzer: allocation patterns in marked and
+// unmarked functions.
+package kernels
+
+type state struct {
+	pos []float64
+	out []int
+}
+
+//commvet:hot
+func badAppend(s *state, xs []float64) {
+	for i := range xs {
+		s.out = append(s.out, i) // want "append in hot function may reallocate"
+	}
+}
+
+//commvet:hot
+func goodPrealloc(xs []float64) []int {
+	out := make([]int, 0, len(xs))
+	for i := range xs {
+		out = append(out, i)
+	}
+	return out
+}
+
+//commvet:hot
+func goodReuse(buf []int, xs []float64) []int {
+	// append(buf[:0], ...) reuses the caller's backing array.
+	return append(buf[:0], len(xs))
+}
+
+//commvet:hot
+func badMapLiteral(xs []float64) {
+	for range xs {
+		m := map[int]int{} // want "map literal in hot function allocates"
+		_ = m
+	}
+}
+
+//commvet:hot
+func badMakeMap(xs []float64) {
+	counts := make(map[int]int) // want "make\(map\) in hot function allocates"
+	for i := range xs {
+		counts[i]++
+	}
+}
+
+//commvet:hot
+func badClosure(xs []float64) float64 {
+	var sum float64
+	visit := func(v float64) { sum += v } // want "closure in hot function allocates"
+	for _, v := range xs {
+		visit(v)
+	}
+	return sum
+}
+
+//commvet:hot
+func suppressed(xs []float64) []int {
+	var out []int
+	for i := range xs {
+		out = append(out, i) //commvet:ignore hotalloc fixture exercises the escape hatch
+	}
+	return out
+}
+
+// Unmarked: the same patterns are fine outside hot paths.
+func coldAppend(xs []float64) []int {
+	var out []int
+	for i := range xs {
+		out = append(out, i)
+	}
+	return out
+}

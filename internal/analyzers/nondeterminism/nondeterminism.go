@@ -20,13 +20,14 @@
 //     state differ between identical runs. Order-insensitive bodies
 //     (integer accumulation keyed by the range key) are not flagged.
 //
-// Packages are selected by name; code elsewhere (cmd/, experiments,
+// Packages are selected by import-path base; code elsewhere (cmd/plasmad,
 // simmpi's own deadline machinery) may use wall-clock time freely.
 package nondeterminism
 
 import (
 	"go/ast"
 	"go/types"
+	"path"
 
 	"github.com/plasma-hpc/dsmcpic/internal/analysis"
 	"github.com/plasma-hpc/dsmcpic/internal/analyzers/astq"
@@ -59,6 +60,13 @@ var deterministicPkgs = map[string]bool{
 	// (Options.Clock) and its eviction order is a logical sequence, not
 	// wall time.
 	"store": true,
+	// experiments drives seeded convergence/validation studies whose
+	// tables are compared across runs; bench emits timing *measurements*
+	// (which are wall-clock by nature) but its workload construction must
+	// replay exactly, so both route time through an injectable function
+	// value (var now = time.Now).
+	"experiments": true,
+	"bench":       true,
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level
@@ -74,7 +82,10 @@ var globalRandFuncs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !deterministicPkgs[pass.Pkg.Name()] {
+	// Key on the import-path base, not the package name: command packages
+	// (cmd/bench) are all named "main", and test variants carry a
+	// " [pkg.test]" suffix on the path.
+	if !deterministicPkgs[path.Base(analysis.TrimTestVariant(pass.Pkg.Path()))] {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -109,12 +120,15 @@ func pkgFunc(info *types.Info, call *ast.CallExpr) (string, string) {
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	path, name := pkgFunc(pass.TypesInfo, call)
+	pkgPath, name := pkgFunc(pass.TypesInfo, call)
+	// Name the package by import-path base so command packages read as
+	// "bench", not "main".
+	base := path.Base(analysis.TrimTestVariant(pass.Pkg.Path()))
 	switch {
-	case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
-		pass.Reportf(call.Pos(), "time.%s read in deterministic package %s; inject a clock (cf. balance.Clock) so replays and tests can pin it", name, pass.Pkg.Name())
-	case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[name]:
-		pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s; use a per-rank seeded generator (internal/rng or rand.New)", name, pass.Pkg.Name())
+	case pkgPath == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		pass.Reportf(call.Pos(), "time.%s read in deterministic package %s; inject a clock (cf. balance.Clock) so replays and tests can pin it", name, base)
+	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[name]:
+		pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s; use a per-rank seeded generator (internal/rng or rand.New)", name, base)
 	}
 }
 

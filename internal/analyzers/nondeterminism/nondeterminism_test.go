@@ -31,6 +31,20 @@ func TestStorePackage(t *testing.T) {
 	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "store")
 }
 
+// TestExperimentsPackage covers the experiments driver's membership: its
+// seeded tables are compared across runs, so wall-clock and global-rand
+// reads must go through injected values there too.
+func TestExperimentsPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "experiments")
+}
+
+// TestBenchPackage proves membership is keyed on the import-path base:
+// the fixture is `package main` in a directory named "bench", matching
+// cmd/bench, and is still analyzed.
+func TestBenchPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "bench")
+}
+
 // TestOutsideDeterministicSet proves the analyzer is scoped: the same
 // patterns in a package outside the deterministic set produce nothing.
 func TestOutsideDeterministicSet(t *testing.T) {

@@ -1,0 +1,18 @@
+// Fixture for the nondeterminism analyzer: a command package (package
+// main) in a directory named "bench". Membership is keyed on the
+// import-path base, so the package name "main" does not exempt it.
+package main
+
+import "time"
+
+func stamp() string {
+	return time.Now().Format(time.RFC3339) // want "time.Now read in deterministic package bench"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since read in deterministic package bench"
+}
+
+var now = time.Now // function-value wiring stays legal
+
+func main() { _ = stamp() }

@@ -1,0 +1,23 @@
+// Fixture for the nondeterminism analyzer, named "experiments" so it
+// falls inside the deterministic package set (the experiment tables are
+// seeded and compared across runs).
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now read in deterministic package experiments"
+}
+
+func jitter() int {
+	return rand.Intn(100) // want "global rand.Intn in deterministic package experiments"
+}
+
+// Assigning the function value is the sanctioned injectable-clock wiring;
+// only calls are flagged.
+var now = time.Now
+
+func pinned() time.Time { return now() }

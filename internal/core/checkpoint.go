@@ -47,6 +47,12 @@ func CaptureCheckpoint(s *Solver, step int) *Checkpoint {
 	parts := make([][]byte, s.Comm.Size())
 	parts[0] = blob
 	for r := 1; r < s.Comm.Size(); r++ {
+		// Cancellation point: with many ranks' payloads already delivered,
+		// the mailbox hands them over without consulting the canceled flag,
+		// so an explicit check bounds how much of the gather a canceled
+		// world still performs. CheckCancel is local (flag read, no
+		// messages), so rank 0 checking alone cannot desynchronize ranks.
+		s.Comm.CheckCancel()
 		parts[r] = s.Comm.Recv(r, simmpi.TagCheckpointGather)
 	}
 	cp := &Checkpoint{

@@ -64,6 +64,7 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	for i := range cp.Phi {
+		//commvet:ignore floatcompare serialization round-trip must be bitwise: Save/Load moves Float64bits, no arithmetic
 		if loaded.Phi[i] != cp.Phi[i] {
 			t.Fatal("phi mismatch")
 		}

@@ -358,6 +358,14 @@ func (s *Solver) Step(step int) error {
 
 	// ---- PIC substeps ----
 	for sub := 0; sub < s.Cfg.PICSubsteps; sub++ {
+		// Cancellation point: each substep runs exchanges and a full CG
+		// solve, and a rank whose messages are already queued can sail
+		// through all of them without ever blocking (the mailbox hands
+		// over delivered messages without consulting the canceled flag).
+		// Checking here bounds cancellation latency to one substep. Every
+		// rank executes the same check, so the abort is symmetric and
+		// replay-safe.
+		s.Comm.CheckCancel()
 		// PIC_Move: Boris kick with the previous substep's field, then
 		// ballistic movement of charged particles.
 		stop = s.mr.Time(CompPICMove)

@@ -84,11 +84,12 @@ func GroupByCell(st *particle.Store, numCells int, filter func(particle.Species)
 // reactions may create particles (dissociation) or remove them
 // (recombination to molecules); removals are compacted out of the store at
 // the end of the sweep, preserving the order of survivors.
+//
+//commvet:hot
 func (co *Collider) Collide(st *particle.Store, groups [][]int32, vols []float64, dt float64, r *rng.Rand) CollideStats {
 	var stats CollideStats
 	ext, _ := co.Reactions.(ExtendedReactionModel)
 	var dead []bool
-	isDead := func(i int32) bool { return dead != nil && dead[i] }
 	for c, grp := range groups {
 		n := len(grp)
 		if n < 2 {
@@ -104,11 +105,11 @@ func (co *Collider) Collide(st *particle.Store, groups [][]int32, vols []float64
 		for k := 0; k < nCand; k++ {
 			i := grp[r.Intn(n)]
 			j := grp[r.Intn(n)]
-			for tries := 0; (j == i || isDead(i) || isDead(j)) && tries < 8; tries++ {
+			for tries := 0; (j == i || deadAt(dead, i) || deadAt(dead, j)) && tries < 8; tries++ {
 				i = grp[r.Intn(n)]
 				j = grp[r.Intn(n)]
 			}
-			if j == i || isDead(i) || isDead(j) {
+			if j == i || deadAt(dead, i) || deadAt(dead, j) {
 				continue
 			}
 			stats.Candidates++
@@ -135,10 +136,17 @@ func (co *Collider) Collide(st *particle.Store, groups [][]int32, vols []float64
 		}
 	}
 	if stats.Removed > 0 {
+		// One closure per sweep (not per candidate); Filter's callback API
+		// requires it and the compaction itself dominates the cost.
+		//commvet:ignore hotalloc once-per-sweep compaction closure, outside the candidate loop
 		st.Filter(func(i int) bool { return i >= len(dead) || !dead[i] })
 	}
 	return stats
 }
+
+// deadAt reports whether particle i has been removed by a recombination
+// earlier in the sweep (dead is nil until the first removal).
+func deadAt(dead []bool, i int32) bool { return dead != nil && dead[i] }
 
 // collidePairEx is collidePair for extended (number-changing) chemistry.
 // Returns whether a reaction happened and how many particles were created

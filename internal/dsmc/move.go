@@ -59,6 +59,8 @@ const maxTraversalSteps = 10000
 //
 // Removals are done in a single Filter pass after the sweep, preserving
 // relative order (important for deterministic collisions downstream).
+//
+//commvet:hot
 func Move(st *particle.Store, m *mesh.Mesh, dt float64, wall WallModel, filter func(particle.Species) bool, r *rng.Rand) MoveStats {
 	var stats MoveStats
 	dead := make([]bool, st.Len())
@@ -73,6 +75,9 @@ func Move(st *particle.Store, m *mesh.Mesh, dt float64, wall WallModel, filter f
 		}
 	}
 	if stats.Escaped+stats.Lost > 0 {
+		// One closure per sweep (not per particle); Filter's callback API
+		// requires it and the compaction itself dominates the cost.
+		//commvet:ignore hotalloc once-per-sweep compaction closure, outside the particle loop
 		st.Filter(func(i int) bool { return !dead[i] })
 	}
 	return stats

@@ -12,6 +12,8 @@ import (
 // electric kicks around a magnetic rotation; it is the standard
 // energy-stable PIC pusher. Positions are advanced separately by the
 // movement sweep (dsmc.Move with the Charged filter).
+//
+//commvet:hot
 func BorisPush(st *particle.Store, e []geom.Vec3, fineCell []int32, b geom.Vec3, dt float64) {
 	hasB := b.Norm2() > 0
 	for i := 0; i < st.Len(); i++ {

@@ -18,6 +18,8 @@ import (
 //
 // The nodeCharge slice must have length fine.NumNodes(); it is accumulated
 // into (callers zero it per timestep).
+//
+//commvet:hot
 func DepositCharge(st *particle.Store, ref *mesh.Refinement, weight func(particle.Species) float64, nodeCharge []float64, fineCell []int32) {
 	for i := 0; i < st.Len(); i++ {
 		sp := st.Sp[i]

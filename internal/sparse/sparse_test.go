@@ -129,6 +129,7 @@ func TestMulVecRows(t *testing.T) {
 	part := make([]float64, m.N)
 	m.MulVecRows(part, x, 5, 15)
 	for i := 5; i < 15; i++ {
+		//commvet:ignore floatcompare MulVecRows performs the identical per-row dot product as MulVec, so equality is bitwise by construction
 		if part[i] != full[i] {
 			t.Errorf("row %d: %v != %v", i, part[i], full[i])
 		}
@@ -147,6 +148,7 @@ func TestTransposeInvolution(t *testing.T) {
 		t.Fatalf("NNZ changed: %d -> %d", m.NNZ(), tt.NNZ())
 	}
 	for i := range m.Val {
+		//commvet:ignore floatcompare transpose is a permutation copy — double transpose must reproduce the values bitwise
 		if m.Val[i] != tt.Val[i] || m.ColIdx[i] != tt.ColIdx[i] {
 			t.Fatal("transpose twice != identity")
 		}
