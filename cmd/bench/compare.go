@@ -14,10 +14,23 @@ const wallRegressionLimitPct = 20.0
 // deliberately not part of the key: each bench invocation runs one mode,
 // and comparing a replicated baseline against a halo candidate is exactly
 // the comparison the mode knob exists for (the modes are printed so the
-// reader sees what changed).
+// reader sees what changed). Workers IS part of the key — a 4-worker cell
+// is a different machine configuration than a serial one — with 0 (v3
+// files and the v4 default) normalized to 1 so old baselines match new
+// workers=1 cells.
 type cellKey struct {
 	Ranks    int
 	Strategy string
+	Workers  int
+}
+
+// keyOf builds the match key for a run, normalizing absent worker counts.
+func keyOf(r *runResult) cellKey {
+	w := r.Workers
+	if w <= 0 {
+		w = 1
+	}
+	return cellKey{r.Ranks, r.Strategy, w}
 }
 
 // compareReports prints per-cell wall, per-phase median and traffic deltas
@@ -28,21 +41,21 @@ func compareReports(w io.Writer, oldRep, newRep *benchReport, wallPct float64) b
 	oldByKey := make(map[cellKey]*runResult, len(oldRep.Runs))
 	for i := range oldRep.Runs {
 		r := &oldRep.Runs[i]
-		oldByKey[cellKey{r.Ranks, r.Strategy}] = r
+		oldByKey[keyOf(r)] = r
 	}
 	regressed := false
 	matched := map[cellKey]bool{}
 	for i := range newRep.Runs {
 		n := &newRep.Runs[i]
-		key := cellKey{n.Ranks, n.Strategy}
+		key := keyOf(n)
 		o, ok := oldByKey[key]
 		if !ok {
-			fmt.Fprintf(w, "ranks=%d %s: only in %s\n", n.Ranks, n.Strategy, "new file")
+			fmt.Fprintf(w, "ranks=%d %s workers=%d: only in %s\n", n.Ranks, n.Strategy, key.Workers, "new file")
 			continue
 		}
 		matched[key] = true
-		fmt.Fprintf(w, "ranks=%d %s (%s -> %s): wall %.3fs -> %.3fs (%s)\n",
-			n.Ranks, n.Strategy, modeLabel(o.PoissonExchange), modeLabel(n.PoissonExchange),
+		fmt.Fprintf(w, "ranks=%d %s workers=%d (%s -> %s): wall %.3fs -> %.3fs (%s)\n",
+			n.Ranks, n.Strategy, key.Workers, modeLabel(o.PoissonExchange), modeLabel(n.PoissonExchange),
 			o.WallMedianS, n.WallMedianS, pctDelta(o.WallMedianS, n.WallMedianS))
 		if o.WallMedianS > 0 && n.WallMedianS > o.WallMedianS*(1+wallPct/100) {
 			fmt.Fprintf(w, "  REGRESSION: wall median above the %+.0f%% gate\n", wallPct)
@@ -70,8 +83,8 @@ func compareReports(w io.Writer, oldRep, newRep *benchReport, wallPct float64) b
 	}
 	for i := range oldRep.Runs {
 		r := &oldRep.Runs[i]
-		if !matched[cellKey{r.Ranks, r.Strategy}] {
-			fmt.Fprintf(w, "ranks=%d %s: only in old file\n", r.Ranks, r.Strategy)
+		if !matched[keyOf(r)] {
+			fmt.Fprintf(w, "ranks=%d %s workers=%d: only in old file\n", r.Ranks, r.Strategy, keyOf(r).Workers)
 		}
 	}
 	return regressed

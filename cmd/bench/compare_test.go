@@ -35,7 +35,7 @@ func TestCompareReportsImprovement(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{
-		"ranks=2 CC (replicated -> halo)",
+		"ranks=2 CC workers=1 (replicated -> halo)",
 		"phase Poisson_Solve:",
 		"traffic Poisson_Solve:",
 		"poisson iters: 0 -> 390",
@@ -72,8 +72,8 @@ func TestCompareReportsUnmatchedCells(t *testing.T) {
 	if compareReports(&sb, oldRep, newRep, wallRegressionLimitPct) {
 		t.Fatal("unmatched cells must not gate")
 	}
-	if !strings.Contains(sb.String(), "ranks=8 DC: only in new file") ||
-		!strings.Contains(sb.String(), "ranks=16 CC: only in old file") {
+	if !strings.Contains(sb.String(), "ranks=8 DC workers=1: only in new file") ||
+		!strings.Contains(sb.String(), "ranks=16 CC workers=1: only in old file") {
 		t.Errorf("unmatched cells not reported:\n%s", sb.String())
 	}
 }

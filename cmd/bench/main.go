@@ -13,13 +13,15 @@
 // BENCH files and exits nonzero when any matched cell's median wall time
 // regressed by more than 20% (see compare.go).
 //
-// # Output schema ("dsmcpic-bench/v3")
+// # Output schema ("dsmcpic-bench/v4")
 //
 // v2 adds poisson_exchange, poisson_iters and poisson_final_residual to
 // each run; everything in v1 is unchanged. v3 adds phase_total_s (measured
 // seconds per phase summed over every rank and step, median over repeats)
 // and work (deterministic global work counts summed over ranks) — the
-// inputs of the -calibrate fit.
+// inputs of the -calibrate fit. v4 adds workers (per-rank kernel worker
+// goroutines) as a matrix dimension; absent or 0 means 1 (the serial
+// path), so v3 files compare cleanly against v4 workers=1 cells.
 //
 // Top level:
 //
@@ -31,11 +33,13 @@
 //	seed         uint64   simulation seed (identical across the matrix)
 //	steps        int      DSMC steps per run
 //	repeats      int      repeats per matrix cell (medians are over repeats)
-//	runs         []run    one entry per (ranks, strategy) cell
+//	runs         []run    one entry per (ranks, strategy, workers) cell
 //
 // Each run:
 //
 //	ranks            int                 world size
+//	workers          int                 kernel worker goroutines per rank
+//	                                     (absent/0 = 1, the serial path)
 //	strategy         string              "CC" or "DC"
 //	poisson_exchange string              "halo" or "replicated" (CG ghost refresh)
 //	wall_seconds     []float64           host wall time of each repeat
@@ -117,6 +121,7 @@ type workCounts struct {
 
 type runResult struct {
 	Ranks           int                     `json:"ranks"`
+	Workers         int                     `json:"workers,omitempty"`
 	Strategy        string                  `json:"strategy"`
 	PoissonExchange string                  `json:"poisson_exchange"`
 	WallSeconds     []float64               `json:"wall_seconds"`
@@ -152,6 +157,7 @@ func main() {
 		steps     = flag.Int("steps", 8, "DSMC steps per run")
 		repeats   = flag.Int("repeats", 3, "repeats per matrix cell (medians reported)")
 		ranks     = flag.String("ranks", "2,4,8", "comma-separated world sizes")
+		workersF  = flag.String("workers", "1", "comma-separated per-rank kernel worker counts (each adds a matrix dimension; 1 = serial)")
 		seed      = flag.Uint64("seed", 42, "simulation seed (fixed across the matrix)")
 		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
 		injectH   = flag.Int("inject-h", 1500, "H particles injected per step (global)")
@@ -210,6 +216,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	workerList, err := parseRanks(*workersF)
+	if err != nil {
+		fatal(fmt.Errorf("bad -workers: %w", err))
+	}
 	path := *out
 	if path == "" {
 		path = "BENCH_" + now().Format("2006-01-02") + ".json"
@@ -228,13 +238,15 @@ func main() {
 	}
 	for _, n := range rankList {
 		for _, strat := range []exchange.Strategy{exchange.Centralized, exchange.Distributed} {
-			r, err := benchCell(n, strat, exMode, *steps, *repeats, *seed, *injectH)
-			if err != nil {
-				fatal(fmt.Errorf("ranks=%d strategy=%v: %w", n, strat, err))
+			for _, wk := range workerList {
+				r, err := benchCell(n, strat, exMode, *steps, *repeats, *seed, *injectH, wk)
+				if err != nil {
+					fatal(fmt.Errorf("ranks=%d strategy=%v workers=%d: %w", n, strat, wk, err))
+				}
+				rep.Runs = append(rep.Runs, r)
+				fmt.Printf("ranks=%d %s (%s) workers=%d: wall %.3fs, %d particles, %d allocs, %d CG iters\n",
+					n, r.Strategy, r.PoissonExchange, wk, r.WallMedianS, r.Particles, r.Allocs, r.PoissonIters)
 			}
-			rep.Runs = append(rep.Runs, r)
-			fmt.Printf("ranks=%d %s (%s): wall %.3fs, %d particles, %d allocs, %d CG iters\n",
-				n, r.Strategy, r.PoissonExchange, r.WallMedianS, r.Particles, r.Allocs, r.PoissonIters)
 		}
 	}
 
@@ -254,11 +266,12 @@ func main() {
 	fmt.Printf("wrote %s (%d matrix cells)\n", path, len(rep.Runs))
 }
 
-// benchCell runs one (ranks, strategy) cell `repeats` times with the same
-// seed and reduces the observations to medians.
-func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, repeats int, seed uint64, injectH int) (runResult, error) {
+// benchCell runs one (ranks, strategy, workers) cell `repeats` times with
+// the same seed and reduces the observations to medians.
+func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, repeats int, seed uint64, injectH, workers int) (runResult, error) {
 	res := runResult{
 		Ranks:           n,
+		Workers:         workers,
 		Strategy:        strat.String(),
 		PoissonExchange: exMode.String(),
 		PhaseMedianS:    map[string]float64{},
@@ -268,7 +281,7 @@ func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, r
 	phaseTotals := map[string][]float64{} // per-repeat totals (Σ ranks, steps)
 	var allocBytes, allocs []int64
 	for rep := 0; rep < repeats; rep++ {
-		cfg, err := benchConfig(strat, exMode, steps, seed, injectH)
+		cfg, err := benchConfig(strat, exMode, steps, seed, injectH, workers)
 		if err != nil {
 			return res, err
 		}
@@ -333,7 +346,7 @@ func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, r
 
 // benchConfig builds the plume case: the nozzle geometry and physics of
 // cmd/plasmasim's defaults, scaled down so the full matrix stays fast.
-func benchConfig(strat exchange.Strategy, exMode pic.ExchangeMode, steps int, seed uint64, injectH int) (core.Config, error) {
+func benchConfig(strat exchange.Strategy, exMode pic.ExchangeMode, steps int, seed uint64, injectH, workers int) (core.Config, error) {
 	coarse, err := mesh.Nozzle(3, 8, 0.05, 0.2)
 	if err != nil {
 		return core.Config{}, err
@@ -361,12 +374,13 @@ func benchConfig(strat exchange.Strategy, exMode pic.ExchangeMode, steps int, se
 		PoissonTol:       1e-6,
 		PoissonExchange:  exMode,
 		Seed:             seed,
+		Workers:          workers,
 		LB:               &lbCfg,
 	}, nil
 }
 
 // benchSchema is the current output schema tag.
-const benchSchema = "dsmcpic-bench/v3"
+const benchSchema = "dsmcpic-bench/v4"
 
 // sumWork flattens a run's per-rank work counts into the global totals the
 // calibration fit consumes. CGIterNNZ multiplies before summing: each

@@ -32,6 +32,7 @@ import (
 func main() {
 	var (
 		ranks      = flag.Int("ranks", 8, "number of simulated MPI ranks")
+		workers    = flag.Int("workers", 1, "worker goroutines per rank inside the particle kernels (1 = exact legacy serial path; replay is byte-identical per (seed, workers) pair)")
 		steps      = flag.Int("steps", 25, "DSMC timesteps")
 		meshFile   = flag.String("mesh", "", "load the coarse grid from this file (from meshgen -o) instead of generating")
 		densityOut = flag.String("density-vtk", "", "write the final H number-density field to this VTK file")
@@ -142,6 +143,7 @@ func main() {
 		PoissonTol:       1e-6,
 		PoissonExchange:  exMode,
 		Seed:             *seed,
+		Workers:          *workers,
 	}
 	if *calibPath != "" {
 		prof, err := core.LoadCalibrationFile(*calibPath)

@@ -11,11 +11,15 @@
 //     explicit length/capacity in this function, or a buf[:0]-style
 //     reuse slice);
 //   - map allocations: map composite literals and make(map...);
-//   - function literals (closures capture and escape).
+//   - function literals (closures capture and escape);
+//   - slice makes: make([]T, ...) in a hot function allocates every
+//     sweep, even when it sits before the particle loop — a fresh
+//     dead-flag or scratch vector per call is GC pressure proportional
+//     to steps. Hoist the buffer into caller-owned scratch (a struct
+//     field or parameter) and reuse it; the non-hot scratch helper is
+//     where the make belongs.
 //
-// make([]T, n) itself is not flagged: preallocation is the fix, and
-// one-time setup allocations before the particle loop are the normal
-// pattern. Suppress deliberate allocations with
+// Suppress deliberate allocations with
 // "//commvet:ignore hotalloc <reason>". Runs over test files too — hot
 // helpers shared by benchmarks keep the same discipline.
 package hotalloc
@@ -34,7 +38,7 @@ const hotDirective = "//commvet:hot"
 // Analyzer is the hotalloc pass.
 var Analyzer = &analysis.Analyzer{
 	Name:       "hotalloc",
-	Doc:        "flag heap allocations (append without prealloc, map literals, closures) in functions marked //commvet:hot",
+	Doc:        "flag heap allocations (append without prealloc, slice/map makes, map literals, closures) in functions marked //commvet:hot",
 	Run:        run,
 	RunOnTests: true,
 }
@@ -129,8 +133,11 @@ func checkHot(pass *analysis.Pass, body *ast.BlockStmt) {
 		case *ast.CallExpr:
 			if isMake(info, x) {
 				if t := info.TypeOf(x); t != nil {
-					if _, ok := t.Underlying().(*types.Map); ok {
+					switch t.Underlying().(type) {
+					case *types.Map:
 						pass.Reportf(x.Pos(), "make(map) in hot function allocates; hoist the map out of the hot path and reuse it")
+					case *types.Slice:
+						pass.Reportf(x.Pos(), "slice make in hot function allocates every sweep; hoist the buffer into caller-owned scratch and reuse it")
 					}
 				}
 				return true

@@ -15,12 +15,24 @@ func badAppend(s *state, xs []float64) {
 }
 
 //commvet:hot
-func goodPrealloc(xs []float64) []int {
-	out := make([]int, 0, len(xs))
+func badPreallocMake(xs []float64) []int {
+	// The make itself is flagged (it still allocates once per call); the
+	// appends to the visibly-preallocated slice stay exempt, so the
+	// function reports exactly once — at the make.
+	out := make([]int, 0, len(xs)) // want "slice make in hot function allocates every sweep"
 	for i := range xs {
 		out = append(out, i)
 	}
 	return out
+}
+
+//commvet:hot
+func goodScratchParam(scratch []int, xs []float64) {
+	// Caller-owned scratch: no allocation in the hot function at all.
+	// The make lives in a non-hot helper on the caller's side.
+	for i := range xs {
+		scratch[i] = i
+	}
 }
 
 //commvet:hot

@@ -54,6 +54,10 @@ var deterministicPkgs = map[string]bool{
 	"diag":      true,
 	"partition": true,
 	"commcost":  true,
+	// parallel chunks the kernels' index ranges across worker goroutines;
+	// its decomposition (Bounds) and reduction order are part of the
+	// byte-identical replay contract for a fixed (seed, workers) pair.
+	"parallel": true,
 	// store journals jobs and persists results; recovery must reproduce
 	// the same on-disk state from the same operation sequence (LRU
 	// eviction order, index contents), so its clock is injected

@@ -89,6 +89,15 @@ type Config struct {
 	// partition).
 	Seed uint64
 
+	// Workers is the number of worker goroutines each rank uses inside the
+	// hot particle kernels (movement, collisions, deposition, Boris push).
+	// 0 or 1 (the default) is the exact legacy serial path. Runs are
+	// byte-identical replays for a fixed (Seed, Workers) pair; different
+	// Workers values are different — each individually deterministic —
+	// stochastic trajectories, because per-chunk RNG streams and float
+	// reduction orders depend on the chunk decomposition.
+	Workers int
+
 	// Metrics, when non-nil, receives per-rank wall-clock phase timings
 	// and step counters (one metrics.Registry per rank; see the package
 	// doc). Observe-only: attaching a collector does not change what the
@@ -149,6 +158,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.WeightIon <= 0 {
 		c.WeightIon = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 	if c.Cost.MoveStep == 0 {
 		c.Cost = DefaultCostModel(commcost.Tianhe2, commcost.InnerFrame)

@@ -9,6 +9,7 @@ import (
 	"github.com/plasma-hpc/dsmcpic/internal/geom"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
 	"github.com/plasma-hpc/dsmcpic/internal/metrics"
+	"github.com/plasma-hpc/dsmcpic/internal/parallel"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 	"github.com/plasma-hpc/dsmcpic/internal/partition"
 	"github.com/plasma-hpc/dsmcpic/internal/pic"
@@ -45,6 +46,13 @@ type Solver struct {
 	ownedNNZ   int64
 	prevPhase  map[string]simmpi.PhaseStats
 	inletFaces []inletFace
+
+	// pool is this rank's worker pool for the hot particle kernels
+	// (Config.Workers wide); the scratches below are its reusable
+	// per-sweep buffers. Per rank — never shared.
+	pool        *parallel.Pool
+	moveScratch dsmc.MoveScratch
+	depScratch  pic.DepositScratch
 
 	// mr is this rank's metrics registry (nil when Config.Metrics is
 	// unset; all Registry methods are nil-safe no-ops). The registry's
@@ -160,6 +168,7 @@ func NewSolver(cfg Config, shared *Shared, comm *simmpi.Comm) (*Solver, error) {
 		eField:     make([]geom.Vec3, shared.Ref.Fine.NumCells()),
 		nodeCharge: make([]float64, shared.Ref.Fine.NumNodes()),
 		rng:        rng.New(cfg.Seed, uint64(comm.Rank())+1),
+		pool:       parallel.New(cfg.Workers),
 		prevPhase:  make(map[string]simmpi.PhaseStats),
 		mr:         cfg.Metrics.Rank(comm.Rank()),
 	}
@@ -314,7 +323,7 @@ func (s *Solver) Step(step int) error {
 
 	// ---- DSMC_Move (neutrals) ----
 	stop = s.mr.Time(CompDSMCMove)
-	ms := dsmc.Move(s.St, s.Ref.Coarse, s.Cfg.DtDSMC, s.wall, dsmc.Neutrals, s.rng)
+	ms := dsmc.Move(s.St, s.Ref.Coarse, s.Cfg.DtDSMC, s.wall, dsmc.Neutrals, s.rng, s.pool, &s.moveScratch)
 	w.MoveStepsDSMC += int64(ms.Moved + ms.Crossings + ms.WallHits)
 	if s.surf != nil {
 		s.surf.Advance(s.Cfg.DtDSMC)
@@ -347,7 +356,7 @@ func (s *Solver) Step(step int) error {
 	// ---- Colli_React ----
 	stop = s.mr.Time(CompColliReact)
 	groups := dsmc.GroupByCell(s.St, s.Ref.Coarse.NumCells(), nil)
-	cs := s.collider.Collide(s.St, groups, s.Ref.Coarse.Volumes, s.Cfg.DtDSMC, s.rng)
+	cs := s.collider.Collide(s.St, groups, s.Ref.Coarse.Volumes, s.Cfg.DtDSMC, s.rng, s.pool)
 	stop()
 	w.Candidates += int64(cs.Candidates)
 	w.Collisions += int64(cs.Collisions)
@@ -376,10 +385,10 @@ func (s *Solver) Step(step int) error {
 				pushed++
 			}
 		}
-		pic.BorisPush(s.St, s.eField, s.fineCell, s.Cfg.BField, s.Cfg.DtPIC)
+		pic.BorisPush(s.St, s.eField, s.fineCell, s.Cfg.BField, s.Cfg.DtPIC, s.pool)
 		w.Pushed += int64(pushed)
 		w.Deposited += int64(pushed) // pre-kick field gather locate
-		msp := dsmc.Move(s.St, s.Ref.Coarse, s.Cfg.DtPIC, s.wall, dsmc.Charged, s.rng)
+		msp := dsmc.Move(s.St, s.Ref.Coarse, s.Cfg.DtPIC, s.wall, dsmc.Charged, s.rng, s.pool, &s.moveScratch)
 		w.MoveStepsPIC += int64(msp.Moved + msp.Crossings + msp.WallHits)
 		stop()
 
@@ -405,7 +414,7 @@ func (s *Solver) Step(step int) error {
 			s.nodeCharge[n] = 0
 		}
 		s.locateCharged()
-		pic.DepositCharge(s.St, s.Ref, s.weightOf, s.nodeCharge, s.fineCell)
+		pic.DepositCharge(s.St, s.Ref, s.weightOf, s.nodeCharge, s.fineCell, s.pool, &s.depScratch)
 		stopDep()
 		res, err := s.dist.Solve(s.Comm, s.nodeCharge, s.phi, sparse.SolveOptions{
 			Tol: s.Cfg.PoissonTol, MaxIter: s.Cfg.PoissonMaxIter,
@@ -531,19 +540,24 @@ func (s *Solver) reduceTotals(traffic map[string]simmpi.PhaseStats, phases ...st
 	return out
 }
 
-// locateCharged refreshes s.fineCell for the current store contents.
+// locateCharged refreshes s.fineCell for the current store contents. The
+// point locations are independent per particle (disjoint fineCell writes,
+// no RNG), so the sweep runs on the worker pool with identical results
+// for every worker count.
 func (s *Solver) locateCharged() {
 	if cap(s.fineCell) < s.St.Len() {
 		s.fineCell = make([]int32, s.St.Len())
 	}
 	s.fineCell = s.fineCell[:s.St.Len()]
-	for i := 0; i < s.St.Len(); i++ {
-		if !s.St.Sp[i].IsCharged() {
-			s.fineCell[i] = -1
-			continue
+	s.pool.Run(s.St.Len(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !s.St.Sp[i].IsCharged() {
+				s.fineCell[i] = -1
+				continue
+			}
+			s.fineCell[i] = int32(s.Ref.FindFineCell(int(s.St.Cell[i]), s.St.Pos[i]))
 		}
-		s.fineCell[i] = int32(s.Ref.FindFineCell(int(s.St.Cell[i]), s.St.Pos[i]))
-	}
+	})
 }
 
 func (s *Solver) weightOf(sp particle.Species) float64 {

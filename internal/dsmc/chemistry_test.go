@@ -114,7 +114,7 @@ func TestDissociationCreatesParticlesConservingMomentum(t *testing.T) {
 	nc.Ionic.RecombProb = 0
 	co := NewCollider(m.NumCells(), 1e16, nc)
 	groups := GroupByCell(st, m.NumCells(), nil)
-	stats := co.Collide(st, groups, m.Volumes, 1e-5, rng.New(11, 0))
+	stats := co.Collide(st, groups, m.Volumes, 1e-5, rng.New(11, 0), nil)
 	if stats.Created == 0 {
 		t.Fatalf("no dissociations (collisions=%d)", stats.Collisions)
 	}
@@ -162,7 +162,7 @@ func TestRecombinationRemovesParticlesConservingMomentum(t *testing.T) {
 	nc.DissociationProb = 0
 	co := NewCollider(m.NumCells(), 1e16, nc)
 	groups := GroupByCell(st, m.NumCells(), nil)
-	stats := co.Collide(st, groups, m.Volumes, 1e-5, rng.New(17, 0))
+	stats := co.Collide(st, groups, m.Volumes, 1e-5, rng.New(17, 0), nil)
 	if stats.Removed == 0 {
 		t.Fatalf("no recombinations (collisions=%d)", stats.Collisions)
 	}
@@ -197,7 +197,7 @@ func TestChemistryMassConservation(t *testing.T) {
 	r := rng.New(23, 0)
 	for sweep := 0; sweep < 3; sweep++ {
 		groups := GroupByCell(st, m.NumCells(), nil)
-		co.Collide(st, groups, m.Volumes, 1e-5, r)
+		co.Collide(st, groups, m.Volumes, 1e-5, r, nil)
 	}
 	if m1 := mass(); math.Abs(m1-m0) > 1e-9*m0 {
 		t.Errorf("total mass drift: %v -> %v", m0, m1)

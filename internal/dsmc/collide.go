@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/parallel"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 	"github.com/plasma-hpc/dsmcpic/internal/rng"
 )
@@ -12,6 +13,9 @@ import (
 // VHS (variable hard sphere) cross-section model, per coarse-grid cell
 // (paper's Colli_React component). It maintains the per-cell running
 // maximum of sigma*c_r required by NTC.
+//
+// A Collider serves one rank: its scratch buffers are reused across sweeps
+// and concurrent Collide calls on the same Collider are not allowed.
 type Collider struct {
 	// Fn is the simulation-to-real particle ratio (the paper's scaling
 	// factor): each simulation particle represents Fn real particles.
@@ -20,6 +24,15 @@ type Collider struct {
 	Reactions ReactionModel
 
 	sigmaCrMax []float64 // per cell, adaptively updated
+
+	// Sweep scratch, reused across calls: dead flags for removals, per-chunk
+	// stats and RNG streams, and per-chunk creation buffers (dissociation
+	// products are buffered and appended after the sweep in chunk order so
+	// the store never mutates while workers read it).
+	dead       []bool
+	chunkStats []CollideStats
+	rngs       []rng.Rand
+	created    [][]particle.Particle
 }
 
 // NewCollider creates a collider for a mesh with numCells coarse cells.
@@ -78,36 +91,130 @@ func GroupByCell(st *particle.Store, numCells int, filter func(particle.Species)
 	return groups
 }
 
+// deadFor returns the dead-flag vector sized and zeroed for n particles,
+// growing the backing array only when the population outgrows it.
+func (co *Collider) deadFor(n int) []bool {
+	if cap(co.dead) < n {
+		co.dead = make([]bool, n)
+	}
+	co.dead = co.dead[:n]
+	clear(co.dead)
+	return co.dead
+}
+
+// chunksFor sizes the per-chunk scratch (stats, RNG streams, creation
+// buffers) for w workers.
+func (co *Collider) chunksFor(w int) {
+	if cap(co.chunkStats) < w {
+		co.chunkStats = make([]CollideStats, w)
+		co.rngs = make([]rng.Rand, w)
+	}
+	co.chunkStats = co.chunkStats[:w]
+	co.rngs = co.rngs[:w]
+	for len(co.created) < w {
+		co.created = append(co.created, nil)
+	}
+}
+
 // Collide performs NTC collisions for every cell. groups lists particle
 // indices per cell (from GroupByCell), vols the cell volumes, dt the DSMC
 // timestep. When the reaction model implements ExtendedReactionModel,
 // reactions may create particles (dissociation) or remove them
-// (recombination to molecules); removals are compacted out of the store at
-// the end of the sweep, preserving the order of survivors.
+// (recombination to molecules); creations are buffered and appended after
+// the sweep in cell order, and removals are compacted out of the store at
+// the end, preserving the order of survivors.
+//
+// pool parallelizes the sweep over deterministic contiguous blocks of
+// cells; nil (or a 1-worker pool) is the exact legacy serial sweep drawing
+// from r directly. With more workers, every cell draws from a private
+// stream derived by cell index from a single r.Uint64() draw, so replay
+// is byte-identical for a fixed (seed, workers) pair — and identical
+// across any workers > 1 — while workers=1 is bit-for-bit the legacy
+// serial run. Cells own disjoint particles (GroupByCell partitions by
+// cell), so all store writes are chunk-disjoint.
 //
 //commvet:hot
-func (co *Collider) Collide(st *particle.Store, groups [][]int32, vols []float64, dt float64, r *rng.Rand) CollideStats {
+func (co *Collider) Collide(st *particle.Store, groups [][]int32, vols []float64, dt float64, r *rng.Rand, pool *parallel.Pool) CollideStats {
 	var stats CollideStats
 	ext, _ := co.Reactions.(ExtendedReactionModel)
 	var dead []bool
-	for c, grp := range groups {
+	if ext != nil {
+		dead = co.deadFor(st.Len())
+	}
+	workers := pool.Workers()
+	co.chunksFor(workers)
+	if workers == 1 {
+		stats = co.collideCells(st, groups, 0, len(groups), vols, dt, ext, dead, &co.created[0], r, nil, 0)
+	} else {
+		base := r.Uint64()
+		// One dispatch closure per sweep (not per candidate); chunk bodies
+		// write disjoint state — store rows and dead flags by cell-owned
+		// particle index, stats/RNG/creation buffer by chunk index.
+		//commvet:ignore hotalloc once-per-sweep dispatch closure, outside the candidate loop
+		pool.Run(len(groups), func(chunk, lo, hi int) {
+			co.chunkStats[chunk] = co.collideCells(st, groups, lo, hi, vols, dt, ext, dead, &co.created[chunk], nil, &co.rngs[chunk], base)
+		})
+		for c := 0; c < workers; c++ {
+			cs := co.chunkStats[c]
+			stats.Candidates += cs.Candidates
+			stats.Collisions += cs.Collisions
+			stats.Reactions += cs.Reactions
+			stats.Created += cs.Created
+			stats.Removed += cs.Removed
+		}
+	}
+	// Append dissociation products in chunk order (serial: creation order),
+	// which reproduces the legacy mid-sweep append ordering exactly: created
+	// particles only ever land at the end of the store, and groups were
+	// built before the sweep so they never collide within it.
+	for w := 0; w < workers; w++ {
+		for _, p := range co.created[w] {
+			st.Append(p)
+		}
+		co.created[w] = co.created[w][:0]
+	}
+	if stats.Removed > 0 {
+		// One closure per sweep (not per candidate); Filter's callback API
+		// requires it and the compaction itself dominates the cost.
+		//commvet:ignore hotalloc once-per-sweep compaction closure, outside the candidate loop
+		st.Filter(func(i int) bool { return i >= len(dead) || !dead[i] })
+	}
+	return stats
+}
+
+// collideCells runs the NTC loop for cells [lo, hi). Exactly one of r and
+// scratch is used: a non-nil r draws every cell from that one stream (the
+// legacy serial sequence); otherwise scratch is reseeded per cell from
+// (base, cell index), making each cell's draws independent of how cells
+// are distributed over workers.
+//
+//commvet:hot
+func (co *Collider) collideCells(st *particle.Store, groups [][]int32, lo, hi int, vols []float64, dt float64, ext ExtendedReactionModel, dead []bool, created *[]particle.Particle, r *rng.Rand, scratch *rng.Rand, base uint64) CollideStats {
+	var stats CollideStats
+	for c := lo; c < hi; c++ {
+		grp := groups[c]
 		n := len(grp)
 		if n < 2 {
 			continue
+		}
+		rr := r
+		if rr == nil {
+			scratch.Reseed(base, uint64(c))
+			rr = scratch
 		}
 		// NTC candidate count: 1/2 N (N-1) Fn (sigma cr)_max dt / Vc.
 		nf := float64(n)
 		mean := 0.5 * nf * (nf - 1) * co.Fn * co.sigmaCrMax[c] * dt / vols[c]
 		nCand := int(mean)
-		if r.Float64() < mean-float64(nCand) {
+		if rr.Float64() < mean-float64(nCand) {
 			nCand++ // probabilistic rounding keeps the expectation exact
 		}
 		for k := 0; k < nCand; k++ {
-			i := grp[r.Intn(n)]
-			j := grp[r.Intn(n)]
+			i := grp[rr.Intn(n)]
+			j := grp[rr.Intn(n)]
 			for tries := 0; (j == i || deadAt(dead, i) || deadAt(dead, j)) && tries < 8; tries++ {
-				i = grp[r.Intn(n)]
-				j = grp[r.Intn(n)]
+				i = grp[rr.Intn(n)]
+				j = grp[rr.Intn(n)]
 			}
 			if j == i || deadAt(dead, i) || deadAt(dead, j) {
 				continue
@@ -119,27 +226,21 @@ func (co *Collider) Collide(st *particle.Store, groups [][]int32, vols []float64
 			if sc > co.sigmaCrMax[c] {
 				co.sigmaCrMax[c] = sc
 			}
-			if r.Float64()*co.sigmaCrMax[c] >= sc {
+			if rr.Float64()*co.sigmaCrMax[c] >= sc {
 				continue // rejected candidate
 			}
 			stats.Collisions++
 			if ext != nil {
-				reacted, created, removed := co.collidePairEx(st, int(i), int(j), ext, &dead, r)
+				reacted, madeN, removed := co.collidePairEx(st, int(i), int(j), ext, dead, created, rr)
 				if reacted {
 					stats.Reactions++
 				}
-				stats.Created += created
+				stats.Created += madeN
 				stats.Removed += removed
-			} else if co.collidePair(st, int(i), int(j), r) {
+			} else if co.collidePair(st, int(i), int(j), rr) {
 				stats.Reactions++
 			}
 		}
-	}
-	if stats.Removed > 0 {
-		// One closure per sweep (not per candidate); Filter's callback API
-		// requires it and the compaction itself dominates the cost.
-		//commvet:ignore hotalloc once-per-sweep compaction closure, outside the candidate loop
-		st.Filter(func(i int) bool { return i >= len(dead) || !dead[i] })
 	}
 	return stats
 }
@@ -150,8 +251,10 @@ func deadAt(dead []bool, i int32) bool { return dead != nil && dead[i] }
 
 // collidePairEx is collidePair for extended (number-changing) chemistry.
 // Returns whether a reaction happened and how many particles were created
-// and removed. Momentum is conserved exactly in every channel.
-func (co *Collider) collidePairEx(st *particle.Store, i, j int, ext ExtendedReactionModel, dead *[]bool, r *rng.Rand) (reacted bool, created, removed int) {
+// and removed. Momentum is conserved exactly in every channel. Removals
+// mark dead (pre-sized by the sweep); creations go into the created
+// buffer, appended to the store after the sweep.
+func (co *Collider) collidePairEx(st *particle.Store, i, j int, ext ExtendedReactionModel, dead []bool, created *[]particle.Particle, r *rng.Rand) (reacted bool, madeN, removed int) {
 	out, ok := ext.AttemptEx(st.Sp[i], st.Sp[j], collisionEnergy(st, i, j), r)
 	if !ok {
 		// Plain elastic VHS collision.
@@ -171,10 +274,7 @@ func (co *Collider) collidePairEx(st *particle.Store, i, j int, ext ExtendedReac
 		vcm := st.Vel[i].Scale(mi / (mi + mj)).Add(st.Vel[j].Scale(mj / (mi + mj)))
 		st.Sp[i] = out.NewA
 		st.Vel[i] = vcm
-		if *dead == nil {
-			*dead = make([]bool, st.Len())
-		}
-		(*dead)[j] = true
+		dead[j] = true
 		return true, 0, 1
 
 	case out.SplitA:
@@ -192,7 +292,7 @@ func (co *Collider) collidePairEx(st *particle.Store, i, j int, ext ExtendedReac
 		dv := geom.V(ux*sep, uy*sep, uz*sep)
 		st.Sp[i] = out.NewA
 		st.Vel[i] = vA.Add(dv)
-		st.Append(particle.Particle{
+		*created = append(*created, particle.Particle{
 			Pos:  st.Pos[i],
 			Vel:  vA.Sub(dv),
 			Sp:   out.NewA,

@@ -40,7 +40,7 @@ func TestMoveWithinCell(t *testing.T) {
 	m := boxMesh(t)
 	st := particle.NewStore(1)
 	addParticle(st, m, geom.V(0.5, 0.5, 0.5), geom.V(0.001, 0, 0), particle.H)
-	stats := Move(st, m, 1.0, WallModel{Kind: SpecularWall}, nil, rng.New(1, 0))
+	stats := Move(st, m, 1.0, WallModel{Kind: SpecularWall}, nil, rng.New(1, 0), nil, nil)
 	if stats.Escaped != 0 || st.Len() != 1 {
 		t.Fatalf("particle escaped: %+v", stats)
 	}
@@ -57,7 +57,7 @@ func TestMoveAcrossCells(t *testing.T) {
 	m := boxMesh(t)
 	st := particle.NewStore(1)
 	addParticle(st, m, geom.V(0.1, 0.5, 0.5), geom.V(0.7, 0, 0), particle.H)
-	stats := Move(st, m, 1.0, WallModel{Kind: SpecularWall}, nil, rng.New(1, 0))
+	stats := Move(st, m, 1.0, WallModel{Kind: SpecularWall}, nil, rng.New(1, 0), nil, nil)
 	if st.Len() != 1 {
 		t.Fatalf("particle lost: %+v", stats)
 	}
@@ -78,7 +78,7 @@ func TestMoveSpecularReflection(t *testing.T) {
 	st := particle.NewStore(1)
 	// Head straight at the x=1 wall; specular reflection reverses vx.
 	addParticle(st, m, geom.V(0.9, 0.52, 0.52), geom.V(1.0, 0, 0), particle.H)
-	stats := Move(st, m, 0.3, WallModel{Kind: SpecularWall}, nil, rng.New(1, 0))
+	stats := Move(st, m, 0.3, WallModel{Kind: SpecularWall}, nil, rng.New(1, 0), nil, nil)
 	if st.Len() != 1 {
 		t.Fatalf("lost: %+v", stats)
 	}
@@ -105,7 +105,7 @@ func TestMoveDiffuseReflectionThermalizes(t *testing.T) {
 			geom.V(5000, 0, 0), particle.H)
 	}
 	wall := WallModel{Kind: DiffuseWall, Temperature: 300}
-	Move(st, m, 5e-5, wall, nil, r)
+	Move(st, m, 5e-5, wall, nil, r, nil, nil)
 	// After hitting the 300K wall, speeds should be thermal (~ km/s scale),
 	// not the initial 5 km/s beam.
 	var meanSpeed float64
@@ -128,7 +128,7 @@ func TestMoveEscapesOutlet(t *testing.T) {
 		addParticle(st, m, geom.V(0.01*r.Float64(), 0.01*r.Float64(), 0.19),
 			geom.V(0, 0, 10000), particle.H)
 	}
-	stats := Move(st, m, 1e-4, WallModel{Kind: SpecularWall}, nil, r)
+	stats := Move(st, m, 1e-4, WallModel{Kind: SpecularWall}, nil, r, nil, nil)
 	if stats.Escaped != 50 || st.Len() != 0 {
 		t.Errorf("escaped %d of 50, %d left", stats.Escaped, st.Len())
 	}
@@ -139,7 +139,7 @@ func TestMoveFilterSkipsSpecies(t *testing.T) {
 	st := particle.NewStore(0)
 	addParticle(st, m, geom.V(0.5, 0.5, 0.5), geom.V(0.1, 0, 0), particle.H)
 	addParticle(st, m, geom.V(0.5, 0.5, 0.5), geom.V(0.1, 0, 0), particle.HPlus)
-	Move(st, m, 1.0, WallModel{Kind: SpecularWall}, Neutrals, rng.New(1, 0))
+	Move(st, m, 1.0, WallModel{Kind: SpecularWall}, Neutrals, rng.New(1, 0), nil, nil)
 	if st.Pos[0].X == 0.5 {
 		t.Error("neutral did not move")
 	}
@@ -173,7 +173,7 @@ func TestMoveManyParticlesStayInside(t *testing.T) {
 		st.Append(particle.Particle{Pos: p, Vel: geom.V(vx, vy, vz), Sp: particle.H, Cell: int32(cell)})
 		placed++
 	}
-	stats := Move(st, m, 2e-6, WallModel{Kind: DiffuseWall, Temperature: 300}, nil, r)
+	stats := Move(st, m, 2e-6, WallModel{Kind: DiffuseWall, Temperature: 300}, nil, r, nil, nil)
 	if stats.Lost > n/100 {
 		t.Errorf("lost %d of %d particles to traversal cap", stats.Lost, n)
 	}
@@ -243,7 +243,7 @@ func TestCollideConservesMomentumEnergy(t *testing.T) {
 	p0, e0 := momentum(), energy()
 	co := NewCollider(m.NumCells(), 1e16, NoReactions{})
 	groups := GroupByCell(st, m.NumCells(), nil)
-	stats := co.Collide(st, groups, m.Volumes, 1e-5, r)
+	stats := co.Collide(st, groups, m.Volumes, 1e-5, r, nil)
 	if stats.Collisions == 0 {
 		t.Fatal("no collisions happened; increase Fn or dt")
 	}
@@ -268,7 +268,7 @@ func TestCollideRateScalesWithDensity(t *testing.T) {
 		}
 		co := NewCollider(m.NumCells(), 1e15, NoReactions{})
 		groups := GroupByCell(st, m.NumCells(), nil)
-		return co.Collide(st, groups, m.Volumes, 1e-5, r).Collisions
+		return co.Collide(st, groups, m.Volumes, 1e-5, r, nil).Collisions
 	}
 	c1 := countCollisions(500)
 	c2 := countCollisions(1000)
@@ -360,7 +360,7 @@ func TestReactionsChangeChargePopulation(t *testing.T) {
 	}
 	co := NewCollider(m.NumCells(), 1e16, DefaultHydrogenReactions())
 	groups := GroupByCell(st, m.NumCells(), nil)
-	stats := co.Collide(st, groups, m.Volumes, 1e-5, r)
+	stats := co.Collide(st, groups, m.Volumes, 1e-5, r, nil)
 	if stats.Reactions == 0 {
 		t.Fatalf("no reactions (collisions=%d)", stats.Collisions)
 	}
@@ -396,7 +396,7 @@ func BenchmarkMove10k(b *testing.B) {
 	wall := WallModel{Kind: DiffuseWall, Temperature: 300}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Move(st, m, 1e-7, wall, nil, r)
+		Move(st, m, 1e-7, wall, nil, r, nil, nil)
 	}
 }
 
@@ -417,7 +417,7 @@ func BenchmarkCollide10k(b *testing.B) {
 	groups := GroupByCell(st, m.NumCells(), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		co.Collide(st, groups, m.Volumes, 1e-6, r)
+		co.Collide(st, groups, m.Volumes, 1e-6, r, nil)
 	}
 }
 
@@ -463,7 +463,7 @@ func TestCollisionalRelaxationToMaxwellian(t *testing.T) {
 	co := NewCollider(m.NumCells(), 1e16, NoReactions{})
 	for sweep := 0; sweep < 30; sweep++ {
 		groups := GroupByCell(st, m.NumCells(), nil)
-		co.Collide(st, groups, m.Volumes, 1e-5, r)
+		co.Collide(st, groups, m.Volumes, 1e-5, r, nil)
 	}
 	tx1, ty1, tz1 := dirTemp()
 	// Equilibrated: directional temperatures within 15% of each other.
@@ -509,7 +509,7 @@ func TestWallPressureMatchesIdealGas(t *testing.T) {
 	}
 	const dt = 2e-4
 	for sweep := 0; sweep < 20; sweep++ {
-		Move(st, m, dt, wall, nil, r)
+		Move(st, m, dt, wall, nil, r, nil, nil)
 		sampler.Advance(dt)
 	}
 	if st.Len() != nPart {
@@ -555,7 +555,7 @@ func TestWallHeatFluxDiffuse(t *testing.T) {
 	wall := WallModel{Kind: DiffuseWall, Temperature: 100, Sampler: sampler}
 	const dt = 2e-4
 	for sweep := 0; sweep < 10; sweep++ {
-		Move(st, m, dt, wall, nil, r)
+		Move(st, m, dt, wall, nil, r, nil, nil)
 		sampler.Advance(dt)
 	}
 	var total float64
@@ -587,7 +587,7 @@ func TestWallShearFromTangentialBeam(t *testing.T) {
 	// impulse) small relative to the absorbed tangential momentum.
 	wall := WallModel{Kind: DiffuseWall, Temperature: 100, Sampler: sampler}
 	const dt = 3e-4
-	Move(st, m, dt, wall, nil, r)
+	Move(st, m, dt, wall, nil, r, nil, nil)
 	sampler.Advance(dt)
 	// Find x=1 faces and check shear is substantial there.
 	var shear, press float64

@@ -11,6 +11,7 @@ import (
 
 	"github.com/plasma-hpc/dsmcpic/internal/geom"
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/parallel"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 	"github.com/plasma-hpc/dsmcpic/internal/rng"
 )
@@ -50,6 +51,54 @@ type MoveStats struct {
 // exceeding it (degenerate geometry loops) are dropped and counted as Lost.
 const maxTraversalSteps = 10000
 
+// MoveScratch holds the caller-owned buffers a movement sweep reuses
+// across steps: the dead-flag vector (previously a fresh allocation every
+// sweep inside the hot function) and, for multi-worker pools, per-chunk
+// stats, RNG streams, and surface-sampler shards. The zero value is
+// ready; one scratch serves one rank (concurrent Move calls must not
+// share it).
+type MoveScratch struct {
+	dead  []bool
+	stats []MoveStats
+	rngs  []rng.Rand
+	// shards are per-chunk private samplers merged in chunk order after
+	// the sweep; rebuilt when the parent sampler changes between sweeps.
+	shards      []*SurfaceSampler
+	shardParent *SurfaceSampler
+}
+
+// deadFor returns the dead-flag vector sized and zeroed for n particles,
+// growing the backing array only when the population outgrows it.
+func (sc *MoveScratch) deadFor(n int) []bool {
+	if cap(sc.dead) < n {
+		sc.dead = make([]bool, n)
+	}
+	sc.dead = sc.dead[:n]
+	clear(sc.dead)
+	return sc.dead
+}
+
+// chunksFor sizes the per-chunk state for w workers, (re)building the
+// sampler shards when the parent sampler changed.
+func (sc *MoveScratch) chunksFor(w int, sampler *SurfaceSampler) {
+	if cap(sc.stats) < w {
+		sc.stats = make([]MoveStats, w)
+		sc.rngs = make([]rng.Rand, w)
+	}
+	sc.stats = sc.stats[:w]
+	sc.rngs = sc.rngs[:w]
+	if sampler == nil {
+		return
+	}
+	if sc.shardParent != sampler || len(sc.shards) < w {
+		sc.shards = make([]*SurfaceSampler, w)
+		for c := range sc.shards {
+			sc.shards[c] = sampler.Shard()
+		}
+		sc.shardParent = sampler
+	}
+}
+
 // Move advances every particle in st by dt along straight lines (DSMC_Move
 // / PIC_Move geometry): particles cross cell faces, reflect off walls, and
 // are removed when they exit through the inlet or outlet. The store's Cell
@@ -57,14 +106,76 @@ const maxTraversalSteps = 10000
 // does not satisfy filter are skipped (DSMC moves neutrals, PIC moves
 // charged particles — paper §III-B).
 //
+// pool parallelizes the sweep over deterministic contiguous chunks of the
+// particle index range; nil (or a 1-worker pool) is the exact legacy
+// serial sweep drawing from r directly. With more workers, each chunk
+// draws from a private stream derived by chunk index from a single
+// r.Uint64() draw, and per-chunk stats and surface samples are merged in
+// chunk order after the sweep — so replay is byte-identical for a fixed
+// (seed, workers) pair, and workers=1 is bit-for-bit the legacy serial
+// run.
+//
+// sc holds caller-owned buffers reused across sweeps; nil allocates a
+// temporary (fine for tests, wasteful in the step loop).
+//
 // Removals are done in a single Filter pass after the sweep, preserving
 // relative order (important for deterministic collisions downstream).
 //
 //commvet:hot
-func Move(st *particle.Store, m *mesh.Mesh, dt float64, wall WallModel, filter func(particle.Species) bool, r *rng.Rand) MoveStats {
+func Move(st *particle.Store, m *mesh.Mesh, dt float64, wall WallModel, filter func(particle.Species) bool, r *rng.Rand, pool *parallel.Pool, sc *MoveScratch) MoveStats {
+	if sc == nil {
+		sc = &MoveScratch{}
+	}
+	n := st.Len()
+	dead := sc.deadFor(n)
 	var stats MoveStats
-	dead := make([]bool, st.Len())
-	for i := 0; i < st.Len(); i++ {
+	if workers := pool.Workers(); workers == 1 {
+		stats = moveChunk(st, 0, n, m, dt, wall, filter, r, dead)
+	} else {
+		base := r.Uint64()
+		sc.chunksFor(workers, wall.Sampler)
+		// One dispatch closure per sweep (not per particle); chunk bodies
+		// write disjoint state — dead flags and store rows by particle
+		// index, stats/RNG/sampler shard by chunk index.
+		//commvet:ignore hotalloc once-per-sweep dispatch closure, outside the particle loop
+		pool.Run(n, func(chunk, lo, hi int) {
+			cw := wall
+			if wall.Sampler != nil {
+				cw.Sampler = sc.shards[chunk]
+			}
+			cr := &sc.rngs[chunk]
+			cr.Reseed(base, uint64(chunk))
+			sc.stats[chunk] = moveChunk(st, lo, hi, m, dt, cw, filter, cr, dead)
+		})
+		for c := 0; c < workers; c++ {
+			cs := sc.stats[c]
+			stats.Moved += cs.Moved
+			stats.Escaped += cs.Escaped
+			stats.WallHits += cs.WallHits
+			stats.Lost += cs.Lost
+			stats.Crossings += cs.Crossings
+			if wall.Sampler != nil {
+				wall.Sampler.Merge(sc.shards[c])
+			}
+		}
+	}
+	if stats.Escaped+stats.Lost > 0 {
+		// One closure per sweep (not per particle); Filter's callback API
+		// requires it and the compaction itself dominates the cost.
+		//commvet:ignore hotalloc once-per-sweep compaction closure, outside the particle loop
+		st.Filter(func(i int) bool { return !dead[i] })
+	}
+	return stats
+}
+
+// moveChunk advances the particles in [lo, hi), marking removals in dead.
+// It is the per-worker body of Move: every write is disjoint per particle
+// index, so chunks run concurrently without synchronization.
+//
+//commvet:hot
+func moveChunk(st *particle.Store, lo, hi int, m *mesh.Mesh, dt float64, wall WallModel, filter func(particle.Species) bool, r *rng.Rand, dead []bool) MoveStats {
+	var stats MoveStats
+	for i := lo; i < hi; i++ {
 		if filter != nil && !filter(st.Sp[i]) {
 			continue
 		}
@@ -73,12 +184,6 @@ func Move(st *particle.Store, m *mesh.Mesh, dt float64, wall WallModel, filter f
 		if !alive {
 			dead[i] = true
 		}
-	}
-	if stats.Escaped+stats.Lost > 0 {
-		// One closure per sweep (not per particle); Filter's callback API
-		// requires it and the compaction itself dominates the cost.
-		//commvet:ignore hotalloc once-per-sweep compaction closure, outside the particle loop
-		st.Filter(func(i int) bool { return !dead[i] })
 	}
 	return stats
 }

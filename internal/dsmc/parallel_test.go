@@ -1,0 +1,215 @@
+package dsmc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/parallel"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// seedStore fills a store with n thermal particles inside the box mesh,
+// deterministically from seed.
+func seedStore(t testing.TB, m *mesh.Mesh, n int, seed uint64) *particle.Store {
+	t.Helper()
+	r := rng.New(seed, 0)
+	st := particle.NewStore(n)
+	for st.Len() < n {
+		p := geom.V(r.Float64(), r.Float64(), r.Float64())
+		cell := m.FindCellBrute(p)
+		if cell < 0 {
+			continue
+		}
+		vx, vy, vz := r.Maxwell(300, particle.HydrogenMass, 0, 0, 1000)
+		st.Append(particle.Particle{Pos: p, Vel: geom.V(vx, vy, vz), Sp: particle.H, Cell: int32(cell)})
+	}
+	return st
+}
+
+// TestMoveWorkersSpecularBitwise: the specular wall draws no random
+// numbers, so the sweep is a pure function of the particle state and every
+// worker count must produce bit-identical positions, velocities, and cells
+// — and identical stats.
+func TestMoveWorkersSpecularBitwise(t *testing.T) {
+	m := boxMesh(t)
+	wall := WallModel{Kind: SpecularWall}
+	ref := seedStore(t, m, 500, 61)
+	refStats := Move(ref, m, 2e-4, wall, nil, rng.New(9, 0), nil, nil)
+	refBytes := ref.EncodeAll()
+	for _, workers := range []int{1, 2, 4, 7} {
+		st := seedStore(t, m, 500, 61)
+		var sc MoveScratch
+		stats := Move(st, m, 2e-4, wall, nil, rng.New(9, 0), parallel.New(workers), &sc)
+		if stats != refStats {
+			t.Errorf("workers=%d stats %+v, serial %+v", workers, stats, refStats)
+		}
+		if !bytes.Equal(st.EncodeAll(), refBytes) {
+			t.Errorf("workers=%d store differs bitwise from serial", workers)
+		}
+	}
+}
+
+// TestMoveWorkersOneEqualsSerial: a 1-worker pool must be bit-for-bit the
+// legacy serial path — same store bytes AND the same number of draws from
+// the caller's RNG stream (no base draw).
+func TestMoveWorkersOneEqualsSerial(t *testing.T) {
+	m := boxMesh(t)
+	wall := WallModel{Kind: DiffuseWall, Temperature: 300}
+	a := seedStore(t, m, 400, 67)
+	b := seedStore(t, m, 400, 67)
+	ra, rb := rng.New(11, 3), rng.New(11, 3)
+	sa := Move(a, m, 2e-4, wall, nil, ra, nil, nil)
+	var sc MoveScratch
+	sb := Move(b, m, 2e-4, wall, nil, rb, parallel.New(1), &sc)
+	if sa != sb {
+		t.Errorf("stats differ: nil pool %+v, 1-worker pool %+v", sa, sb)
+	}
+	if !bytes.Equal(a.EncodeAll(), b.EncodeAll()) {
+		t.Error("1-worker pool store differs bitwise from nil-pool store")
+	}
+	// The caller's stream must be in the same state afterwards.
+	if ra.Uint64() != rb.Uint64() {
+		t.Error("1-worker pool consumed a different number of RNG draws than serial")
+	}
+}
+
+// TestMoveWorkersReplay: with a diffuse wall (random re-emission) at
+// workers=4, two runs from the same seed must be byte-identical, and the
+// scratch must not leak state between sweeps (fresh scratch == reused
+// scratch).
+func TestMoveWorkersReplay(t *testing.T) {
+	m := boxMesh(t)
+	wall := WallModel{Kind: DiffuseWall, Temperature: 300}
+	pool := parallel.New(4)
+	run := func(sc *MoveScratch) ([]byte, MoveStats) {
+		st := seedStore(t, m, 600, 71)
+		r := rng.New(13, 1)
+		var stats MoveStats
+		for sweep := 0; sweep < 3; sweep++ {
+			stats = Move(st, m, 2e-4, wall, nil, r, pool, sc)
+		}
+		return st.EncodeAll(), stats
+	}
+	var sc1, sc2 MoveScratch
+	b1, s1 := run(&sc1)
+	b2, s2 := run(&sc2)
+	b3, s3 := run(&sc1) // reused scratch
+	if !bytes.Equal(b1, b2) || s1 != s2 {
+		t.Error("workers=4 replay not byte-identical across fresh runs")
+	}
+	if !bytes.Equal(b1, b3) || s1 != s3 {
+		t.Error("reused scratch changed the workers=4 result")
+	}
+}
+
+// TestMoveWorkersSurfaceSampler: sampler shards merged in chunk order must
+// reproduce the serial sweep's integer hit counts exactly and its impulse
+// integrals up to float summation order.
+func TestMoveWorkersSurfaceSampler(t *testing.T) {
+	m := boxMesh(t)
+	const dt = 2e-4
+	run := func(pool *parallel.Pool) *SurfaceSampler {
+		st := seedStore(t, m, 800, 73)
+		sampler := NewSurfaceSampler(m)
+		wall := WallModel{Kind: SpecularWall, Sampler: sampler}
+		var sc MoveScratch
+		for sweep := 0; sweep < 3; sweep++ {
+			Move(st, m, dt, wall, nil, rng.New(17, 0), pool, &sc)
+		}
+		sampler.Advance(3 * dt)
+		return sampler
+	}
+	serial := run(nil)
+	par := run(parallel.New(4))
+	var hitsS, hitsP int64
+	for i := 0; i < serial.NumFaces(); i++ {
+		hitsS += serial.Hits[i]
+		hitsP += par.Hits[i]
+		if serial.Hits[i] != par.Hits[i] {
+			t.Fatalf("face %d hits: serial %d, workers=4 %d", i, serial.Hits[i], par.Hits[i])
+		}
+		ps, pp := serial.Pressure(i), par.Pressure(i)
+		if math.Abs(ps-pp) > 1e-9*math.Abs(ps)+1e-30 {
+			t.Errorf("face %d pressure: serial %v, workers=4 %v", i, ps, pp)
+		}
+	}
+	if hitsS == 0 {
+		t.Fatal("no wall hits sampled; test exercises nothing")
+	}
+}
+
+// TestCollideWorkersReplay: the collision sweep at workers>1 derives one
+// RNG stream per cell, so (a) two runs from the same seed are
+// byte-identical, (b) the result is identical across any worker count > 1,
+// and (c) a 1-worker pool is bit-for-bit the nil-pool legacy sweep.
+func TestCollideWorkersReplay(t *testing.T) {
+	m := boxMesh(t)
+	run := func(pool *parallel.Pool) ([]byte, CollideStats) {
+		st := seedStore(t, m, 1000, 79)
+		co := NewCollider(m.NumCells(), 1e16, DefaultHydrogenReactions())
+		r := rng.New(19, 2)
+		var stats CollideStats
+		for sweep := 0; sweep < 3; sweep++ {
+			groups := GroupByCell(st, m.NumCells(), nil)
+			stats = co.Collide(st, groups, m.Volumes, 1e-5, r, pool)
+		}
+		return st.EncodeAll(), stats
+	}
+	serial, serialStats := run(nil)
+	one, oneStats := run(parallel.New(1))
+	if !bytes.Equal(serial, one) || serialStats != oneStats {
+		t.Error("1-worker pool Collide differs from nil-pool legacy sweep")
+	}
+	w4a, s4a := run(parallel.New(4))
+	w4b, s4b := run(parallel.New(4))
+	if !bytes.Equal(w4a, w4b) || s4a != s4b {
+		t.Error("workers=4 Collide replay not byte-identical")
+	}
+	w2, s2 := run(parallel.New(2))
+	if !bytes.Equal(w4a, w2) || s4a != s2 {
+		t.Error("per-cell streams must make Collide identical across worker counts > 1")
+	}
+	if serialStats.Collisions == 0 || s4a.Collisions == 0 {
+		t.Fatal("no collisions happened; test exercises nothing")
+	}
+}
+
+// TestCollideWorkersConservation: the parallel sweep must conserve
+// momentum and energy exactly like the serial one (elastic collisions
+// only, so the invariants are exact up to float roundoff).
+func TestCollideWorkersConservation(t *testing.T) {
+	m := boxMesh(t)
+	st := seedStore(t, m, 800, 83)
+	momentum := func() geom.Vec3 {
+		var s geom.Vec3
+		for i := 0; i < st.Len(); i++ {
+			s = s.Add(st.Vel[i].Scale(particle.InfoOf(st.Sp[i]).Mass))
+		}
+		return s
+	}
+	energy := func() float64 {
+		var e float64
+		for i := 0; i < st.Len(); i++ {
+			e += 0.5 * particle.InfoOf(st.Sp[i]).Mass * st.Vel[i].Norm2()
+		}
+		return e
+	}
+	p0, e0 := momentum(), energy()
+	co := NewCollider(m.NumCells(), 1e16, NoReactions{})
+	groups := GroupByCell(st, m.NumCells(), nil)
+	stats := co.Collide(st, groups, m.Volumes, 1e-5, rng.New(23, 0), parallel.New(4))
+	if stats.Collisions == 0 {
+		t.Fatal("no collisions happened")
+	}
+	p1, e1 := momentum(), energy()
+	if geom.Dist(p0, p1) > 1e-9*p0.Norm()+1e-30 {
+		t.Errorf("momentum drift under workers=4: %v -> %v", p0, p1)
+	}
+	if math.Abs(e1-e0) > 1e-9*e0 {
+		t.Errorf("energy drift under workers=4: %v -> %v", e0, e1)
+	}
+}

@@ -66,6 +66,40 @@ func (s *SurfaceSampler) record(cell, face int, sp particle.Species, weight floa
 // Advance accumulates sampled physical time; call once per Move sweep.
 func (s *SurfaceSampler) Advance(dt float64) { s.SampledTime += dt }
 
+// Shard returns a private accumulator view of s for one worker of a
+// parallel movement sweep: geometry (mesh, face index, areas, normals,
+// centroids) is shared read-only with the parent, while Impulse, Heat and
+// Hits are fresh per-shard slices. Workers record into their shards
+// concurrently; Merge folds them back into the parent in worker-index
+// order, keeping the float accumulation order — and therefore the bits —
+// a pure function of (seed, workers).
+func (s *SurfaceSampler) Shard() *SurfaceSampler {
+	return &SurfaceSampler{
+		mesh:     s.mesh,
+		faceID:   s.faceID,
+		Area:     s.Area,
+		Normal:   s.Normal,
+		Centroid: s.Centroid,
+		Impulse:  make([]geom.Vec3, len(s.Impulse)),
+		Heat:     make([]float64, len(s.Heat)),
+		Hits:     make([]int64, len(s.Hits)),
+	}
+}
+
+// Merge adds a shard's accumulators into s and zeroes the shard for
+// reuse. Callers merge shards in worker-index order so float sums stay
+// order-stable across replays.
+func (s *SurfaceSampler) Merge(sh *SurfaceSampler) {
+	for i := range s.Impulse {
+		s.Impulse[i] = s.Impulse[i].Add(sh.Impulse[i])
+		s.Heat[i] += sh.Heat[i]
+		s.Hits[i] += sh.Hits[i]
+		sh.Impulse[i] = geom.Vec3{}
+		sh.Heat[i] = 0
+		sh.Hits[i] = 0
+	}
+}
+
 // Pressure returns the time-averaged normal pressure (Pa) on face i:
 // the normal component of the accumulated impulse per area per time.
 func (s *SurfaceSampler) Pressure(i int) float64 {

@@ -2,15 +2,46 @@ package pic
 
 import (
 	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/parallel"
 	"github.com/plasma-hpc/dsmcpic/internal/particle"
 )
+
+// DepositScratch holds the per-worker nodal accumulation vectors a
+// parallel deposition sweep reuses across steps. The zero value is ready;
+// one scratch serves one rank (concurrent DepositCharge calls must not
+// share it).
+type DepositScratch struct {
+	node [][]float64
+}
+
+// nodesFor returns w zeroed per-worker node vectors of length n, growing
+// backing arrays only when the grid or worker count outgrows them.
+func (sc *DepositScratch) nodesFor(w, n int) [][]float64 {
+	for len(sc.node) < w {
+		sc.node = append(sc.node, nil)
+	}
+	for c := 0; c < w; c++ {
+		if cap(sc.node[c]) < n {
+			sc.node[c] = make([]float64, n)
+		}
+		sc.node[c] = sc.node[c][:n]
+		clear(sc.node[c])
+	}
+	return sc.node[:w]
+}
 
 // DepositCharge interpolates the charge of every charged particle in st to
 // the fine-grid nodes with linear shape functions (paper §III-C:
 // "interpolating the particle charge to the grid nodes"): each particle
 // contributes weight * q * w_n to node n, where w_n are its barycentric
 // coordinates in its fine cell and weight is the species scaling factor
-// (real particles per simulation particle).
+// (real particles per simulation particle). Per-species charge factors are
+// tabulated once per sweep, so the hot loop performs no indirect calls.
+//
+// Barycentric weights of particles sitting exactly on a face can dip
+// slightly negative from floating-point jitter; those are clipped to zero
+// and the remaining weights renormalized so every particle deposits
+// exactly its full charge (TotalCharge conserves).
 //
 // It also records each particle's fine cell in fineCell (parallel to the
 // store; -1 for neutral or unlocatable particles) so the subsequent field
@@ -19,11 +50,67 @@ import (
 // The nodeCharge slice must have length fine.NumNodes(); it is accumulated
 // into (callers zero it per timestep).
 //
+// pool parallelizes the sweep over deterministic contiguous chunks of the
+// particle index range; nil (or a 1-worker pool) deposits directly into
+// nodeCharge in particle order — bit-for-bit the legacy serial sweep.
+// With more workers, each chunk accumulates into its own scratch vector
+// from sc and the vectors are reduced into nodeCharge node-by-node in
+// worker-index order (a keyed reduction), so the float summation order —
+// and therefore the bits — is a pure function of the worker count.
+//
 //commvet:hot
-func DepositCharge(st *particle.Store, ref *mesh.Refinement, weight func(particle.Species) float64, nodeCharge []float64, fineCell []int32) {
-	for i := 0; i < st.Len(); i++ {
-		sp := st.Sp[i]
+func DepositCharge(st *particle.Store, ref *mesh.Refinement, weight func(particle.Species) float64, nodeCharge []float64, fineCell []int32, pool *parallel.Pool, sc *DepositScratch) {
+	// Per-species tables, built once per sweep: hoists the weight() and
+	// InfoOf() indirections out of the particle loop.
+	var charged [particle.NumSpecies]bool
+	var qTab [particle.NumSpecies]float64
+	for sp := particle.Species(0); sp < particle.NumSpecies; sp++ {
 		if !sp.IsCharged() {
+			continue
+		}
+		charged[sp] = true
+		qTab[sp] = particle.InfoOf(sp).Charge * weight(sp)
+	}
+	n := st.Len()
+	if workers := pool.Workers(); workers == 1 {
+		depositChunk(st, 0, n, ref, &charged, &qTab, nodeCharge, fineCell)
+	} else {
+		if sc == nil {
+			sc = &DepositScratch{}
+		}
+		shards := sc.nodesFor(workers, len(nodeCharge))
+		// One dispatch closure per sweep (not per particle); chunk bodies
+		// write disjoint state — fineCell by particle index, the nodal
+		// accumulator by chunk index.
+		//commvet:ignore hotalloc once-per-sweep dispatch closure, outside the particle loop
+		pool.Run(n, func(chunk, lo, hi int) {
+			depositChunk(st, lo, hi, ref, &charged, &qTab, shards[chunk], fineCell)
+		})
+		// Keyed reduction: each worker owns a disjoint node range and folds
+		// every shard's contribution in worker-index order, keeping the
+		// float accumulation order fixed for a given worker count.
+		//commvet:ignore hotalloc once-per-sweep reduction closure, outside the node loop
+		pool.Run(len(nodeCharge), func(chunk, lo, hi int) {
+			for w := 0; w < workers; w++ {
+				shard := shards[w]
+				for k := lo; k < hi; k++ {
+					nodeCharge[k] += shard[k]
+				}
+			}
+		})
+	}
+}
+
+// depositChunk deposits particles [lo, hi) into nodeCharge. It is the
+// per-worker body of DepositCharge: fineCell writes are disjoint per
+// particle index and nodeCharge is private to the worker (or the caller's,
+// in the serial path).
+//
+//commvet:hot
+func depositChunk(st *particle.Store, lo, hi int, ref *mesh.Refinement, charged *[particle.NumSpecies]bool, qTab *[particle.NumSpecies]float64, nodeCharge []float64, fineCell []int32) {
+	for i := lo; i < hi; i++ {
+		sp := st.Sp[i]
+		if !charged[sp] {
 			if fineCell != nil {
 				fineCell[i] = -1
 			}
@@ -36,21 +123,46 @@ func DepositCharge(st *particle.Store, ref *mesh.Refinement, weight func(particl
 		if fc < 0 {
 			continue
 		}
-		q := particle.InfoOf(sp).Charge * weight(sp)
+		q := qTab[sp]
 		w := ref.Fine.Tet(fc).Barycentric(st.Pos[i])
-		cell := ref.Fine.Cells[fc]
-		for k := 0; k < 4; k++ {
-			wk := w[k]
-			if wk < 0 {
-				wk = 0 // clip boundary jitter; total charge stays ~exact
-			}
-			nodeCharge[cell[k]] += q * wk
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		clipped := false
+		if w0 < 0 {
+			w0, clipped = 0, true
 		}
+		if w1 < 0 {
+			w1, clipped = 0, true
+		}
+		if w2 < 0 {
+			w2, clipped = 0, true
+		}
+		if w3 < 0 {
+			w3, clipped = 0, true
+		}
+		if clipped {
+			// Renormalize after clipping boundary jitter so the particle
+			// still deposits exactly its full charge q (interior particles
+			// never clip and skip this, keeping their legacy bits).
+			sum := w0 + w1 + w2 + w3
+			if sum <= 0 {
+				continue // degenerate: all weights clipped away
+			}
+			inv := 1 / sum
+			w0 *= inv
+			w1 *= inv
+			w2 *= inv
+			w3 *= inv
+		}
+		cell := ref.Fine.Cells[fc]
+		nodeCharge[cell[0]] += q * w0
+		nodeCharge[cell[1]] += q * w1
+		nodeCharge[cell[2]] += q * w2
+		nodeCharge[cell[3]] += q * w3
 	}
 }
 
 // TotalCharge sums a nodal charge vector (diagnostic; deposition conserves
-// the total particle charge up to clipping jitter).
+// the total particle charge exactly up to float summation order).
 func TotalCharge(nodeCharge []float64) float64 {
 	var s float64
 	for _, q := range nodeCharge {

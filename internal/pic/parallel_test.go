@@ -1,0 +1,155 @@
+package pic
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/geom"
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+	"github.com/plasma-hpc/dsmcpic/internal/parallel"
+	"github.com/plasma-hpc/dsmcpic/internal/particle"
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// TestDepositConservesChargeWithClipping is the regression for the
+// barycentric-clipping bug: particles sitting exactly on (or jittered a
+// hair across) fine-cell faces get a slightly negative barycentric weight
+// from floating-point roundoff; clipping it to zero without renormalizing
+// silently deleted that fraction of the particle's charge. After the fix
+// every located particle deposits exactly its full charge.
+func TestDepositConservesChargeWithClipping(t *testing.T) {
+	ref := boxRefinement(t, 2)
+	st := particle.NewStore(0)
+	r := rng.New(89, 0)
+	// Boundary stress: particles exactly at fine-grid node positions and
+	// on fine-face centroids (barycentric weights 0 up to jitter), plus a
+	// jittered band straddling faces.
+	located := 0
+	add := func(pos geom.Vec3) {
+		p := chargedAt(ref, pos)
+		if p.Cell < 0 {
+			return
+		}
+		if ref.FindFineCell(int(p.Cell), pos) >= 0 {
+			st.Append(p)
+			located++
+		}
+	}
+	for fc := 0; fc < ref.Fine.NumCells() && st.Len() < 600; fc++ {
+		cell := ref.Fine.Cells[fc]
+		// Vertex hit: three weights are exactly 0 (or -epsilon).
+		add(ref.Fine.Nodes[cell[0]])
+		// Face centroid: one weight exactly 0 (or -epsilon).
+		a, b, c := ref.Fine.Nodes[cell[1]], ref.Fine.Nodes[cell[2]], ref.Fine.Nodes[cell[3]]
+		add(a.Add(b).Add(c).Scale(1.0 / 3.0))
+		// Jitter across the face plane by ~1e-13: weights dip negative.
+		centroid := ref.Fine.Centroids[fc]
+		mid := a.Add(b).Add(c).Scale(1.0 / 3.0)
+		out := mid.Sub(centroid).Normalize()
+		add(mid.Add(out.Scale(1e-13 * (r.Float64() - 0.5))))
+	}
+	if located < 100 {
+		t.Fatalf("only %d boundary particles located; fixture too weak", located)
+	}
+	const weight = 3.0
+	nodeCharge := make([]float64, ref.Fine.NumNodes())
+	DepositCharge(st, ref, func(particle.Species) float64 { return weight }, nodeCharge, nil, nil, nil)
+	want := float64(located) * weight * particle.ElectronCharge
+	got := TotalCharge(nodeCharge)
+	if math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Errorf("total charge %v, want %v (rel err %.2e): clipped weights not renormalized",
+			got, want, math.Abs(got-want)/math.Abs(want))
+	}
+}
+
+// depositFixture builds a store of mixed charged/neutral particles spread
+// through the refined box.
+func depositFixture(t testing.TB, ref *mesh.Refinement, n int, seed uint64) *particle.Store {
+	t.Helper()
+	r := rng.New(seed, 0)
+	st := particle.NewStore(n)
+	for st.Len() < n {
+		p := chargedAt(ref, geom.V(r.Float64(), r.Float64(), r.Float64()))
+		if p.Cell < 0 {
+			continue
+		}
+		if st.Len()%3 == 0 {
+			p.Sp = particle.H // neutrals must not deposit
+		}
+		vx, vy, vz := r.Maxwell(300, particle.HydrogenMass, 0, 0, 0)
+		p.Vel = geom.V(vx, vy, vz)
+		st.Append(p)
+	}
+	return st
+}
+
+// TestDepositWorkersReplay: at workers=4 the keyed reduction fixes the
+// float summation order, so two runs are bitwise identical; fineCell is a
+// pure function of position and must match the serial sweep exactly; and
+// the total charge matches serial to summation roundoff.
+func TestDepositWorkersReplay(t *testing.T) {
+	ref := boxRefinement(t, 2)
+	weight := func(particle.Species) float64 { return 2.5 }
+	run := func(pool *parallel.Pool, sc *DepositScratch) ([]float64, []int32) {
+		st := depositFixture(t, ref, 900, 97)
+		nodeCharge := make([]float64, ref.Fine.NumNodes())
+		fineCell := make([]int32, st.Len())
+		DepositCharge(st, ref, weight, nodeCharge, fineCell, pool, sc)
+		return nodeCharge, fineCell
+	}
+	serialQ, serialFC := run(nil, nil)
+	var sc DepositScratch
+	pool := parallel.New(4)
+	q1, fc1 := run(pool, &sc)
+	q2, fc2 := run(pool, &sc) // reused scratch must not leak state
+	for i := range q1 {
+		//commvet:ignore floatcompare bitwise replay assertion: the keyed reduction contract IS exact bit equality
+		if q1[i] != q2[i] {
+			t.Fatalf("node %d: workers=4 replay differs bitwise (%v vs %v)", i, q1[i], q2[i])
+		}
+	}
+	for i := range fc1 {
+		if fc1[i] != fc2[i] || fc1[i] != serialFC[i] {
+			t.Fatalf("particle %d: fineCell %d/%d, serial %d", i, fc1[i], fc2[i], serialFC[i])
+		}
+	}
+	ts, tp := TotalCharge(serialQ), TotalCharge(q1)
+	if math.Abs(ts-tp) > 1e-9*math.Abs(ts) {
+		t.Errorf("workers=4 total charge %v, serial %v", tp, ts)
+	}
+	// Per-node agreement up to summation order.
+	for i := range serialQ {
+		if math.Abs(serialQ[i]-q1[i]) > 1e-9*math.Abs(serialQ[i])+1e-30 {
+			t.Fatalf("node %d: serial %v, workers=4 %v", i, serialQ[i], q1[i])
+		}
+	}
+}
+
+// TestBorisPushWorkersBitwise: the pusher draws no random numbers and
+// writes disjoint velocity rows, so every worker count must produce
+// bit-identical velocities.
+func TestBorisPushWorkersBitwise(t *testing.T) {
+	ref := boxRefinement(t, 2)
+	e := make([]geom.Vec3, ref.Fine.NumCells())
+	r := rng.New(101, 0)
+	for i := range e {
+		e[i] = geom.V(1e3*(r.Float64()-0.5), 1e3*(r.Float64()-0.5), 1e3*(r.Float64()-0.5))
+	}
+	b := geom.V(0.01, 0.02, -0.015)
+	run := func(pool *parallel.Pool) []byte {
+		st := depositFixture(t, ref, 700, 103)
+		fineCell := make([]int32, st.Len())
+		DepositCharge(st, ref, func(particle.Species) float64 { return 1 }, make([]float64, ref.Fine.NumNodes()), fineCell, nil, nil)
+		for step := 0; step < 3; step++ {
+			BorisPush(st, e, fineCell, b, 1e-8, pool)
+		}
+		return st.EncodeAll()
+	}
+	serial := run(nil)
+	for _, workers := range []int{1, 2, 4, 5} {
+		if !bytes.Equal(serial, run(parallel.New(workers))) {
+			t.Errorf("workers=%d BorisPush differs bitwise from serial", workers)
+		}
+	}
+}

@@ -145,7 +145,7 @@ func TestDepositConservesCharge(t *testing.T) {
 	weight := func(particle.Species) float64 { return 2.5 }
 	nodeCharge := make([]float64, ref.Fine.NumNodes())
 	fineCell := make([]int32, st.Len())
-	DepositCharge(st, ref, weight, nodeCharge, fineCell)
+	DepositCharge(st, ref, weight, nodeCharge, fineCell, nil, nil)
 	want := float64(n) * 2.5 * particle.ElectronCharge
 	if got := TotalCharge(nodeCharge); math.Abs(got-want) > 1e-9*want {
 		t.Errorf("total charge %v, want %v", got, want)
@@ -177,7 +177,7 @@ func TestDepositAtNode(t *testing.T) {
 	p := chargedAt(ref, bary)
 	st.Append(p)
 	nodeCharge := make([]float64, ref.Fine.NumNodes())
-	DepositCharge(st, ref, func(particle.Species) float64 { return 1 }, nodeCharge, nil)
+	DepositCharge(st, ref, func(particle.Species) float64 { return 1 }, nodeCharge, nil, nil, nil)
 	q := particle.ElectronCharge
 	for _, n := range ref.Fine.Cells[0] {
 		if math.Abs(nodeCharge[n]-q/4) > 1e-12*q {
@@ -197,9 +197,9 @@ func TestBorisPushElectricOnly(t *testing.T) {
 		e[i] = geom.V(100, 0, 0)
 	}
 	fineCell := make([]int32, st.Len())
-	DepositCharge(st, ref, func(particle.Species) float64 { return 1 }, make([]float64, ref.Fine.NumNodes()), fineCell)
+	DepositCharge(st, ref, func(particle.Species) float64 { return 1 }, make([]float64, ref.Fine.NumNodes()), fineCell, nil, nil)
 	dt := 1e-6
-	BorisPush(st, e, fineCell, geom.Vec3{}, dt)
+	BorisPush(st, e, fineCell, geom.Vec3{}, dt, nil)
 	info := particle.InfoOf(particle.HPlus)
 	wantVx := info.Charge / info.Mass * 100 * dt
 	if math.Abs(st.Vel[0].X-wantVx) > 1e-9*wantVx {
@@ -221,7 +221,7 @@ func TestBorisPushMagneticRotationPreservesSpeed(t *testing.T) {
 	b := geom.V(0, 0, 0.1) // tesla
 	speed0 := st.Vel[0].Norm()
 	for step := 0; step < 100; step++ {
-		BorisPush(st, e, fineCell, b, 1e-9)
+		BorisPush(st, e, fineCell, b, 1e-9, nil)
 	}
 	if math.Abs(st.Vel[0].Norm()-speed0) > 1e-9*speed0 {
 		t.Errorf("speed drifted under pure B: %v -> %v", speed0, st.Vel[0].Norm())

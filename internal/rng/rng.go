@@ -32,8 +32,17 @@ type Rand struct {
 // New returns a generator seeded from (seed, stream). Distinct stream ids
 // give statistically independent sequences for the same seed.
 func New(seed, stream uint64) *Rand {
-	st := seed ^ (stream * 0x9e3779b97f4a7c15)
 	var r Rand
+	r.Reseed(seed, stream)
+	return &r
+}
+
+// Reseed reinitializes r in place from (seed, stream), exactly as New
+// would, discarding any cached normal deviate. The worker-pool kernels
+// use it to derive per-chunk and per-cell streams each sweep without
+// allocating a generator per chunk.
+func (r *Rand) Reseed(seed, stream uint64) {
+	st := seed ^ (stream * 0x9e3779b97f4a7c15)
 	for i := range r.s {
 		r.s[i] = splitmix64(&st)
 	}
@@ -41,7 +50,8 @@ func New(seed, stream uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x853c49e6748fea9b
 	}
-	return &r
+	r.spare = 0
+	r.hasSpare = false
 }
 
 // Split derives a new independent generator from r without disturbing r's

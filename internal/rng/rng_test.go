@@ -16,6 +16,28 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestReseedMatchesNew pins Reseed as the in-place equivalent of New: a
+// reseeded generator must replay New's stream exactly, and reseeding must
+// discard the cached normal deviate (the kernels reseed per sweep; a spare
+// leaking across sweeps would break replay).
+func TestReseedMatchesNew(t *testing.T) {
+	var r Rand
+	r.Reseed(99, 3)
+	fresh := New(99, 3)
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("Reseed diverged from New at draw %d", i)
+		}
+	}
+	// Load a spare, reseed, and check the first normal matches a fresh
+	// generator's (i.e. the spare did not survive the reseed).
+	r.NormFloat64()
+	r.Reseed(7, 1)
+	if got, want := r.NormFloat64(), New(7, 1).NormFloat64(); got != want {
+		t.Fatalf("first normal after Reseed = %v, want %v (stale spare leaked)", got, want)
+	}
+}
+
 func TestStreamsIndependent(t *testing.T) {
 	a := New(42, 1)
 	b := New(42, 2)

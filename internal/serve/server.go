@@ -38,6 +38,10 @@ type Options struct {
 	// monopolize the host (defaults 16 and 512).
 	MaxRanks int
 	MaxSteps int
+	// MaxSimWorkers bounds a job's per-rank kernel worker count
+	// (JobSpec.SimWorkers): total goroutines scale as ranks × workers, so
+	// an uncapped spec could oversubscribe the host (default 8).
+	MaxSimWorkers int
 	// Calibration, when non-nil, replaces the built-in cost-model unit
 	// costs of every job with measured ones (see core.CalibrationProfile
 	// and cmd/bench -calibrate).
@@ -76,6 +80,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSteps <= 0 {
 		o.MaxSteps = 512
+	}
+	if o.MaxSimWorkers <= 0 {
+		o.MaxSimWorkers = 8
 	}
 	return o
 }
@@ -230,6 +237,9 @@ func (s *Server) Submit(spec JobSpec) (SubmitOutcome, error) {
 	}
 	if norm.Steps > s.opts.MaxSteps {
 		return SubmitOutcome{}, fmt.Errorf("serve: steps %d exceeds server cap %d", norm.Steps, s.opts.MaxSteps)
+	}
+	if norm.SimWorkers > s.opts.MaxSimWorkers {
+		return SubmitOutcome{}, fmt.Errorf("serve: sim_workers %d exceeds server cap %d", norm.SimWorkers, s.opts.MaxSimWorkers)
 	}
 	s.nSubmitted.Add(1)
 	key := norm.Key()

@@ -59,6 +59,11 @@ type JobSpec struct {
 	Ranks int    `json:"ranks,omitempty"` // simulated MPI ranks (default 2)
 	Steps int    `json:"steps,omitempty"` // DSMC steps (default 8)
 	Seed  uint64 `json:"seed,omitempty"`  // drives every stochastic element
+	// SimWorkers is the per-rank worker count inside the particle kernels
+	// (core.Config.Workers; default 1, the serial path). It joins the cache
+	// key: different worker counts are different — each individually
+	// deterministic — stochastic trajectories, so their results may differ.
+	SimWorkers int `json:"sim_workers,omitempty"`
 
 	// Physics (defaults mirror cmd/plasmasim).
 	PICSubsteps      int     `json:"pic_substeps,omitempty"` // default 2
@@ -117,6 +122,9 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 	}
 	if s.Steps <= 0 {
 		s.Steps = 8
+	}
+	if s.SimWorkers <= 0 {
+		s.SimWorkers = 1
 	}
 	if s.PICSubsteps <= 0 {
 		s.PICSubsteps = 2
@@ -240,6 +248,7 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 		PoissonTol:       s.PoissonTol,
 		PoissonExchange:  exMode,
 		Seed:             s.Seed,
+		Workers:          s.SimWorkers,
 	}
 	if !s.NoReactions {
 		cfg.Reactions = dsmc.DefaultHydrogenReactions()

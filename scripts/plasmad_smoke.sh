@@ -79,10 +79,31 @@ case "$RESUB" in
 esac
 echo "cache hit confirmed"
 
-# Metrics: one world built despite two submissions.
+# Same plume with multicore kernels: sim_workers joins the cache key, so
+# this is a *different* job (202, fresh world), exercising the worker
+# pool end to end through the daemon.
+SPEC_W='{"mesh_nz":6,"ranks":2,"steps":3,"seed":7,"inject_h":400,"sim_workers":4}'
+RESP_W="$(curl -fsS -X POST -d "$SPEC_W" "$BASE/jobs")"
+JOB_W="$(printf '%s' "$RESP_W" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB_W" ] || fail "sim_workers submit had no job id: $RESP_W"
+[ "$JOB_W" != "$JOB_ID" ] || fail "sim_workers=4 spec hit the serial job's cache entry"
+i=0
+while :; do
+	ST="$(curl -fsS "$BASE/jobs/$JOB_W")"
+	case "$ST" in
+	*'"state":"done"'*) break ;;
+	*'"state":"failed"'* | *'"state":"canceled"'*) fail "sim_workers job ended badly: $ST" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -le 300 ] || fail "sim_workers job did not finish: $ST"
+	sleep 0.2
+done
+echo "sim_workers=4 job done"
+
+# Metrics: two worlds built (serial + multicore) despite three submissions.
 METRICS="$(curl -fsS "$BASE/metrics")"
-echo "$METRICS" | grep -q '^plasmad_jobs_submitted 2$' || fail "metrics: want 2 submissions: $METRICS"
-echo "$METRICS" | grep -q '^plasmad_worlds_built 1$' || fail "metrics: want exactly 1 world built: $METRICS"
+echo "$METRICS" | grep -q '^plasmad_jobs_submitted 3$' || fail "metrics: want 3 submissions: $METRICS"
+echo "$METRICS" | grep -q '^plasmad_worlds_built 2$' || fail "metrics: want exactly 2 worlds built: $METRICS"
 echo "$METRICS" | grep -q '^plasmad_jobs_cache_hits 1$' || fail "metrics: want 1 cache hit: $METRICS"
 
 # SIGTERM: the daemon must drain and exit 0 on its own.
