@@ -171,10 +171,15 @@ type PoissonExchange = pic.ExchangeMode
 // PoissonExchange values: PoissonHalo (the default) ships only
 // partition-boundary nodes point-to-point between neighbouring row blocks;
 // PoissonReplicated re-assembles the full vector through rank 0 every
-// iteration (the paper's scalability-wall structure, for comparison).
+// iteration (the paper's scalability-wall structure, for comparison);
+// PoissonOwnerLocal additionally keeps only owned CSR rows plus a ghost
+// layer resident per rank and makes the once-per-solve charge reduction
+// and phi assembly boundary-proportional (DESIGN.md §6j) — the full
+// potential is then replicated only on demand (checkpoints, diagnostics).
 const (
 	PoissonHalo       = pic.ExchangeHalo
 	PoissonReplicated = pic.ExchangeReplicated
+	PoissonOwnerLocal = pic.ExchangeOwnerLocal
 )
 
 // LoadBalance configures the dynamic load balancer (paper §V).

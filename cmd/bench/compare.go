@@ -10,6 +10,13 @@ import (
 // wall time grew by more than this percentage fails the comparison.
 const wallRegressionLimitPct = 20.0
 
+// memRegressionLimitPct gates the v5 per-rank resident Poisson bytes
+// (poisson_mem matrix + vector + index-map, max over ranks): growing the
+// busiest rank's footprint by more than this fails the comparison. Cells
+// where either file predates the field (v4 and older) compare
+// traffic-only and never gate on memory.
+const memRegressionLimitPct = 20.0
+
 // cellKey matches runs across BENCH files. The Poisson exchange mode is
 // deliberately not part of the key: each bench invocation runs one mode,
 // and comparing a replicated baseline against a halo candidate is exactly
@@ -75,6 +82,21 @@ func compareReports(w io.Writer, oldRep, newRep *benchReport, wallPct float64) b
 		if o.PoissonIters != 0 || n.PoissonIters != 0 {
 			fmt.Fprintf(w, "  poisson iters: %d -> %d, final residual %.3g -> %.3g\n",
 				o.PoissonIters, n.PoissonIters, o.PoissonResidual, n.PoissonResidual)
+		}
+		switch {
+		case o.PoissonMem != nil && n.PoissonMem != nil:
+			ob, nb := o.PoissonMem.residentBytes(), n.PoissonMem.residentBytes()
+			fmt.Fprintf(w, "  poisson mem/rank: %d B -> %d B (bytes %s), owned rows %d -> %d, ghost cols %d -> %d\n",
+				ob, nb, pctDelta(float64(ob), float64(nb)),
+				o.PoissonMem.OwnedRowsMax, n.PoissonMem.OwnedRowsMax,
+				o.PoissonMem.GhostColsMax, n.PoissonMem.GhostColsMax)
+			if ob > 0 && float64(nb) > float64(ob)*(1+memRegressionLimitPct/100) {
+				fmt.Fprintf(w, "  REGRESSION: per-rank Poisson resident bytes above the %+.0f%% gate\n", memRegressionLimitPct)
+				regressed = true
+			}
+		case n.PoissonMem != nil:
+			fmt.Fprintf(w, "  poisson mem/rank: (old file predates poisson_mem) -> %d B resident\n",
+				n.PoissonMem.residentBytes())
 		}
 		if o.Particles != n.Particles {
 			fmt.Fprintf(w, "  note: particle counts differ (%d -> %d); physics changed, not just performance\n",

@@ -64,6 +64,50 @@ func TestCompareReportsWallRegressionGates(t *testing.T) {
 	}
 }
 
+func TestCompareReportsPoissonMem(t *testing.T) {
+	oldRep, newRep := twoReports()
+	// Old file predates poisson_mem (v4): the new value is reported but
+	// never gates, whatever its size.
+	newRep.Runs[0].PoissonMem = &poissonMem{
+		OwnedRowsMax: 700, GhostColsMax: 150,
+		MatrixBytesMax: 60_000, VectorBytesMax: 30_000, IndexMapBytesMax: 8_000,
+	}
+	var sb strings.Builder
+	if compareReports(&sb, oldRep, newRep, wallRegressionLimitPct) {
+		t.Fatalf("memory must not gate against a pre-v5 baseline:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "old file predates poisson_mem") {
+		t.Errorf("missing one-sided poisson_mem report:\n%s", sb.String())
+	}
+
+	// Both files carry the field: an improvement passes, a >20% growth of
+	// the resident bytes gates.
+	oldRep.Runs[0].PoissonMem = &poissonMem{
+		OwnedRowsMax: 2601, GhostColsMax: 0,
+		MatrixBytesMax: 300_000, VectorBytesMax: 97_000, IndexMapBytesMax: 0,
+	}
+	sb.Reset()
+	if compareReports(&sb, oldRep, newRep, wallRegressionLimitPct) {
+		t.Fatalf("resident-bytes drop flagged as regression:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "poisson mem/rank:") {
+		t.Errorf("missing poisson_mem delta line:\n%s", sb.String())
+	}
+	newRep.Runs[0].PoissonMem = &poissonMem{MatrixBytesMax: 480_000}
+	sb.Reset()
+	if !compareReports(&sb, oldRep, newRep, wallRegressionLimitPct) {
+		t.Fatalf("+21%% resident bytes not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "Poisson resident bytes above") {
+		t.Errorf("memory regression line missing:\n%s", sb.String())
+	}
+	// Exactly at the gate passes (strictly-greater, like the wall gate).
+	newRep.Runs[0].PoissonMem = &poissonMem{MatrixBytesMax: 476_400}
+	if compareReports(&sb, oldRep, newRep, wallRegressionLimitPct) {
+		t.Error("+20% resident bytes exactly should not gate")
+	}
+}
+
 func TestCompareReportsUnmatchedCells(t *testing.T) {
 	oldRep, newRep := twoReports()
 	newRep.Runs = append(newRep.Runs, runResult{Ranks: 8, Strategy: "DC", WallMedianS: 2})

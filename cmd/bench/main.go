@@ -13,7 +13,7 @@
 // BENCH files and exits nonzero when any matched cell's median wall time
 // regressed by more than 20% (see compare.go).
 //
-// # Output schema ("dsmcpic-bench/v4")
+// # Output schema ("dsmcpic-bench/v5")
 //
 // v2 adds poisson_exchange, poisson_iters and poisson_final_residual to
 // each run; everything in v1 is unchanged. v3 adds phase_total_s (measured
@@ -21,7 +21,10 @@
 // and work (deterministic global work counts summed over ranks) — the
 // inputs of the -calibrate fit. v4 adds workers (per-rank kernel worker
 // goroutines) as a matrix dimension; absent or 0 means 1 (the serial
-// path), so v3 files compare cleanly against v4 workers=1 cells.
+// path), so v3 files compare cleanly against v4 workers=1 cells. v5 adds
+// poisson_mem (the per-rank resident footprint of the distributed Poisson
+// solver, max over ranks) so -compare can gate owner-local memory
+// regressions; older files without the field compare traffic-only.
 //
 // Top level:
 //
@@ -61,6 +64,11 @@
 //	                                     (rank 0's Poisson_Iters counter;
 //	                                     identical on all ranks — collective)
 //	poisson_final_residual float64       last solve's relative residual
+//	poisson_mem      object              per-rank resident Poisson solver
+//	                                     state, max over ranks (owned rows,
+//	                                     ghost cols, matrix/vector/index-map
+//	                                     bytes; core's Poisson_Mem_* gauges).
+//	                                     Deterministic; v5+ only
 //	modeled_total_s  float64             cost-model total for cross-checking
 //	traffic          map[phase]stats     global sent messages/bytes/local per
 //	                                     traffic phase, summed over ranks
@@ -119,6 +127,25 @@ type workCounts struct {
 	CGIterNNZ     int64 `json:"cg_iter_nnz"`
 }
 
+// poissonMem is the per-rank resident footprint of the distributed
+// Poisson solver — each field the maximum over ranks of the last recorded
+// core Poisson_Mem_* gauge. Owner-local runs report O(nodes/P + ghosts)
+// here; legacy modes report their replicated O(nodes) state, which is the
+// contrast the -compare resident-bytes gate watches.
+type poissonMem struct {
+	OwnedRowsMax     int64 `json:"owned_rows_max"`
+	GhostColsMax     int64 `json:"ghost_cols_max"`
+	MatrixBytesMax   int64 `json:"matrix_bytes_max"`
+	VectorBytesMax   int64 `json:"vector_bytes_max"`
+	IndexMapBytesMax int64 `json:"index_map_bytes_max"`
+}
+
+// residentBytes is the quantity the -compare regression gate tracks: the
+// busiest rank's matrix + vector + index-map bytes.
+func (m *poissonMem) residentBytes() int64 {
+	return m.MatrixBytesMax + m.VectorBytesMax + m.IndexMapBytesMax
+}
+
 type runResult struct {
 	Ranks           int                     `json:"ranks"`
 	Workers         int                     `json:"workers,omitempty"`
@@ -134,6 +161,7 @@ type runResult struct {
 	Particles       int                     `json:"particles"`
 	PoissonIters    int64                   `json:"poisson_iters"`
 	PoissonResidual float64                 `json:"poisson_final_residual"`
+	PoissonMem      *poissonMem             `json:"poisson_mem,omitempty"`
 	ModeledTotalS   float64                 `json:"modeled_total_s"`
 	Traffic         map[string]trafficStats `json:"traffic"`
 }
@@ -161,7 +189,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed (fixed across the matrix)")
 		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
 		injectH   = flag.Int("inject-h", 1500, "H particles injected per step (global)")
-		poissonEx = flag.String("poisson-exchange", "halo", "Poisson CG ghost refresh: halo (boundary scatter) or replicated (full vector via rank 0)")
+		poissonEx = flag.String("poisson-exchange", "halo", "Poisson CG ghost refresh: halo (boundary scatter), replicated (full vector via rank 0) or owner (owner-local rows, boundary-only charge/phi traffic)")
 		compare   = flag.Bool("compare", false, "diff two BENCH files: bench -compare old.json new.json; exits 1 on >20% wall regression")
 		calibrate = flag.String("calibrate", "", "fit cost-model unit costs from a v3 BENCH file and write a calibration profile")
 		calibOut  = flag.String("calibration-out", "CALIBRATION.json", "output path for -calibrate")
@@ -330,6 +358,7 @@ func benchCell(n int, strat exchange.Strategy, exMode pic.ExchangeMode, steps, r
 		// ranks would just multiply by the world size).
 		res.PoissonIters = collector.Rank(0).CounterTotal(core.MetricPoissonIters)
 		res.PoissonResidual = stats.Ranks[0].PoissonResidual
+		res.PoissonMem = collectPoissonMem(collector)
 	}
 	res.WallMedianS = median(res.WallSeconds)
 	for phase, samples := range phaseSamples {
@@ -380,7 +409,36 @@ func benchConfig(strat exchange.Strategy, exMode pic.ExchangeMode, steps int, se
 }
 
 // benchSchema is the current output schema tag.
-const benchSchema = "dsmcpic-bench/v4"
+const benchSchema = "dsmcpic-bench/v5"
+
+// collectPoissonMem reduces the per-rank resident-state gauges to their
+// maxima over ranks (bulk-synchronous memory is bounded by the fattest
+// rank). Returns nil when the gauges were never recorded, so pre-gauge
+// collectors produce files without the v5 field rather than zeros.
+func collectPoissonMem(c *metrics.Collector) *poissonMem {
+	var m poissonMem
+	recorded := false
+	maxInto := func(dst *int64, reg *metrics.Registry, name string) {
+		if v, ok := reg.GaugeLast(name); ok {
+			recorded = true
+			if v > *dst {
+				*dst = v
+			}
+		}
+	}
+	for r := 0; r < c.Size(); r++ {
+		reg := c.Rank(r)
+		maxInto(&m.OwnedRowsMax, reg, core.GaugePoissonOwnedRows)
+		maxInto(&m.GhostColsMax, reg, core.GaugePoissonGhostCols)
+		maxInto(&m.MatrixBytesMax, reg, core.GaugePoissonMatrixBytes)
+		maxInto(&m.VectorBytesMax, reg, core.GaugePoissonVectorBytes)
+		maxInto(&m.IndexMapBytesMax, reg, core.GaugePoissonIndexMapBytes)
+	}
+	if !recorded {
+		return nil
+	}
+	return &m
+}
 
 // sumWork flattens a run's per-rank work counts into the global totals the
 // calibration fit consumes. CGIterNNZ multiplies before summing: each

@@ -21,7 +21,7 @@
 //     (integer accumulation keyed by the range key) are not flagged.
 //
 // Packages are selected by import-path base; code elsewhere (cmd/plasmad,
-// simmpi's own deadline machinery) may use wall-clock time freely.
+// the webui) may use wall-clock time freely.
 package nondeterminism
 
 import (
@@ -71,6 +71,11 @@ var deterministicPkgs = map[string]bool{
 	// value (var now = time.Now).
 	"experiments": true,
 	"bench":       true,
+	// simmpi is the transport every deterministic package speaks through;
+	// its last wall-clock consumer (the deadlock detector's deadline) now
+	// reads an injected clock (Options.Clock), so the whole package holds
+	// the same contract it enforces for its callers.
+	"simmpi": true,
 }
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level

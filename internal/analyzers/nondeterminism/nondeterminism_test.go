@@ -45,6 +45,13 @@ func TestBenchPackage(t *testing.T) {
 	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "bench")
 }
 
+// TestSimmpiPackage covers the transport's membership: with the deadlock
+// detector's deadline on an injected clock (Options.Clock), simmpi holds
+// the same no-wall-clock contract it enforces for its callers.
+func TestSimmpiPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "simmpi")
+}
+
 // TestOutsideDeterministicSet proves the analyzer is scoped: the same
 // patterns in a package outside the deterministic set produce nothing.
 func TestOutsideDeterministicSet(t *testing.T) {

@@ -1,0 +1,42 @@
+// Fixture named "simmpi": the transport joined the deterministic set once
+// its deadlock detector's deadline started reading an injected clock
+// (Options.Clock) instead of the wall clock, closing the carried ROADMAP
+// item. Message contents and counter state were always deterministic; the
+// clock was the last holdout.
+package simmpi
+
+import "time"
+
+// Clock injection: assigning the time.Now function value is the sanctioned
+// wiring — NewWorld defaults Options.Clock exactly like this, and the call
+// happens under the caller's control.
+var defaultClock func() time.Time = time.Now
+
+func deadlineExceeded(start time.Time, limit time.Duration) bool {
+	return time.Since(start) > limit // want "time.Since read in deterministic package simmpi"
+}
+
+func stampDelivery() time.Time {
+	return time.Now() // want "time.Now read in deterministic package simmpi"
+}
+
+// drainOrder is the canonical fix for iterating a mailbox index: collect
+// the bare range keys, then sort — deterministic and analyzer-clean.
+func drainOrder(pending map[int]int) []int {
+	var ranks []int
+	for r := range pending {
+		ranks = append(ranks, r) // bare range key: collect-then-sort idiom, fine
+	}
+	return ranks
+}
+
+// flushInMapOrder is the bug the fixture guards against: draining mailbox
+// payloads in map order would deliver (and count) traffic in a different
+// order every run.
+func flushInMapOrder(pending map[int][]byte) [][]byte {
+	var blobs [][]byte
+	for _, b := range pending {
+		blobs = append(blobs, b) // want "append inside map iteration"
+	}
+	return blobs
+}

@@ -246,3 +246,43 @@ func (p Platform) CommTimeCongested(ownMsgs, ownBytes, totalMsgs, totalBytes int
 	share := p.CommTime(totalMsgs, totalBytes, n, pl) / float64(n)
 	return direct + p.Contention*share
 }
+
+// Once-per-solve Poisson traffic models (DESIGN.md §6j). Each Poisson
+// solve moves data outside the CG iterations twice: the charge reduction
+// on the way in and the phi assembly on the way out. The legacy exchange
+// modes ship the full nodal vector through collectives — the O(nodes)
+// wall of the paper's Table IV — while the owner-local mode ships only
+// the partition-boundary overlap entries point-to-point. These helpers
+// give the analytic world-total sent bytes for both shapes, mirroring
+// simmpi's collective implementations, so bench results can be
+// cross-checked against the model without running a world.
+
+// PoissonOncePerSolveBytesFull is the legacy (halo and replicated) model:
+// a binomial-tree AllreduceFloat64 over the full nodes-length vector
+// (every rank but the root sends its 8·nodes partial up, then the result
+// travels back down: 2(n-1)·8·nodes) plus the owned-segment Allgatherv
+// phi assembly (a linear gather of the (n-1) unowned shares into rank 0,
+// then a binomial bcast of the full vector: ≈ (n-1)·8·nodes·(1 + (n-1)/n)
+// — modeled here without the per-part framing bytes).
+func PoissonOncePerSolveBytesFull(nodes, n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	vec := 8 * int64(nodes)
+	charge := 2 * int64(n-1) * vec
+	// Gather leg: all segments except rank 0's own, ≈ (n-1)/n of the
+	// vector for an even split. Bcast leg: (n-1) full copies.
+	assembly := vec*int64(n-1)/int64(n) + int64(n-1)*vec
+	return charge + assembly
+}
+
+// PoissonOncePerSolveBytesOwnerLocal is the owner-local model: charge
+// contributions and consumer phi values traverse the same boundary index
+// lists in opposite directions, so both legs together move 16 bytes per
+// boundary-overlap entry (one float64 each way), independent of the
+// global mesh size. boundaryEntries is Σ over ranks and neighbour pairs
+// of the shared consumer-node list lengths (pic.DistSolver's
+// ChargeSendNodes totals).
+func PoissonOncePerSolveBytesOwnerLocal(boundaryEntries int) int64 {
+	return 2 * 8 * int64(boundaryEntries)
+}

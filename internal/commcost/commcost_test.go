@@ -133,3 +133,33 @@ func TestComputeFactors(t *testing.T) {
 		t.Error("compute factor ordering: BSCC fastest, TH3 prototype slowest")
 	}
 }
+
+func TestPoissonOncePerSolveBytes(t *testing.T) {
+	// Single rank sends nothing; the owner-local cost with no boundary is
+	// likewise zero.
+	if got := PoissonOncePerSolveBytesFull(2601, 1); got != 0 {
+		t.Errorf("n=1 full model = %d, want 0", got)
+	}
+	if got := PoissonOncePerSolveBytesOwnerLocal(0); got != 0 {
+		t.Errorf("no-boundary owner model = %d, want 0", got)
+	}
+	// The legacy cost scales with the global node count and the rank
+	// count; the owner-local cost depends only on the boundary overlap.
+	full4 := PoissonOncePerSolveBytesFull(2601, 4)
+	if full8 := PoissonOncePerSolveBytesFull(2601, 8); full8 <= full4 {
+		t.Errorf("full model not growing with ranks: n=8 %d <= n=4 %d", full8, full4)
+	}
+	if fullBig := PoissonOncePerSolveBytesFull(4*2601, 4); fullBig != 4*full4 {
+		t.Errorf("full model not linear in nodes: %d != 4*%d", fullBig, full4)
+	}
+	if got := PoissonOncePerSolveBytesOwnerLocal(153); got != 2*8*153 {
+		t.Errorf("owner model = %d, want %d", got, 2*8*153)
+	}
+	// The contrast the tentpole claims: on the bench mesh (2601 nodes, 4
+	// ranks, ~150 boundary-overlap entries per direction) the model puts
+	// the legacy once-per-solve traffic far more than 4x above owner-local.
+	owner := PoissonOncePerSolveBytesOwnerLocal(153)
+	if full4 < 4*owner {
+		t.Errorf("modeled legacy/owner ratio below 4x: %d vs %d", full4, owner)
+	}
+}

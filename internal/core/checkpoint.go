@@ -39,6 +39,11 @@ type Checkpoint struct {
 func CaptureCheckpoint(s *Solver, step int) *Checkpoint {
 	s.Comm.SetPhase(CompCheckpoint)
 	defer s.Comm.SetPhase("")
+	// Owner-local Poisson keeps phi fresh only at owned + consumer nodes;
+	// the checkpointed potential must be the full vector, so replicate it
+	// on demand (a no-op gather in the legacy modes, which keep phi
+	// replicated after every solve). Collective: all ranks participate.
+	s.dist.GatherPhi(s.Comm, s.phi)
 	blob := s.St.EncodeAll()
 	if s.Comm.Rank() != 0 {
 		s.Comm.Send(0, simmpi.TagCheckpointGather, blob)

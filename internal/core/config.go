@@ -71,7 +71,12 @@ type Config struct {
 	// default) ships only partition-boundary nodes point-to-point between
 	// neighbouring row blocks; pic.ExchangeReplicated re-assembles the
 	// full vector through rank 0 every iteration (the paper's Table IV
-	// scalability-wall structure, kept for benchmark comparison).
+	// scalability-wall structure, kept for benchmark comparison);
+	// pic.ExchangeOwnerLocal additionally makes the once-per-solve charge
+	// reduction and phi assembly boundary-proportional and keeps only
+	// owned CSR rows + a ghost layer resident per rank (DESIGN.md §6j) —
+	// phi is then replicated only on demand (checkpoints, diagnostics)
+	// via GatherPhi.
 	PoissonExchange pic.ExchangeMode
 	// BC sets the Poisson Dirichlet boundary values (default: all grounded).
 	BC pic.BC

@@ -71,7 +71,11 @@ type inletFace struct {
 // modify).
 func (s *Solver) Owner() []int32 { return s.Bal.CellOwner }
 
-// Phi returns the latest replicated nodal potential.
+// Phi returns the latest nodal potential. In the legacy exchange modes
+// the vector is fully replicated after every solve; under
+// pic.ExchangeOwnerLocal only owned and consumer nodes are fresh — call
+// s.dist.GatherPhi (collective) first when the full vector is needed, as
+// CaptureCheckpoint does.
 func (s *Solver) Phi() []float64 { return s.phi }
 
 // EField returns the latest per-fine-cell electric field.
@@ -221,7 +225,14 @@ func (s *Solver) rebuildOwnershipState() error {
 		}
 	}
 	nodeOwner := pic.NodeOwners(s.Ref, owner)
-	dist, err := pic.NewDistSolver(s.poisson, nodeOwner, s.Comm.Size(), s.Comm.Rank(), s.Cfg.PoissonExchange)
+	var dist *pic.DistSolver
+	var err error
+	if s.Cfg.PoissonExchange == pic.ExchangeOwnerLocal {
+		fineOwner := pic.FineCellOwners(s.Ref, owner)
+		dist, err = pic.NewDistSolverOwnerLocal(s.poisson, nodeOwner, fineOwner, s.Comm.Size(), s.Comm.Rank())
+	} else {
+		dist, err = pic.NewDistSolver(s.poisson, nodeOwner, s.Comm.Size(), s.Comm.Rank(), s.Cfg.PoissonExchange)
+	}
 	if err != nil {
 		return err
 	}
@@ -440,6 +451,28 @@ func (s *Solver) Step(step int) error {
 	traffic[CompPICExchange] = s.phaseDelta(CompPICExchange)
 	w.PackedBytes[CompPICExchange] = traffic[CompPICExchange].Bytes
 	traffic[CompPoisson] = s.phaseDelta(CompPoisson)
+	// Owner-local mode labels its once-per-solve boundary exchanges with
+	// dedicated sub-phases (charge reduction, consumer phi assembly); fold
+	// them into the Poisson component so the cost model and the rebalance
+	// decision see the whole solve. Legacy modes never enter those phases,
+	// so the deltas are zero and the fold leaves their byte streams — and
+	// replay baselines — untouched.
+	for _, sub := range []string{pic.PhasePoissonCharge, pic.PhasePoissonAssemble} {
+		d := s.phaseDelta(sub)
+		tp := traffic[CompPoisson]
+		tp.Messages += d.Messages
+		tp.Bytes += d.Bytes
+		tp.Local += d.Local
+		traffic[CompPoisson] = tp
+	}
+	// Resident solver footprint, as step-scoped gauges (levels: the state
+	// only changes when a rebalance rebuilds the solver).
+	rs := s.dist.ResidentState()
+	s.mr.Gauge(GaugePoissonOwnedRows, int64(rs.OwnedRows))
+	s.mr.Gauge(GaugePoissonGhostCols, int64(rs.GhostCols))
+	s.mr.Gauge(GaugePoissonMatrixBytes, rs.MatrixBytes)
+	s.mr.Gauge(GaugePoissonVectorBytes, rs.VectorBytes)
+	s.mr.Gauge(GaugePoissonIndexMapBytes, rs.IndexMapBytes)
 
 	// World-wide migration traffic for the congestion term of the cost
 	// model (real codes allreduce profiling counters the same way). The

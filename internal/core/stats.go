@@ -14,6 +14,19 @@ const (
 	MetricPoissonResidualFemto = "Poisson_Residual_femto"
 )
 
+// Per-step gauge names (levels, not accumulating counters): the resident
+// footprint of the distributed Poisson solver on this rank
+// (pic.DistSolver.ResidentState), recorded once per step. In owner-local
+// mode these scale as O(nodes/P + ghosts); legacy modes report their
+// replicated O(nodes) state — the contrast bench schema v5 gates on.
+const (
+	GaugePoissonOwnedRows     = "Poisson_Mem_OwnedRows"
+	GaugePoissonGhostCols     = "Poisson_Mem_GhostCols"
+	GaugePoissonMatrixBytes   = "Poisson_Mem_MatrixBytes"
+	GaugePoissonVectorBytes   = "Poisson_Mem_VectorBytes"
+	GaugePoissonIndexMapBytes = "Poisson_Mem_IndexMapBytes"
+)
+
 // RankStats accumulates one rank's results over a run.
 type RankStats struct {
 	// Times holds modeled seconds per component (Table IV rows), summed

@@ -16,6 +16,7 @@ type jsonlRecord struct {
 	Step     int              `json:"step"`
 	Phases   []jsonlPhase     `json:"phases"`
 	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
 }
 
 type jsonlPhase struct {
@@ -44,6 +45,9 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 			}
 			if len(sr.Counters) > 0 {
 				rec.Counters = sr.Counters
+			}
+			if len(sr.Gauges) > 0 {
+				rec.Gauges = sr.Gauges
 			}
 			if err := enc.Encode(&rec); err != nil {
 				return err

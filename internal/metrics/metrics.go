@@ -55,6 +55,11 @@ type StepRecord struct {
 	Step     int
 	Phases   []PhaseSample
 	Counters map[string]int64
+	// Gauges are point-in-time level readings (resident bytes, queue
+	// depths): unlike Counters they overwrite rather than accumulate
+	// within a step, and aggregating across steps takes the last value,
+	// not a sum.
+	Gauges map[string]int64
 }
 
 // Registry collects one rank's samples. Zero value is not usable; obtain
@@ -137,6 +142,32 @@ func (r *Registry) Count(name string, v int64) {
 	if sr := r.cur(); sr != nil {
 		sr.Counters[name] += v
 	}
+}
+
+// Gauge sets the named gauge of the current step to v — a level, not a
+// delta: the latest call in a step wins (no-op without an open step).
+func (r *Registry) Gauge(name string, v int64) {
+	if sr := r.cur(); sr != nil {
+		if sr.Gauges == nil {
+			sr.Gauges = make(map[string]int64)
+		}
+		sr.Gauges[name] = v
+	}
+}
+
+// GaugeLast returns the most recent recorded value of the named gauge
+// across all steps, and whether it was ever set. Nil registry returns
+// (0, false).
+func (r *Registry) GaugeLast(name string) (int64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	for i := len(r.steps) - 1; i >= 0; i-- {
+		if v, ok := r.steps[i].Gauges[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 // CounterTotal sums the named counter over every recorded step. Useful for

@@ -216,3 +216,47 @@ func TestCounterTotal(t *testing.T) {
 		t.Errorf("nil registry = %d, want 0", got)
 	}
 }
+
+// TestGauges pins gauge semantics: levels overwrite within a step,
+// GaugeLast returns the most recent setting across steps, nil registries
+// are safe, and set gauges ride the JSONL export.
+func TestGauges(t *testing.T) {
+	c := NewCollector(1, fakeClock(1))
+	r := c.Rank(0)
+	if _, ok := r.GaugeLast("mem"); ok {
+		t.Error("unset gauge reported as set")
+	}
+	r.Gauge("mem", 5) // no open step: dropped
+	r.BeginStep(0)
+	r.Gauge("mem", 10)
+	r.Gauge("mem", 20) // overwrite, not accumulate
+	r.EndStep()
+	r.BeginStep(1)
+	r.EndStep() // step without the gauge: last value carries
+	if v, ok := r.GaugeLast("mem"); !ok || v != 20 {
+		t.Errorf("GaugeLast = %d,%v, want 20,true", v, ok)
+	}
+	r.BeginStep(2)
+	r.Gauge("mem", 7)
+	r.EndStep()
+	if v, _ := r.GaugeLast("mem"); v != 7 {
+		t.Errorf("GaugeLast after update = %d, want 7", v)
+	}
+	if got := r.Steps()[0].Gauges["mem"]; got != 20 {
+		t.Errorf("step 0 gauge = %d, want 20", got)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"gauges":{"mem":20}`) {
+		t.Errorf("JSONL missing gauges: %s", buf.String())
+	}
+
+	var nilReg *Registry
+	nilReg.Gauge("mem", 1)
+	if _, ok := nilReg.GaugeLast("mem"); ok {
+		t.Error("nil registry reported a gauge")
+	}
+}

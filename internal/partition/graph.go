@@ -115,6 +115,26 @@ func EdgeCut(g *Graph, parts []int32) int64 {
 	return cut
 }
 
+// BoundarySizes returns, for each of the k parts, how many of its
+// vertices have at least one neighbour in a different part. This is the
+// quantity owner-local field exchanges are proportional to — each
+// boundary vertex of part p is a ghost of some neighbouring part, so the
+// per-rank once-per-solve Poisson traffic and ghost-layer memory of
+// pic.ExchangeOwnerLocal scale with these counts, not with the mesh size
+// (commcost.PoissonOncePerSolveBytesOwnerLocal consumes their total).
+func BoundarySizes(g *Graph, parts []int32, k int) []int64 {
+	out := make([]int64, k)
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			if parts[g.Adjncy[e]] != parts[v] {
+				out[parts[v]]++
+				break
+			}
+		}
+	}
+	return out
+}
+
 // PartWeights returns the total vertex weight of each of the k parts.
 func PartWeights(g *Graph, parts []int32, k int) []int64 {
 	w := make([]int64, k)

@@ -306,3 +306,55 @@ func TestEdgeWeightsSteerCut(t *testing.T) {
 		t.Errorf("balance: %v", w)
 	}
 }
+
+func TestBoundarySizes(t *testing.T) {
+	// A path split down the middle exposes exactly one boundary vertex on
+	// each side; one part owning everything has no boundary at all.
+	g := pathGraph(10)
+	parts := make([]int32, 10)
+	for v := 5; v < 10; v++ {
+		parts[v] = 1
+	}
+	if got := BoundarySizes(g, parts, 2); got[0] != 1 || got[1] != 1 {
+		t.Errorf("split path boundary sizes = %v, want [1 1]", got)
+	}
+	if got := BoundarySizes(g, make([]int32, 10), 1); got[0] != 0 {
+		t.Errorf("single-part boundary size = %d, want 0", got[0])
+	}
+
+	// On a 2D grid cut into vertical strips, each interior strip exposes
+	// two columns, each edge strip one — and a vertex counts once however
+	// many cut edges touch it (the boundary is a vertex set, not the edge
+	// cut: total boundary must be <= 2x the number of cut edges and here
+	// is exactly the column count).
+	const nx, ny = 12, 7
+	grid := gridGraph(nx, ny)
+	strips := make([]int32, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			strips[j*nx+i] = int32(i / 4) // parts 0,1,2 of 4 columns each
+		}
+	}
+	got := BoundarySizes(grid, strips, 3)
+	want := []int64{ny, 2 * ny, ny}
+	for p := range want {
+		if got[p] != want[p] {
+			t.Errorf("strip %d boundary size = %d, want %d (all: %v)", p, got[p], want[p], got)
+		}
+	}
+	if cut := EdgeCut(grid, strips); got[0]+got[1]+got[2] > 2*cut {
+		t.Errorf("boundary vertices %v exceed 2x edge cut %d", got, cut)
+	}
+
+	// The partitioner's own output: every part of a connected multi-part
+	// split must expose at least one boundary vertex.
+	kway, err := PartGraphKway(grid, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, b := range BoundarySizes(grid, kway, 4) {
+		if b == 0 {
+			t.Errorf("part %d of a connected 4-way split has no boundary", p)
+		}
+	}
+}

@@ -47,15 +47,27 @@ const (
 	// the worst-case form of the paper's Poisson scalability wall
 	// (Table IV), kept selectable for benchmark comparison.
 	ExchangeReplicated
+	// ExchangeOwnerLocal is true row ownership (DESIGN.md §6j): the solver
+	// keeps only its owned CSR rows plus a ghost column layer
+	// (sparse.LocalCSR), the charge reduction ships only
+	// partition-boundary contributions point-to-point to node owners, and
+	// converged phi is delivered only to the ranks whose owned fine cells
+	// read it. Per-solve once-only traffic is O(partition boundary) and
+	// per-rank solver memory is O(nodes/P + ghosts). Construct with
+	// NewDistSolverOwnerLocal (the mode needs fine-cell ownership).
+	ExchangeOwnerLocal
 )
 
-// String returns the mode's config-file spelling ("halo"/"replicated").
+// String returns the mode's config-file spelling
+// ("halo"/"replicated"/"owner").
 func (m ExchangeMode) String() string {
 	switch m {
 	case ExchangeHalo:
 		return "halo"
 	case ExchangeReplicated:
 		return "replicated"
+	case ExchangeOwnerLocal:
+		return "owner"
 	default:
 		return fmt.Sprintf("ExchangeMode(%d)", int(m))
 	}
@@ -68,8 +80,10 @@ func ParseExchangeMode(s string) (ExchangeMode, error) {
 		return ExchangeHalo, nil
 	case "replicated":
 		return ExchangeReplicated, nil
+	case "owner":
+		return ExchangeOwnerLocal, nil
 	}
-	return 0, fmt.Errorf("pic: unknown Poisson exchange mode %q (want halo or replicated)", s)
+	return 0, fmt.Errorf("pic: unknown Poisson exchange mode %q (want halo, replicated or owner)", s)
 }
 
 // DistSolver runs the Poisson solve with the communication structure of a
@@ -122,22 +136,47 @@ type DistSolver struct {
 	encBuf  []byte     // owned-segment encode buffer
 	fullBuf []float64  // rank-0 scratch for full-vector assembly
 	fullEnc []byte     // rank-0 encode buffer for the assembled vector
+
+	// Owner-local state (ExchangeOwnerLocal only; see owner.go). The CG
+	// vectors above stay nil in this mode — the solve runs on the local
+	// vectors below, sized O(owned + ghosts) instead of O(nodes).
+	local    *sparse.LocalCSR
+	invDiagL []float64
+	sendIdxL [][]int32 // halo send lists in local (owned) ids
+	recvIdxL [][]int32 // halo recv lists in local (ghost) ids
+
+	// Charge/consumer pairing, derived from fine-cell ownership. My
+	// consumer set is the nodes of my owned fine cells (deposit writes and
+	// field-gather reads touch exactly those): chgSendG[q] lists my
+	// consumer nodes owned by q — charges flow out along it and converged
+	// phi flows back in; chgRecvG/chgRecvL[q] list q's consumer nodes that
+	// I own (global and local ids) — charges flow in, phi flows out. Both
+	// endpoints derive the pairing from replicated ownership tables, so
+	// the lists agree without negotiation.
+	chgSendG   [][]int32
+	chgRecvG   [][]int32
+	chgRecvL   [][]int32
+	chgSendNbr []int
+	chgRecvNbr []int
+	chgSendBuf [][]byte
+	phiSendBuf [][]byte
+
+	bL, rL, zL, apL, chgL []float64 // owned-length CG state
+	pL, xL                []float64 // owned+ghost (matvec reads ghosts)
 }
 
 // NewDistSolver prepares ownership tables (and, in halo mode, the
 // neighbour index lists) for a world of nRanks. rank is this rank's id.
+// ExchangeOwnerLocal additionally needs fine-cell ownership — use
+// NewDistSolverOwnerLocal for that mode.
 func NewDistSolver(p *Poisson, owner []int32, nRanks, rank int, mode ExchangeMode) (*DistSolver, error) {
-	if len(owner) != p.Fine.NumNodes() {
-		return nil, fmt.Errorf("pic: owner table has %d entries for %d nodes", len(owner), p.Fine.NumNodes())
+	if mode == ExchangeOwnerLocal {
+		return nil, fmt.Errorf("pic: owner-local mode needs fine-cell ownership; use NewDistSolverOwnerLocal")
 	}
-	d := &DistSolver{P: p, Owner: owner, Mode: mode, ownedByRank: make([][]int32, nRanks)}
-	for n, r := range owner {
-		if r < 0 || int(r) >= nRanks {
-			return nil, fmt.Errorf("pic: node %d owned by invalid rank %d", n, r)
-		}
-		d.ownedByRank[r] = append(d.ownedByRank[r], int32(n))
+	d, err := newDistBase(p, owner, nRanks, rank, mode)
+	if err != nil {
+		return nil, err
 	}
-	d.mine = d.ownedByRank[rank]
 	diag := p.K.Diag()
 	d.invDiag = make([]float64, len(diag))
 	for i, x := range diag {
@@ -153,10 +192,35 @@ func NewDistSolver(p *Poisson, owner []int32, nRanks, rank int, mode ExchangeMod
 	d.z = make([]float64, n)
 	d.p = make([]float64, n)
 	d.ap = make([]float64, n)
-	d.scratch = make([]float64, len(d.mine))
+	// All encode buffers the solve path reuses are sized here, up front,
+	// so steady-state solves are allocation-free (hotalloc: the full-vector
+	// scratch used to be allocated lazily inside exchangeReplicated).
+	d.encBuf = make([]byte, 8*len(d.mine))
+	if mode == ExchangeReplicated && rank == 0 {
+		d.fullBuf = make([]float64, n)
+		d.fullEnc = make([]byte, 8*n)
+	}
 	if mode == ExchangeHalo {
 		d.buildHalo(nRanks, rank)
 	}
+	return d, nil
+}
+
+// newDistBase validates the node-owner table and builds the ownership
+// index shared by every exchange mode.
+func newDistBase(p *Poisson, owner []int32, nRanks, rank int, mode ExchangeMode) (*DistSolver, error) {
+	if len(owner) != p.Fine.NumNodes() {
+		return nil, fmt.Errorf("pic: owner table has %d entries for %d nodes", len(owner), p.Fine.NumNodes())
+	}
+	d := &DistSolver{P: p, Owner: owner, Mode: mode, ownedByRank: make([][]int32, nRanks)}
+	for n, r := range owner {
+		if r < 0 || int(r) >= nRanks {
+			return nil, fmt.Errorf("pic: node %d owned by invalid rank %d", n, r)
+		}
+		d.ownedByRank[r] = append(d.ownedByRank[r], int32(n))
+	}
+	d.mine = d.ownedByRank[rank]
+	d.scratch = make([]float64, len(d.mine))
 	return d, nil
 }
 
@@ -238,6 +302,8 @@ func (d *DistSolver) HaloRecvIdx(q int) []int32 {
 }
 
 // dotAt computes sum over idx of a[i]*b[i].
+//
+//commvet:hot
 func dotAt(idx []int32, a, b []float64) float64 {
 	var s float64
 	for _, i := range idx {
@@ -249,6 +315,8 @@ func dotAt(idx []int32, a, b []float64) float64 {
 // spread refreshes the ghost entries of vec that owned rows read. In halo
 // mode that is a point-to-point boundary exchange; in replicated mode the
 // whole vector is re-assembled through rank 0 (the pre-halo behaviour).
+//
+//commvet:hot
 func (d *DistSolver) spread(comm *simmpi.Comm, vec []float64) {
 	if d.Mode == ExchangeReplicated {
 		d.exchangeReplicated(comm, vec)
@@ -264,6 +332,8 @@ func (d *DistSolver) spread(comm *simmpi.Comm, vec []float64) {
 // moves high→low. Sends are posted before the round's receives — simmpi
 // sends never block, matching eager/Isend semantics for these small
 // boundary payloads — so the schedule cannot deadlock.
+//
+//commvet:hot
 func (d *DistSolver) haloExchange(comm *simmpi.Comm, vec []float64) {
 	me := comm.Rank()
 	// Round 1: low -> high.
@@ -296,7 +366,11 @@ func (d *DistSolver) haloExchange(comm *simmpi.Comm, vec []float64) {
 // segments: gather the owned values at rank 0, which assembles and
 // broadcasts the full vector. Per-iteration traffic is O(nodes) regardless
 // of rank count, funnelled through rank 0 — the communication structure
-// behind the paper's Poisson scalability wall.
+// behind the paper's Poisson scalability wall. The rank-0 assembly scratch
+// (fullBuf/fullEnc) is hoisted into NewDistSolver: this runs every CG
+// iteration and must not allocate.
+//
+//commvet:hot
 func (d *DistSolver) exchangeReplicated(comm *simmpi.Comm, vec []float64) {
 	for k, i := range d.mine {
 		d.scratch[k] = vec[i]
@@ -305,9 +379,6 @@ func (d *DistSolver) exchangeReplicated(comm *simmpi.Comm, vec []float64) {
 	parts := comm.Gatherv(0, d.encBuf)
 	var blob []byte
 	if comm.Rank() == 0 {
-		if d.fullBuf == nil {
-			d.fullBuf = make([]float64, len(vec))
-		}
 		for q, ids := range d.ownedByRank {
 			simmpi.DecodeFloat64sScatter(d.fullBuf, ids, parts[q])
 		}
@@ -352,6 +423,9 @@ func (d *DistSolver) Solve(comm *simmpi.Comm, nodeChargeLocal, phi []float64, op
 		return sparse.SolveResult{}, fmt.Errorf("pic: Solve dimension mismatch")
 	}
 	opts = opts.WithDefaults(n)
+	if d.Mode == ExchangeOwnerLocal {
+		return d.solveOwnerLocal(comm, nodeChargeLocal, phi, opts)
+	}
 	// Reduction summation of nodal charge (paper §IV-C): interior nodes
 	// have one owner's contribution, boundary-of-partition nodes sum over
 	// neighbors; a full-vector allreduce covers both. This runs once per

@@ -274,33 +274,34 @@ func TestDistSolverMatchesSerial(t *testing.T) {
 		coarseOwner[c] = int32(c * nRanks / len(coarseOwner))
 	}
 	owners := NodeOwners(ref, coarseOwner)
+	fineOwners := FineCellOwners(ref, coarseOwner)
 	scale := 0.0
 	for _, v := range phiSerial {
 		scale = math.Max(scale, math.Abs(v))
 	}
-	for _, mode := range []ExchangeMode{ExchangeHalo, ExchangeReplicated} {
+	// Split each node's charge evenly across the ranks whose fine cells
+	// touch it — the support DepositCharge actually produces, which the
+	// owner-local boundary reduction relies on (legacy allreduce sums any
+	// split, so the same one serves all three modes).
+	splitCharge := depositSplit(ref, charge, fineOwners, nRanks)
+	for _, mode := range []ExchangeMode{ExchangeHalo, ExchangeReplicated, ExchangeOwnerLocal} {
 		t.Run(mode.String(), func(t *testing.T) {
 			world := simmpi.NewWorld(nRanks, simmpi.Options{})
 			results := make([][]float64, nRanks)
 			err = world.Run(func(comm *simmpi.Comm) {
-				ds, err := NewDistSolver(p, owners, nRanks, comm.Rank(), mode)
+				ds, err := newTestSolver(p, owners, fineOwners, nRanks, comm.Rank(), mode)
 				if err != nil {
 					panic(err)
 				}
-				localCharge := make([]float64, len(charge))
-				for n := range charge {
-					// Split each node's charge across ranks unevenly.
-					share := float64(comm.Rank()+1) / float64(nRanks*(nRanks+1)/2)
-					localCharge[n] = charge[n] * share
-				}
 				phi := make([]float64, len(charge))
-				res, err := ds.Solve(comm, localCharge, phi, sparse.SolveOptions{Tol: 1e-12})
+				res, err := ds.Solve(comm, splitCharge[comm.Rank()], phi, sparse.SolveOptions{Tol: 1e-12})
 				if err != nil {
 					panic(err)
 				}
 				if !res.Converged {
 					panic("distributed CG did not converge")
 				}
+				ds.GatherPhi(comm, phi) // owner mode: replicate before comparing
 				results[comm.Rank()] = phi
 			})
 			if err != nil {
@@ -330,6 +331,18 @@ func TestDistSolverRejectsBadOwnership(t *testing.T) {
 	}
 	if _, err := NewDistSolver(p, owners[:3], 2, 0, ExchangeHalo); err == nil {
 		t.Error("short owner table accepted")
+	}
+	good := make([]int32, ref.Fine.NumNodes())
+	if _, err := NewDistSolver(p, good, 2, 0, ExchangeOwnerLocal); err == nil {
+		t.Error("owner-local mode must demand NewDistSolverOwnerLocal")
+	}
+	if _, err := NewDistSolverOwnerLocal(p, good, []int32{0}, 2, 0); err == nil {
+		t.Error("short fine-owner table accepted")
+	}
+	badFine := make([]int32, ref.Fine.NumCells())
+	badFine[0] = 7
+	if _, err := NewDistSolverOwnerLocal(p, good, badFine, 2, 0); err == nil {
+		t.Error("invalid fine-cell owner accepted")
 	}
 }
 
@@ -592,7 +605,7 @@ func TestDistSolverDefaultTol(t *testing.T) {
 
 // TestParseExchangeMode pins the flag spellings.
 func TestParseExchangeMode(t *testing.T) {
-	for _, mode := range []ExchangeMode{ExchangeHalo, ExchangeReplicated} {
+	for _, mode := range []ExchangeMode{ExchangeHalo, ExchangeReplicated, ExchangeOwnerLocal} {
 		got, err := ParseExchangeMode(mode.String())
 		if err != nil || got != mode {
 			t.Errorf("round-trip of %v: got %v, err %v", mode, got, err)

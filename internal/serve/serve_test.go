@@ -64,6 +64,16 @@ func TestSpecKeyExcludesPriority(t *testing.T) {
 	if a.Key() != dn.Key() {
 		t.Fatal("spelled-out defaults changed the cache key")
 	}
+	// Every exchange mode is a valid spec and a distinct cache key.
+	e := testSpec(1)
+	e.PoissonExchange = "owner"
+	en, err := e.Normalized()
+	if err != nil {
+		t.Fatalf("owner poisson_exchange rejected: %v", err)
+	}
+	if en.Key() == a.Key() {
+		t.Fatal("exchange mode missing from the cache key")
+	}
 }
 
 // TestE2ELifecycle drives the full HTTP surface: submit, poll status,

@@ -78,7 +78,7 @@ type JobSpec struct {
 
 	// Parallelization knobs.
 	Strategy        string  `json:"strategy,omitempty"`         // "dc" (default) or "cc"
-	PoissonExchange string  `json:"poisson_exchange,omitempty"` // "halo" (default) or "replicated"
+	PoissonExchange string  `json:"poisson_exchange,omitempty"` // "halo" (default), "replicated" or "owner"
 	PoissonTol      float64 `json:"poisson_tol,omitempty"`      // default 1e-6
 	NoLB            bool    `json:"no_lb,omitempty"`            // disable the dynamic load balancer
 	LBT             int     `json:"lb_t,omitempty"`             // balance check interval (default 5)
@@ -163,9 +163,9 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 	switch s.PoissonExchange {
 	case "":
 		s.PoissonExchange = "halo"
-	case "halo", "replicated":
+	case "halo", "replicated", "owner":
 	default:
-		return s, fmt.Errorf("serve: unknown poisson_exchange %q (want halo or replicated)", s.PoissonExchange)
+		return s, fmt.Errorf("serve: unknown poisson_exchange %q (want halo, replicated or owner)", s.PoissonExchange)
 	}
 	if s.PoissonTol < 0 {
 		return s, fmt.Errorf("serve: poisson_tol must be positive")
@@ -228,8 +228,11 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 		strat = exchange.Centralized
 	}
 	exMode := pic.ExchangeHalo
-	if s.PoissonExchange == "replicated" {
+	switch s.PoissonExchange {
+	case "replicated":
 		exMode = pic.ExchangeReplicated
+	case "owner":
+		exMode = pic.ExchangeOwnerLocal
 	}
 	cfg := core.Config{
 		Ref:              ref,

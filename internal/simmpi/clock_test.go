@@ -1,0 +1,51 @@
+package simmpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestInjectedClockDrivesDeadline proves the deadline machinery reads the
+// injected clock (Options.Clock): a fake clock that jumps an hour per
+// reading expires the default 10-minute deadline on the first re-check, so
+// a blocked receive reports deadlock without sleeping out any real time.
+func TestInjectedClockDrivesDeadline(t *testing.T) {
+	var mu sync.Mutex
+	fake := time.Unix(0, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		fake = fake.Add(time.Hour)
+		return fake
+	}
+	w := NewWorld(1, Options{Clock: clock})
+	start := time.Now()
+	err := w.Run(func(c *Comm) { c.Recv(0, 99) }) // never sent
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Generous bound: the real default deadline is 10 minutes, so finishing
+	// in seconds proves the fake clock (not the wall clock) was consulted.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("deadlock detection took %v despite the fake clock", elapsed)
+	}
+}
+
+// TestNilClockDefaultsToWallTime pins the default wiring: with no injected
+// clock a receive that is eventually satisfied completes normally (the
+// deadline path reads time.Now assigned at NewWorld).
+func TestNilClockDefaultsToWallTime(t *testing.T) {
+	w := NewWorld(2, Options{Deadline: 5 * time.Second})
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, TagUserBase, []byte{1})
+		} else {
+			c.Recv(0, TagUserBase)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -179,6 +179,21 @@ func DecodeFloat64sScatter(dst []float64, idx []int32, b []byte) {
 	}
 }
 
+// DecodeFloat64sScatterAdd is DecodeFloat64sScatter with additive
+// semantics: dst[idx[k]] += the k-th float64 of b. It is the reduction
+// half of the boundary-only charge exchange, where several ranks'
+// contributions at a shared partition-boundary node must sum; callers fix
+// the summation order by fixing the order of their ScatterAdd calls.
+func DecodeFloat64sScatterAdd(dst []float64, idx []int32, b []byte) {
+	if len(b) != 8*len(idx) {
+		panic(fmt.Sprintf("simmpi: scatter-add payload holds %d bytes for %d indices (want %d)",
+			len(b), len(idx), 8*len(idx)))
+	}
+	for k, i := range idx {
+		dst[i] += math.Float64frombits(binary.LittleEndian.Uint64(b[8*k:]))
+	}
+}
+
 // EncodeInt64s is the exported codec for callers shipping int64 vectors.
 func EncodeInt64s(v []int64) []byte { return encodeInt64s(v) }
 

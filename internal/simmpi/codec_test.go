@@ -157,3 +157,32 @@ func TestDecodeFloat64sScatterSizeMismatch(t *testing.T) {
 	}()
 	DecodeFloat64sScatter(make([]float64, 4), []int32{0, 1}, make([]byte, 8))
 }
+
+func TestDecodeFloat64sScatterAdd(t *testing.T) {
+	vec := []float64{0, 10, 20, 30, 40, 50}
+	idx := []int32{1, 4, 2}
+	buf := EncodeFloat64sGatherInto(nil, vec, idx)
+	dst := []float64{1, 2, 3, 4, 5, 6}
+	DecodeFloat64sScatterAdd(dst, idx, buf)
+	want := []float64{1, 12, 23, 4, 45, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// A second application accumulates again rather than overwriting.
+	DecodeFloat64sScatterAdd(dst, idx, buf)
+	if dst[1] != 22 || dst[4] != 85 || dst[2] != 43 {
+		t.Fatalf("second scatter-add did not accumulate: %v", dst)
+	}
+	DecodeFloat64sScatterAdd(dst, nil, nil) // empty exchange is a no-op
+}
+
+func TestDecodeFloat64sScatterAddSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched scatter-add payload did not panic")
+		}
+	}()
+	DecodeFloat64sScatterAdd(make([]float64, 4), []int32{0, 1}, make([]byte, 8))
+}

@@ -79,7 +79,7 @@ func (mb *mailbox) put(m message) {
 func (mb *mailbox) get(src, tag int, deadline time.Duration, rank int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	start := time.Now()
+	start := mb.world.clock()
 	for {
 		for i, m := range mb.queue {
 			if m.src == src && m.tag == tag {
@@ -93,7 +93,7 @@ func (mb *mailbox) get(src, tag int, deadline time.Duration, rank int) message {
 		if mb.world.canceled.Load() {
 			panic(&CancelError{Rank: rank})
 		}
-		if time.Since(start) > deadline {
+		if mb.world.clock().Sub(start) > deadline {
 			pending := make([]PendingMessage, len(mb.queue))
 			for i, m := range mb.queue {
 				pending[i] = PendingMessage{Src: m.src, Tag: m.tag, Len: len(m.data)}
@@ -127,6 +127,14 @@ type Options struct {
 	// because ranks time-share host cores: a peer that is merely slow
 	// under contention must not be misdiagnosed as deadlocked.
 	Deadline time.Duration
+	// Clock supplies the readings the deadline machinery compares (nil
+	// wires time.Now). It exists so tests can drive deadline expiry
+	// deterministically instead of sleeping one out, and so the package's
+	// only wall-clock read is injected — the commvet nondeterminism
+	// analyzer holds simmpi to the same injected-clock discipline as the
+	// other deterministic packages. The clock may be called concurrently
+	// from every rank goroutine; time.Now and monotonic fakes are safe.
+	Clock func() time.Time
 	// PerturbDelivery enables the failure-injection mode: cross-pair
 	// message arrival order is shuffled deterministically. Per-(src,tag)
 	// FIFO order is always preserved.
@@ -145,6 +153,7 @@ type World struct {
 	boxes    []*mailbox
 	counters []*Counter
 	opts     Options
+	clock    func() time.Time // deadline clock (Options.Clock or time.Now)
 
 	failMu  sync.Mutex
 	failure *RankFailure
@@ -160,11 +169,16 @@ func NewWorld(n int, opts Options) *World {
 	if opts.Deadline <= 0 {
 		opts.Deadline = 10 * time.Minute
 	}
+	if opts.Clock == nil {
+		// Assigning the time.Now function value (not calling it) is the
+		// sanctioned injectable-clock wiring.
+		opts.Clock = time.Now
+	}
 	var p *perturber
 	if opts.PerturbDelivery {
 		p = &perturber{state: opts.PerturbSeed ^ 0x9e3779b97f4a7c15}
 	}
-	w := &World{n: n, opts: opts}
+	w := &World{n: n, opts: opts, clock: opts.Clock}
 	w.boxes = make([]*mailbox, n)
 	w.counters = make([]*Counter, n)
 	for i := 0; i < n; i++ {

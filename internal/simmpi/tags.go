@@ -40,6 +40,17 @@ const (
 	// search direction between neighbouring row blocks in the halo
 	// exchange's two ordered rounds.
 	TagPoissonHalo = TagPoissonBase + 0
+	// TagChargeBoundary carries per-neighbour partial nodal charges in the
+	// owner-local solver's boundary-only charge reduction: each rank ships
+	// its deposited contributions at partition-boundary nodes straight to
+	// the nodes' owners (interior nodes have exactly one contributor and
+	// never touch the wire).
+	TagChargeBoundary = TagPoissonBase + 1
+	// TagPhiConsumer carries converged potential values from node owners
+	// to the ranks whose owned fine cells read them (the field-gather /
+	// Boris consumer set) — the owner-local replacement for the
+	// full-vector convergence allgatherv.
+	TagPhiConsumer = TagPoissonBase + 2
 
 	// TagUserBase marks the start of unreserved space: ad-hoc tools and
 	// experiments should allocate a block here and register it above.

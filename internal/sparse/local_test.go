@@ -1,0 +1,139 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/rng"
+)
+
+// stripedOwned returns the global ids owned by rank r under a block-cyclic
+// striping of n nodes over p ranks — deliberately non-contiguous so ghost
+// extraction is exercised on scattered ownership, not just block splits.
+func stripedOwned(n, p, r, stride int) []int32 {
+	var owned []int32
+	for g := 0; g < n; g++ {
+		if (g/stride)%p == r {
+			owned = append(owned, int32(g))
+		}
+	}
+	return owned
+}
+
+func TestLocalCSRRoundTripAndCoverage(t *testing.T) {
+	m := laplace2D(8) // 64 nodes
+	const p = 4
+	seen := make([]int, m.N)
+	for r := 0; r < p; r++ {
+		owned := stripedOwned(m.N, p, r, 5)
+		l, err := NewLocalCSR(m, owned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.NumOwned() != len(owned) {
+			t.Fatalf("rank %d: NumOwned %d, want %d", r, l.NumOwned(), len(owned))
+		}
+		for _, g := range owned {
+			seen[g]++
+		}
+		// local⇄global round-trips over both owned and ghost ids, and the
+		// ghost tail is strictly ascending in global ids.
+		for li := 0; li < l.NumOwned()+l.NumGhost(); li++ {
+			g := l.LocalToGlobal(int32(li))
+			if back := l.LocalOf(g); back != int32(li) {
+				t.Fatalf("rank %d: local %d -> global %d -> local %d", r, li, g, back)
+			}
+		}
+		for j := l.NumOwned() + 1; j < l.NumOwned()+l.NumGhost(); j++ {
+			if l.LocalToGlobal(int32(j)) <= l.LocalToGlobal(int32(j-1)) {
+				t.Fatalf("rank %d: ghost tail not ascending at %d", r, j)
+			}
+		}
+		// A node in no owned row is neither owned nor ghost.
+		if got := l.LocalOf(int32(m.N + 7)); got != -1 {
+			t.Fatalf("out-of-matrix node resolved to local %d", got)
+		}
+		// Every stored entry matches the global matrix.
+		for li, g := range owned {
+			lo, hi := l.RowPtr[li], l.RowPtr[li+1]
+			if int(hi-lo) != int(m.RowPtr[g+1]-m.RowPtr[g]) {
+				t.Fatalf("rank %d row %d: nnz mismatch", r, g)
+			}
+			for k := lo; k < hi; k++ {
+				gk := m.RowPtr[g] + (k - lo)
+				if l.LocalToGlobal(l.ColIdx[k]) != m.ColIdx[gk] ||
+					math.Float64bits(l.Val[k]) != math.Float64bits(m.Val[gk]) {
+					t.Fatalf("rank %d row %d entry %d: got (%d,%v), want (%d,%v)",
+						r, g, k-lo, l.LocalToGlobal(l.ColIdx[k]), l.Val[k], m.ColIdx[gk], m.Val[gk])
+				}
+			}
+		}
+		if l.MatrixBytes() <= 0 || l.IndexMapBytes() <= 0 {
+			t.Fatalf("rank %d: non-positive resident byte gauges", r)
+		}
+	}
+	for g, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d owned %d times", g, c)
+		}
+	}
+}
+
+func TestLocalCSRMulVecOwnedBitwise(t *testing.T) {
+	m := laplace2D(7)
+	r := rng.New(42, 0)
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	want := make([]float64, m.N)
+	m.MulVec(want, x)
+
+	const p = 3
+	for rank := 0; rank < p; rank++ {
+		owned := stripedOwned(m.N, p, rank, 4)
+		l, err := NewLocalCSR(m, owned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xl := make([]float64, l.NumOwned()+l.NumGhost())
+		for li := range xl {
+			xl[li] = x[l.LocalToGlobal(int32(li))]
+		}
+		dst := make([]float64, l.NumOwned())
+		l.MulVecOwned(dst, xl)
+		for li, g := range owned {
+			if math.Float64bits(dst[li]) != math.Float64bits(want[g]) { // same per-row accumulation order
+				t.Fatalf("rank %d row %d: local %v != global %v", rank, g, dst[li], want[g])
+			}
+		}
+		// DiagOwned matches the global diagonal at owned nodes.
+		d := l.DiagOwned()
+		gd := m.Diag()
+		for li, g := range owned {
+			if math.Float64bits(d[li]) != math.Float64bits(gd[g]) {
+				t.Fatalf("rank %d diag %d: %v != %v", rank, g, d[li], gd[g])
+			}
+		}
+	}
+}
+
+func TestLocalCSRRejectsBadOwnedLists(t *testing.T) {
+	m := laplace1D(6)
+	if _, err := NewLocalCSR(m, []int32{2, 2, 3}); err == nil {
+		t.Fatal("duplicate owned row accepted")
+	}
+	if _, err := NewLocalCSR(m, []int32{3, 1}); err == nil {
+		t.Fatal("descending owned list accepted")
+	}
+	if _, err := NewLocalCSR(m, []int32{4, 6}); err == nil {
+		t.Fatal("out-of-range owned row accepted")
+	}
+	l, err := NewLocalCSR(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumOwned() != 0 || l.NumGhost() != 0 || l.NNZ() != 0 {
+		t.Fatal("empty partition not empty")
+	}
+}
