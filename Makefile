@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint lint-fix-report commvet bench bench-quick bench-compare calibrate plasmad plasmad-smoke plasmad-recovery-smoke store-faults clean
+.PHONY: all build test race lint lint-fix-report commvet bench bench-quick bench-compare calibrate plasmad plasmarouter plasmad-smoke plasmad-recovery-smoke plasmad-cluster-smoke store-faults clean
 
 all: build
 
@@ -74,6 +74,19 @@ plasmad-smoke:
 # the finished one byte-identically from the on-disk cache.
 plasmad-recovery-smoke:
 	sh scripts/plasmad_recovery_smoke.sh
+
+# plasmarouter is the stateless shard router fronting several plasmad
+# daemons (rendezvous routing + cluster-wide result coalescing — see
+# internal/cluster).
+plasmarouter:
+	$(GO) build -o bin/plasmarouter ./cmd/plasmarouter
+
+# plasmad-cluster-smoke runs two shards + a router over a shared results
+# dir: cluster-wide coalescing (one world for N identical submissions via
+# any entry point), frame streaming, owner SIGKILL → 503 + failover
+# reads, restart → byte-identical replay.
+plasmad-cluster-smoke:
+	sh scripts/plasmad_cluster_smoke.sh
 
 # store-faults runs the persistence layer's deterministic disk-fault
 # matrix (torn writes, ENOSPC, fsync failures, crashes) under -race.

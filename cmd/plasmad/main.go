@@ -47,9 +47,14 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none); past it the job is cooperatively canceled")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs at shutdown")
 		calibPath    = flag.String("calibration", "", "calibration profile JSON (from bench -calibrate) overriding built-in cost-model units")
+		frameRing    = flag.Int("frame-ring", 256, "per-job in-memory snapshot-frame ring capacity (/jobs/{id}/frames)")
+
+		// Cluster membership (cmd/plasmarouter fronting several daemons).
+		idPrefix = flag.String("id-prefix", "", `prefix stamped on job IDs (e.g. "s0-"); the cluster router maps IDs back to shards by it`)
 
 		// Persistence (internal/store).
 		dataDir    = flag.String("data-dir", "", "directory for the job journal + result cache (empty = in-memory only)")
+		sharedDir  = flag.String("shared-results", "", "cluster-shared results directory: publish results there and adopt peers' results from it (needs -data-dir)")
 		persist    = flag.Bool("persist", true, "with -data-dir: journal jobs and persist results across restarts")
 		noRequeue  = flag.Bool("no-requeue", false, "do not re-run jobs that were admitted but unfinished at the last shutdown/crash")
 		journalMax = flag.Int64("journal-max-bytes", 1<<20, "journal size that triggers segment rotation (compaction)")
@@ -68,6 +73,8 @@ func main() {
 		MaxSimWorkers: *maxSimWk,
 		JobTimeout:    *jobTimeout,
 		NoRequeue:     *noRequeue,
+		FrameRingCap:  *frameRing,
+		IDPrefix:      *idPrefix,
 	}
 	if *calibPath != "" {
 		prof, err := core.LoadCalibrationFile(*calibPath)
@@ -90,6 +97,7 @@ func main() {
 		st, rep, err = store.Open(*dataDir, store.Options{
 			CacheCap:        *cacheCap,
 			JournalMaxBytes: *journalMax,
+			SharedDir:       *sharedDir,
 			Logf:            log.Printf,
 		})
 		if err != nil {

@@ -1,0 +1,117 @@
+// Command plasmarouter fronts a cluster of plasmad shards with one
+// stateless HTTP endpoint speaking the same API as a single daemon.
+// Submissions are routed by rendezvous-hashing the canonical job-spec
+// key to the shard that owns it, so identical submissions entering
+// through any router coalesce cluster-wide into one execution; job-ID
+// addressed requests (status, result, events, frames, cancel) are
+// proxied back to their shard by ID prefix. When the owning shard is
+// down the router answers 503 + Retry-After — except for result reads,
+// which fail over to any healthy shard via the content-addressed key
+// and the cluster-shared results directory.
+//
+// Shard membership is static (the -shards flag); health is polled per
+// shard on /healthz. /healthz and /metrics aggregate the cluster view.
+//
+// Typical deployment (2 shards + shared results dir):
+//
+//	plasmad -addr :8081 -id-prefix s0- -data-dir /var/a -shared-results /var/shared &
+//	plasmad -addr :8082 -id-prefix s1- -data-dir /var/b -shared-results /var/shared &
+//	plasmarouter -addr :8080 -shards s0=http://127.0.0.1:8081,s1=http://127.0.0.1:8082
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/cluster"
+)
+
+// parseShards parses "name=url,name=url" into the cluster membership.
+func parseShards(s string) ([]cluster.Shard, error) {
+	if s == "" {
+		return nil, fmt.Errorf("no shards given (want -shards name=url,name=url)")
+	}
+	var shards []cluster.Shard
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, found := strings.Cut(part, "=")
+		if !found || name == "" || url == "" {
+			return nil, fmt.Errorf("bad shard %q (want name=url)", part)
+		}
+		shards = append(shards, cluster.Shard{Name: name, URL: url})
+	}
+	return shards, nil
+}
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		shardsFlag    = flag.String("shards", "", `shard list: "s0=http://host:8081,s1=http://host:8082" (job-ID prefixes default to "<name>-")`)
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "per-shard /healthz polling interval")
+		shardTimeout  = flag.Duration("shard-timeout", 15*time.Minute, "per-shard request timeout; bounds proxied event/frame streams, so keep it above the longest expected job")
+		retryAfter    = flag.Int("retry-after", 5, "Retry-After seconds advertised when the owning shard is down")
+	)
+	flag.Parse()
+
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plasmarouter: %v\n", err)
+		os.Exit(2)
+	}
+	router, err := cluster.New(cluster.Options{
+		Shards:            shards,
+		Client:            &http.Client{Timeout: *shardTimeout},
+		ProbeInterval:     *probeInterval,
+		RetryAfterSeconds: *retryAfter,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plasmarouter: %v\n", err)
+		os.Exit(2)
+	}
+
+	stop := make(chan struct{})
+	go router.HealthLoop(stop)
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: router.Handler(),
+		// Same slow-client hardening as plasmad; the write timeout bounds
+		// proxied NDJSON streams.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      *shardTimeout,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("plasmarouter listening on %s fronting %d shards", *addr, len(shards))
+
+	select {
+	case sig := <-sigs:
+		log.Printf("received %v: shutting down", sig)
+	case err := <-errCh:
+		log.Fatalf("listen: %v", err)
+	}
+	close(stop)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("bye")
+}

@@ -71,6 +71,12 @@ var deterministicPkgs = map[string]bool{
 	// value (var now = time.Now).
 	"experiments": true,
 	"bench":       true,
+	// cluster routes submissions by rendezvous-hashing the canonical spec
+	// key; every router replica must map a key to the same shard and emit
+	// metrics/health in the same order, so its clock is injected
+	// (Options.Clock) and shard/metric iteration is fixed slice order or
+	// sorted keys.
+	"cluster": true,
 	// simmpi is the transport every deterministic package speaks through;
 	// its last wall-clock consumer (the deadlock detector's deadline) now
 	// reads an injected clock (Options.Clock), so the whole package holds

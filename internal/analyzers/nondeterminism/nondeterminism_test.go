@@ -52,6 +52,14 @@ func TestSimmpiPackage(t *testing.T) {
 	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "simmpi")
 }
 
+// TestClusterPackage covers the shard router's membership: every router
+// replica must route a key to the same shard and emit identical
+// aggregated-metrics bytes, so wall-clock reads are injected and metric
+// iteration is collect-then-sort.
+func TestClusterPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer, "cluster")
+}
+
 // TestOutsideDeterministicSet proves the analyzer is scoped: the same
 // patterns in a package outside the deterministic set produce nothing.
 func TestOutsideDeterministicSet(t *testing.T) {

@@ -1,0 +1,41 @@
+// Fixture named "cluster": the shard router joined the deterministic set
+// because every router replica must route a key to the same shard and
+// emit the same aggregated metrics bytes — shard iteration is fixed
+// configuration order, metric suffixes are sorted before emission, and
+// the health clock is injected (Options.Clock).
+package cluster
+
+import "time"
+
+// Clock injection: assigning the time.Now function value is the sanctioned
+// wiring; calling it in-package is not.
+var defaultClock func() time.Time = time.Now
+
+func probeStamp() time.Time {
+	return time.Now() // want "time.Now read in deterministic package cluster"
+}
+
+func probeAge(last time.Time) time.Duration {
+	return time.Since(last) // want "time.Since read in deterministic package cluster"
+}
+
+// metricSuffixes is the canonical fix used by the aggregated /metrics
+// endpoint: collect the bare range keys, then sort — same bytes every
+// scrape.
+func metricSuffixes(sums map[string]float64) []string {
+	var keys []string
+	for k := range sums {
+		keys = append(keys, k) // bare range key: collect-then-sort idiom, fine
+	}
+	return keys
+}
+
+// metricsInMapOrder is the bug the fixture guards against: an aggregated
+// metrics page whose line order follows map order diffs on every scrape.
+func metricsInMapOrder(sums map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range sums {
+		vals = append(vals, v) // want "append inside map iteration"
+	}
+	return vals
+}

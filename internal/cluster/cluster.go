@@ -1,0 +1,218 @@
+// Package cluster is the shard-routing layer that turns N independent
+// plasmad daemons into one cluster with a single cache: a stateless HTTP
+// router fronting the shards, routing every submission to the shard that
+// owns its canonical spec key.
+//
+// Ownership is rendezvous (highest-random-weight) hashing over the shard
+// names: every router instance — there can be many, the router holds no
+// job state — maps a key to the same shard, so identical submissions
+// entering through any router coalesce on one shard into one world. The
+// shards additionally share a content-addressed results directory
+// (store.Options.SharedDir), which covers the remaining seams: membership
+// changes, failover reads, and warm starts all serve byte-identical
+// results from the shared cache instead of recomputing.
+//
+// The package is in the commvet nondeterminism analyzer's deterministic
+// set: the wall clock is injected (Options.Clock, the balance.Balancer
+// pattern), shard iteration is in fixed slice order, and the id→key
+// cache is FIFO over a slice — no map-iteration-order dependence
+// anywhere.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shard is one plasmad backend of the cluster.
+type Shard struct {
+	// Name is the stable shard identity the rendezvous hash scores —
+	// renaming a shard reassigns its keyspace; changing only its URL does
+	// not.
+	Name string
+	// URL is the shard's base URL ("http://host:port", no trailing slash).
+	URL string
+	// IDPrefix is the prefix the shard stamps on its job IDs (plasmad
+	// -id-prefix). The router maps /jobs/{id} requests back to their
+	// owning shard by this prefix. Conventionally Name + "-".
+	IDPrefix string
+}
+
+// Options configures a Router. Zero values select the defaults.
+type Options struct {
+	// Shards is the fixed cluster membership, in configuration order.
+	Shards []Shard
+	// Client performs shard requests (default http.DefaultClient). Tests
+	// inject an httptest client; production sets timeouts here.
+	Client *http.Client
+	// Clock stamps health probes. Defaults to time.Now, assigned as a
+	// function value at construction so the package itself stays
+	// wall-clock-free for the nondeterminism analyzer.
+	Clock func() time.Time
+	// ProbeInterval paces HealthLoop (default 2s).
+	ProbeInterval time.Duration
+	// IDKeyCacheCap bounds the id→key cache that powers failover reads
+	// (FIFO beyond it, default 4096 entries).
+	IDKeyCacheCap int
+	// RetryAfterSeconds is the Retry-After hint when the owning shard is
+	// down (default 5).
+	RetryAfterSeconds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.IDKeyCacheCap <= 0 {
+		o.IDKeyCacheCap = 4096
+	}
+	if o.RetryAfterSeconds <= 0 {
+		o.RetryAfterSeconds = 5
+	}
+	return o
+}
+
+// Router proxies the plasmad API across the shards. Stateless with
+// respect to jobs: everything it remembers (health, id→key hints) is
+// reconstructible, so routers can be replicated or restarted freely.
+type Router struct {
+	opts   Options
+	client *http.Client
+	clock  func() time.Time
+
+	mu        sync.Mutex
+	up        []bool
+	lastProbe []time.Time
+	// idKey caches job-ID → canonical-key learned from submit responses,
+	// enabling key-addressed failover reads when the owning shard dies.
+	// FIFO eviction over idOrder keeps it bounded and deterministic.
+	idKey   map[string]string
+	idOrder []string
+
+	// counters (atomic: read lock-free by /metrics).
+	nRouted    atomic.Int64 // submissions proxied to their owning shard
+	nSharedHit atomic.Int64 // routed submissions the shard answered from the shared cache
+	nFailover  atomic.Int64 // key-addressed reads served around a dead owner
+	nProxyErr  atomic.Int64 // transport failures talking to shards
+	nUnrouted  atomic.Int64 // requests refused because the owner was down
+}
+
+// New builds a router over the given shards. Every shard starts assumed
+// healthy; call PollHealth (or start HealthLoop) to ground the view.
+func New(opts Options) (*Router, error) {
+	o := opts.withDefaults()
+	if len(o.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	seen := make(map[string]bool, len(o.Shards))
+	for i := range o.Shards {
+		sh := &o.Shards[i]
+		if sh.Name == "" || sh.URL == "" {
+			return nil, fmt.Errorf("cluster: shard %d needs a name and a URL", i)
+		}
+		if seen[sh.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", sh.Name)
+		}
+		seen[sh.Name] = true
+		sh.URL = strings.TrimSuffix(sh.URL, "/")
+		if sh.IDPrefix == "" {
+			sh.IDPrefix = sh.Name + "-"
+		}
+	}
+	r := &Router{
+		opts:      o,
+		client:    o.Client,
+		clock:     o.Clock,
+		up:        make([]bool, len(o.Shards)),
+		lastProbe: make([]time.Time, len(o.Shards)),
+		idKey:     make(map[string]string),
+	}
+	for i := range r.up {
+		r.up[i] = true
+	}
+	return r, nil
+}
+
+// ownerOf returns the index of the shard that owns key: the rendezvous
+// winner, scoring each (key, shard-name) pair with SHA-256 and taking
+// the highest. Removing a shard moves only the keys it owned; every
+// other key keeps its shard — the property that keeps the cluster-wide
+// cache warm through membership changes.
+func (r *Router) ownerOf(key string) int {
+	best, bestScore := 0, uint64(0)
+	for i := range r.opts.Shards {
+		sum := sha256.Sum256([]byte(key + "|" + r.opts.Shards[i].Name))
+		score := binary.BigEndian.Uint64(sum[:8])
+		if i == 0 || score > bestScore || (score == bestScore && r.opts.Shards[i].Name < r.opts.Shards[best].Name) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// shardForID maps a job ID back to its shard by ID prefix (longest
+// prefix wins, so "s1-" and "s10-" cannot be confused). Returns -1 when
+// no shard claims the ID.
+func (r *Router) shardForID(id string) int {
+	best, bestLen := -1, 0
+	for i := range r.opts.Shards {
+		p := r.opts.Shards[i].IDPrefix
+		if strings.HasPrefix(id, p) && len(p) > bestLen {
+			best, bestLen = i, len(p)
+		}
+	}
+	return best
+}
+
+// shardUp reports the health view of shard i.
+func (r *Router) shardUp(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.up[i]
+}
+
+// markDown records a transport-level failure against a shard — the
+// proxy's fast path for discovering a death between probes.
+func (r *Router) markDown(i int) {
+	r.mu.Lock()
+	r.up[i] = false
+	r.mu.Unlock()
+}
+
+// rememberKey caches a job-ID → canonical-key hint, FIFO-bounded.
+func (r *Router) rememberKey(id, key string) {
+	if id == "" || key == "" {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.idKey[id]; !ok {
+		r.idOrder = append(r.idOrder, id)
+		if len(r.idOrder) > r.opts.IDKeyCacheCap {
+			evict := r.idOrder[0]
+			r.idOrder = r.idOrder[1:]
+			delete(r.idKey, evict)
+		}
+	}
+	r.idKey[id] = key
+	r.mu.Unlock()
+}
+
+// keyForID returns the cached canonical key for a job ID, if known.
+func (r *Router) keyForID(id string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key, ok := r.idKey[id]
+	return key, ok
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// PollHealth probes every shard's /healthz once, synchronously and in
+// fixed configuration order, and updates the health view. A shard is up
+// when its probe answers 200; anything else — transport error, 503
+// during drain, 500 — marks it down until a later probe succeeds.
+// Deterministic given the shards' responses, so tests call it directly
+// instead of racing the background loop.
+func (r *Router) PollHealth() {
+	now := r.clock()
+	for i := range r.opts.Shards {
+		up := r.probeShard(i)
+		r.mu.Lock()
+		r.up[i] = up
+		r.lastProbe[i] = now
+		r.mu.Unlock()
+	}
+}
+
+// probeShard performs one /healthz request against shard i.
+func (r *Router) probeShard(i int) bool {
+	resp, err := r.client.Get(r.opts.Shards[i].URL + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// HealthLoop polls every ProbeInterval until stop closes. Run it in its
+// own goroutine; the ticker paces the probes but never timestamps them —
+// probe times come off the injected clock.
+func (r *Router) HealthLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(r.opts.ProbeInterval)
+	defer ticker.Stop()
+	r.PollHealth()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			r.PollHealth()
+		}
+	}
+}
+
+// shardHealth is one row of the aggregated /healthz payload.
+type shardHealth struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	Up   bool   `json:"up"`
+}
+
+// healthView snapshots the cluster health: overall status ("ok" while
+// every shard is up, "degraded" with some down, "down" with none up)
+// plus the per-shard rows.
+func (r *Router) healthView() (status string, shards []shardHealth) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	upCount := 0
+	shards = make([]shardHealth, len(r.opts.Shards))
+	for i := range r.opts.Shards {
+		shards[i] = shardHealth{Name: r.opts.Shards[i].Name, URL: r.opts.Shards[i].URL, Up: r.up[i]}
+		if r.up[i] {
+			upCount++
+		}
+	}
+	switch {
+	case upCount == len(shards):
+		return "ok", shards
+	case upCount > 0:
+		return "degraded", shards
+	default:
+		return "down", shards
+	}
+}

@@ -133,6 +133,20 @@ type Config struct {
 	// may use s.Comm for collective diagnostics, but every rank must then
 	// participate symmetrically.
 	OnStep func(step int, s *Solver)
+
+	// SnapshotEvery, when positive, captures a FieldFrame (phi, density,
+	// temperature — see snapshot.go) at the end of every SnapshotEvery-th
+	// DSMC step and delivers it to OnSnapshot on rank 0. The capture is a
+	// collective (a moments allreduce plus GatherPhi in owner-local
+	// mode), executed symmetrically by every rank, and fully
+	// deterministic: for a fixed (Config, Seed) the frame sequence
+	// replays byte-identically. 0 (the default) disables capture.
+	SnapshotEvery int
+	// OnSnapshot receives captured frames on rank 0 only (SnapshotEvery
+	// must be positive). The frame's slices are freshly allocated and
+	// safe to retain. The solver is quiescent during the call; do not
+	// issue communication from it.
+	OnSnapshot func(frame FieldFrame)
 }
 
 // withDefaults validates and fills defaults, returning a copy.
@@ -184,6 +198,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MeasuredLB && c.Metrics == nil {
 		return c, fmt.Errorf("core: MeasuredLB needs Config.Metrics (the measured times come from its timers)")
+	}
+	if c.SnapshotEvery < 0 {
+		return c, fmt.Errorf("core: SnapshotEvery must be >= 0")
+	}
+	if c.SnapshotEvery > 0 && c.OnSnapshot == nil {
+		return c, fmt.Errorf("core: SnapshotEvery needs Config.OnSnapshot to deliver the frames")
 	}
 	return c, nil
 }

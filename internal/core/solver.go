@@ -553,6 +553,13 @@ func (s *Solver) Step(step int) error {
 	if s.Cfg.OnStep != nil {
 		s.Cfg.OnStep(step, s)
 	}
+	// Field-snapshot window boundary: capture after the window's last
+	// step, symmetrically on every rank (the capture is collective). Like
+	// the OnStep probe's allreduce, the snapshot traffic is unlabeled —
+	// it is instrumentation, not a modeled phase.
+	if s.Cfg.SnapshotEvery > 0 && (step+1)%s.Cfg.SnapshotEvery == 0 {
+		s.captureSnapshot(step)
+	}
 	s.mr.EndStep()
 	return nil
 }

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/store"
+)
+
+// snapshotSpec is testSpec plus frame capture every step.
+func snapshotSpec(seed uint64) JobSpec {
+	spec := testSpec(seed)
+	spec.SnapshotEvery = 1
+	return spec
+}
+
+// fetchFrames GETs a job's frame stream and splits it into the frame
+// lines and the final summary line.
+func fetchFrames(t *testing.T, base, id string) (frames []string, final map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frames status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"final":true`) {
+			if err := json.Unmarshal([]byte(line), &final); err != nil {
+				t.Fatalf("bad final line %q: %v", line, err)
+			}
+			continue
+		}
+		frames = append(frames, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if final == nil {
+		t.Fatal("stream ended without a final line")
+	}
+	return frames, final
+}
+
+// TestFramesStreamDeterministic pins the streaming contract: one frame
+// per snapshot window, and byte-identical frame lines on a repeat fetch
+// and on a fresh server running the same spec.
+func TestFramesStreamDeterministic(t *testing.T) {
+	run := func() ([]string, *Server) {
+		s := NewServer(Options{Workers: 1})
+		out, err := s.Submit(snapshotSpec(61))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, out.Job); st != StateDone {
+			t.Fatalf("job finished %s", st)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		frames, final := fetchFrames(t, ts.URL, out.Job.ID)
+		if len(frames) != 3 { // Steps=3, every=1
+			t.Fatalf("got %d frames, want 3", len(frames))
+		}
+		if final["frames"].(float64) != 3 || final["dropped"].(float64) != 0 {
+			t.Fatalf("final line wrong: %v", final)
+		}
+		// A second fetch must serve the identical bytes.
+		again, _ := fetchFrames(t, ts.URL, out.Job.ID)
+		for i := range frames {
+			if frames[i] != again[i] {
+				t.Fatalf("repeat fetch diverged at frame %d", i)
+			}
+		}
+		return frames, s
+	}
+	a, sa := run()
+	defer sa.Drain(5 * time.Second)
+	b, sb := run()
+	defer sb.Drain(5 * time.Second)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d not byte-identical across independent runs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	var f struct {
+		Step int       `json:"Step"`
+		Phi  []float64 `json:"Phi"`
+	}
+	if err := json.Unmarshal([]byte(a[2]), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Step != 2 || len(f.Phi) == 0 {
+		t.Fatalf("last frame implausible: step=%d phi=%d nodes", f.Step, len(f.Phi))
+	}
+}
+
+// TestFramesVTK: ?format=vtk renders a retained frame as a legacy-VTK
+// dataset carrying all three fields.
+func TestFramesVTK(t *testing.T) {
+	s := NewServer(Options{Workers: 1})
+	defer s.Drain(5 * time.Second)
+	out, err := s.Submit(snapshotSpec(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, out.Job)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/jobs/" + out.Job.ID + "/frames?format=vtk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vtk status %d: %s", resp.StatusCode, body.String())
+	}
+	for _, want := range []string{"SCALARS phi", "SCALARS density", "SCALARS temperature"} {
+		if !strings.Contains(body.String(), want) {
+			t.Fatalf("vtk output missing %q", want)
+		}
+	}
+	// Out-of-range frame index is a client error, not a panic.
+	resp, err = http.Get(ts.URL + "/jobs/" + out.Job.ID + "/frames?format=vtk&frame=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad frame index answered %d", resp.StatusCode)
+	}
+	// A job that captures nothing reports conflict on the frames endpoint.
+	plain, err := s.Submit(testSpec(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, plain.Job)
+	resp, err = http.Get(ts.URL + "/jobs/" + plain.Job.ID + "/frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("frameless job answered %d on /frames, want 409", resp.StatusCode)
+	}
+}
+
+// waitResultDurable polls until the store serves the key (recordTerminal
+// runs after the job's done channel closes, so tests that reopen or share
+// the store must wait for the bytes, not just the state).
+func waitResultDurable(t *testing.T, st *store.Store, key string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if blob, ok := st.GetResult(key); ok {
+			return blob
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("result %s never became durable", key)
+	return nil
+}
+
+// TestSharedDirAdoption: two daemons over one cluster-shared directory.
+// The second submission of a spec that ran on the first shard is a
+// SharedHit — no world built — with byte-identical result and frames.
+func TestSharedDirAdoption(t *testing.T) {
+	fs := store.NewMemFS()
+	opts := store.Options{FS: fs, SharedDir: "shared"}
+	stA, _, err := store.Open("shard-a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, _, err := store.Open("shard-b", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewServer(Options{Workers: 1, Store: stA, IDPrefix: "s0-"})
+	defer a.Drain(5 * time.Second)
+	b := NewServer(Options{Workers: 1, Store: stB, IDPrefix: "s1-"})
+	defer b.Drain(5 * time.Second)
+
+	spec := snapshotSpec(64)
+	outA, err := a.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outA.Job.ID != "s0-j-1" {
+		t.Fatalf("prefixed ID = %q, want s0-j-1", outA.Job.ID)
+	}
+	if st := waitTerminal(t, outA.Job); st != StateDone {
+		t.Fatalf("job finished %s", st)
+	}
+	resultA := waitResultDurable(t, stA, outA.Job.Key)
+
+	outB, err := b.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outB.SharedHit || !outB.CacheHit {
+		t.Fatalf("expected a shared cache hit, got %+v", outB)
+	}
+	if b.WorldsBuilt() != 0 {
+		t.Fatalf("shared hit built %d worlds", b.WorldsBuilt())
+	}
+	if !bytes.Equal(outB.Job.result(), resultA) {
+		t.Fatal("adopted result bytes differ from the origin shard's")
+	}
+	// Frames replay byte-identically through the shared path.
+	tsA := httptest.NewServer(a.Handler())
+	defer tsA.Close()
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	framesA, _ := fetchFrames(t, tsA.URL, outA.Job.ID)
+	framesB, _ := fetchFrames(t, tsB.URL, outB.Job.ID)
+	if len(framesA) != len(framesB) {
+		t.Fatalf("frame counts differ: %d vs %d", len(framesA), len(framesB))
+	}
+	for i := range framesA {
+		if framesA[i] != framesB[i] {
+			t.Fatalf("shared-hit frame %d not byte-identical", i)
+		}
+	}
+	// The adoption also registered locally: a B restart still serves it.
+	if _, ok := stB.GetResult(outB.Job.Key); !ok {
+		t.Fatal("shared hit was not adopted into the local store")
+	}
+}
+
+// TestResultByKey pins the failover read path: the same bytes answer by
+// job ID and by canonical key, and a key nobody ran is a 404.
+func TestResultByKey(t *testing.T) {
+	s := NewServer(Options{Workers: 1})
+	defer s.Drain(5 * time.Second)
+	out, err := s.Submit(testSpec(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, out.Job)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+	codeID, byID := get("/jobs/" + out.Job.ID + "/result")
+	codeKey, byKey := get("/results/" + out.Job.Key)
+	if codeID != http.StatusOK || codeKey != http.StatusOK || !bytes.Equal(byID, byKey) {
+		t.Fatalf("key-addressed read differs: %d/%d", codeID, codeKey)
+	}
+	if code, _ := get("/results/" + strings.Repeat("0", 64)); code != http.StatusNotFound {
+		t.Fatalf("unknown key answered %d, want 404", code)
+	}
+}
+
+// TestFramesSurviveRestart: a daemon restart replays a done job's frames
+// byte-identically from the persisted blob.
+func TestFramesSurviveRestart(t *testing.T) {
+	fs := store.NewMemFS()
+	st1, _, err := store.Open("data", store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewServer(Options{Workers: 1, Store: st1})
+	out, err := s1.Submit(snapshotSpec(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, out.Job)
+	waitResultDurable(t, st1, out.Job.Key)
+	ts1 := httptest.NewServer(s1.Handler())
+	before, _ := fetchFrames(t, ts1.URL, out.Job.ID)
+	ts1.Close()
+	s1.Drain(5 * time.Second)
+	st1.Close()
+
+	st2, rep, err := store.Open("data", store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(Options{Workers: 1, Store: st2, Recovered: rep})
+	defer s2.Drain(5 * time.Second)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	after, _ := fetchFrames(t, ts2.URL, out.Job.ID)
+	if len(before) != len(after) {
+		t.Fatalf("recovered %d frames, had %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("recovered frame %d not byte-identical", i)
+		}
+	}
+	if s2.WorldsBuilt() != 0 {
+		t.Fatal("replaying frames built a world")
+	}
+	// The ID sequence continued past the recovered job.
+	out2, err := s2.Submit(testSpec(67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Job.ID != "j-2" {
+		t.Fatalf("post-recovery ID = %q, want j-2", out2.Job.ID)
+	}
+	waitTerminal(t, out2.Job)
+}
+
+// TestEventsDisconnectReleasesHandler is the leak regression test for the
+// events stream: a client that disconnects mid-run must release its
+// handler goroutine promptly, even while the job keeps producing events.
+func TestEventsDisconnectReleasesHandler(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := NewServer(Options{Workers: 1})
+	long := testSpec(68)
+	long.Steps = 200
+	out, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	ctx, cancelReq := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/jobs/"+out.Job.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil { // stream is live
+		t.Fatal(err)
+	}
+	cancelReq() // client walks away mid-stream
+	resp.Body.Close()
+
+	s.CancelJob(out.Job.ID)
+	waitTerminal(t, out.Job)
+	ts.Close()
+	s.Drain(5 * time.Second)
+
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(leakDeadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("events handler leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestSpecKeyExported: the exported SpecKey matches what the daemon
+// caches on, and rejects what normalization rejects.
+func TestSpecKeyExported(t *testing.T) {
+	spec := testSpec(69)
+	key, err := SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _ := spec.Normalized()
+	if key != norm.Key() {
+		t.Fatalf("SpecKey %s != normalized key %s", key, norm.Key())
+	}
+	bad := spec
+	bad.Case = "klystron"
+	if _, err := SpecKey(bad); err == nil {
+		t.Fatal("invalid spec got a key")
+	}
+}

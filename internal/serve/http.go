@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/plasma-hpc/dsmcpic/internal/core"
+	"github.com/plasma-hpc/dsmcpic/internal/vtkio"
 )
 
 // Handler builds the daemon's HTTP API:
@@ -17,6 +20,8 @@ import (
 //	GET  /jobs/{id}/result completed result (the cached bytes, verbatim)
 //	POST /jobs/{id}/cancel request cooperative cancellation
 //	GET  /jobs/{id}/events NDJSON progress stream (one event per step)
+//	GET  /jobs/{id}/frames NDJSON field-snapshot stream (?format=vtk for one frame)
+//	GET  /results/{key}    result bytes by canonical key (local cache or shared dir)
 //	GET  /metrics          aggregate text metrics
 //	GET  /healthz          readiness probe (JSON; 503 while draining)
 func (s *Server) Handler() http.Handler {
@@ -27,6 +32,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/frames", s.handleFrames)
+	mux.HandleFunc("GET /results/{key}", s.handleResultByKey)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -55,6 +62,7 @@ type submitResponse struct {
 	State     JobState `json:"state"`
 	CacheHit  bool     `json:"cache_hit,omitempty"`
 	Coalesced bool     `json:"coalesced,omitempty"`
+	SharedHit bool     `json:"shared_hit,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -96,6 +104,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		State:     out.Job.stateNow(),
 		CacheHit:  out.CacheHit,
 		Coalesced: out.Coalesced,
+		SharedHit: out.SharedHit,
 	}
 	code := http.StatusAccepted
 	if out.CacheHit {
@@ -169,6 +178,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	next := 0
 	for {
+		// Check for disconnect before polling, not only in the wait below:
+		// a canceled request must release the handler at the next pass even
+		// when events keep arriving (which keeps the select's other arms
+		// winnable forever).
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
 		evs, terminal := j.eventsSince(next)
 		for _, ev := range evs {
 			if err := enc.Encode(ev); err != nil {
@@ -194,6 +212,131 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
+}
+
+// handleFrames streams the job's field snapshots as NDJSON: one
+// core.FieldFrame per line, served from the pre-marshaled ring verbatim —
+// live streams, repeat fetches, and cache-hit replays all emit identical
+// frame bytes — then a final {"final":true,...} summary line. With
+// ?format=vtk it instead renders one frame (?frame=N, default the
+// latest) as a legacy-VTK dataset for ParaView.
+func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	if j.Spec.SnapshotEvery <= 0 {
+		writeError(w, http.StatusConflict, "job captures no frames (snapshot_every is 0)")
+		return
+	}
+	if r.URL.Query().Get("format") == "vtk" {
+		s.serveFrameVTK(w, r, j)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	next, emitted := 0, 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		lines, n, dropped, terminal := j.framesSince(next)
+		next = n
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return // client went away
+			}
+			emitted++
+		}
+		if flusher != nil && len(lines) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"final": true, "frames": emitted, "dropped": dropped, "state": j.stateNow(),
+			})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			// loop once more to drain trailing frames, then emit final
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// serveFrameVTK renders one retained frame as a VTK dataset, rebuilding
+// the grids from the normalized spec (cheap: no Poisson assembly).
+func (s *Server) serveFrameVTK(w http.ResponseWriter, r *http.Request, j *Job) {
+	lines, _, _, _ := j.framesSince(0)
+	if len(lines) == 0 {
+		writeError(w, http.StatusConflict, "no frames captured yet")
+		return
+	}
+	idx := len(lines) - 1
+	if q := r.URL.Query().Get("frame"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 || n >= len(lines) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("frame must be an index in [0,%d)", len(lines)))
+			return
+		}
+		idx = n
+	}
+	var f core.FieldFrame
+	if err := json.Unmarshal(lines[idx], &f); err != nil {
+		writeError(w, http.StatusInternalServerError, "stored frame unreadable: "+err.Error())
+		return
+	}
+	ref, err := j.Spec.buildRefinement()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rebuild mesh: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	title := fmt.Sprintf("job %s step %d", j.ID, f.Step)
+	if err := vtkio.WriteFieldFrame(w, title, ref, f.Phi, f.Density, f.Temperature); err != nil {
+		// Headers are gone; all we can do is cut the stream short.
+		return
+	}
+}
+
+// handleResultByKey serves result bytes addressed by canonical spec key
+// instead of job ID: the router's failover read path. When the owning
+// shard is down, any healthy shard can answer from its local cache or
+// straight from the cluster-shared results directory — byte-identical
+// either way, because the key is content-addressed.
+func (s *Server) handleResultByKey(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	j := s.byKey[key]
+	s.mu.Unlock()
+	if j != nil {
+		if blob := j.result(); blob != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(blob)
+			return
+		}
+	}
+	if blob, ok := s.opts.Store.GetResult(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+		return
+	}
+	if blob, ok := s.opts.Store.LookupShared(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no result for key")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -129,6 +130,17 @@ type Job struct {
 	resultJSON []byte
 	errMsg     string
 	errClass   string
+
+	// Field-snapshot frames: each entry is one marshaled core.FieldFrame
+	// NDJSON line (trailing newline included), appended by the capture
+	// callback and served verbatim — the marshal happens once, so live
+	// streams, replays, and the persisted blob are all byte-identical.
+	// The ring is bounded by frameCap: when full the oldest line is
+	// dropped and frameBase advances, so frame indices stay absolute.
+	frameCap      int
+	frames        [][]byte
+	frameBase     int
+	framesDropped int
 }
 
 func newJob(id string, spec JobSpec, now time.Time) *Job {
@@ -273,6 +285,77 @@ func (j *Job) eventsSince(from int) (evs []ProgressEvent, terminal bool) {
 		evs = append(evs, j.events[from:]...)
 	}
 	return evs, j.state.terminal()
+}
+
+// recordFrame appends one marshaled frame line to the bounded ring,
+// dropping the oldest beyond frameCap (cap <= 0 means unbounded — only
+// tests use that).
+func (j *Job) recordFrame(line []byte) {
+	j.mu.Lock()
+	j.frames = append(j.frames, line)
+	if j.frameCap > 0 && len(j.frames) > j.frameCap {
+		drop := len(j.frames) - j.frameCap
+		j.frames = append([][]byte(nil), j.frames[drop:]...)
+		j.frameBase += drop
+		j.framesDropped += drop
+	}
+	j.mu.Unlock()
+}
+
+// framesSince returns the retained frame lines with absolute index ≥ from
+// (clamped up to frameBase when the ring already dropped them), the next
+// absolute index to poll from, the total dropped count, and whether the
+// job is terminal — the polling primitive behind the frames endpoint.
+func (j *Job) framesSince(from int) (lines [][]byte, next int, dropped int, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < j.frameBase {
+		from = j.frameBase
+	}
+	if rel := from - j.frameBase; rel < len(j.frames) {
+		lines = append(lines, j.frames[rel:]...)
+	}
+	return lines, from + len(lines), j.framesDropped, j.state.terminal()
+}
+
+// framesBlob concatenates the retained frame lines — what the store
+// persists so a cache hit replays the animation byte-identically. For a
+// fixed (spec, ring cap) the blob is deterministic even when the ring
+// dropped early frames: the same frames are dropped on every run.
+func (j *Job) framesBlob() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var n int
+	for _, l := range j.frames {
+		n += len(l)
+	}
+	if n == 0 {
+		return nil
+	}
+	blob := make([]byte, 0, n)
+	for _, l := range j.frames {
+		blob = append(blob, l...)
+	}
+	return blob
+}
+
+// setFramesBlob splits a persisted frames blob back into ring lines —
+// the recovery / shared-cache-hit path. The lines land with frameBase 0;
+// a replayed stream therefore starts at the first *retained* frame,
+// exactly as the original stream did once the ring wrapped.
+func (j *Job) setFramesBlob(blob []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.frames = nil
+	for len(blob) > 0 {
+		nl := bytes.IndexByte(blob, '\n')
+		if nl < 0 {
+			j.frames = append(j.frames, append(append([]byte(nil), blob...), '\n'))
+			break
+		}
+		j.frames = append(j.frames, append([]byte(nil), blob[:nl+1]...))
+		blob = blob[nl+1:]
+	}
 }
 
 // addSubmit counts a coalesced or cache-hit submission.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,15 @@ type Options struct {
 	// (JobSpec.SimWorkers): total goroutines scale as ranks × workers, so
 	// an uncapped spec could oversubscribe the host (default 8).
 	MaxSimWorkers int
+	// FrameRingCap bounds the per-job in-memory snapshot-frame ring:
+	// beyond it the oldest frames are dropped (the stream reports the
+	// drop count). Default 256 frames.
+	FrameRingCap int
+	// IDPrefix is prepended to every generated job ID ("s0-" yields
+	// "s0-j-1"). The cluster router routes status/result/frames requests
+	// to the owning shard by this prefix; a standalone daemon leaves it
+	// empty.
+	IDPrefix string
 	// Calibration, when non-nil, replaces the built-in cost-model unit
 	// costs of every job with measured ones (see core.CalibrationProfile
 	// and cmd/bench -calibrate).
@@ -84,6 +94,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxSimWorkers <= 0 {
 		o.MaxSimWorkers = 8
 	}
+	if o.FrameRingCap <= 0 {
+		o.FrameRingCap = 256
+	}
 	return o
 }
 
@@ -96,6 +109,11 @@ type SubmitOutcome struct {
 	// Coalesced: an identical job is queued or running; this submission
 	// was folded into it (singleflight).
 	Coalesced bool
+	// SharedHit: a peer shard already completed this job; the result was
+	// adopted from the cluster-shared results directory without
+	// constructing a world. Reported alongside CacheHit (a shared hit is
+	// a cache hit whose bytes came from a peer).
+	SharedHit bool
 }
 
 // Server multiplexes simulation jobs over a bounded worker pool with a
@@ -133,6 +151,7 @@ type Server struct {
 	nRunning     atomic.Int64 // workers currently executing a world
 	nRecovered   atomic.Int64 // jobs restored from the persistent store
 	nRequeued    atomic.Int64 // recovered unfinished jobs re-admitted
+	nSharedHits  atomic.Int64 // cache hits served from the cluster-shared dir
 }
 
 // NewServer builds a server, folds in any recovered persistent state,
@@ -184,6 +203,9 @@ func (s *Server) recover() {
 				continue // store.Open already dropped these; belt and braces
 			}
 			j = recoveredJob(rec.ID, norm, StateDone, blob, "", "", now)
+			if fb, fok := s.opts.Store.GetFrames(rec.Key); fok {
+				j.setFramesBlob(fb) // replayed animations are byte-identical too
+			}
 		case "failed":
 			j = recoveredJob(rec.ID, norm, StateFailed, nil, rec.Err, rec.ErrClass, now)
 		case "canceled":
@@ -205,13 +227,24 @@ func (s *Server) recover() {
 				}
 			}
 		}
+		j.frameCap = s.opts.FrameRingCap
 		s.byKey[rec.Key] = j
 		s.byID[j.ID] = j
 		s.order = append(s.order, j.ID)
 		s.touched[j.ID] = now
 		s.nRecovered.Add(1)
 	}
-	if seq := store.MaxJobSeq(rep.Jobs); seq > s.seq {
+	recs := rep.Jobs
+	if p := s.opts.IDPrefix; p != "" {
+		// MaxJobSeq parses bare "j-<n>"; strip the shard prefix first so a
+		// recovered shard continues its sequence instead of restarting it.
+		recs = make([]store.JobRecord, len(rep.Jobs))
+		copy(recs, rep.Jobs)
+		for i := range recs {
+			recs[i].ID = strings.TrimPrefix(recs[i].ID, p)
+		}
+	}
+	if seq := store.MaxJobSeq(recs); seq > s.seq {
 		s.seq = seq
 	}
 }
@@ -266,8 +299,41 @@ func (s *Server) Submit(spec JobSpec) (SubmitOutcome, error) {
 			// the old one stays addressable by ID until evicted.
 		}
 	}
+	// Cluster-shared cache: a peer shard may already have run this spec.
+	// Adopting its verified bytes is a cache hit that never builds a
+	// world — the cluster-wide extension of the singleflight guarantee.
+	if blob, ok := s.opts.Store.LookupShared(key); ok {
+		s.seq++
+		id := fmt.Sprintf("%sj-%d", s.opts.IDPrefix, s.seq)
+		j := recoveredJob(id, norm, StateDone, blob, "", "", now)
+		j.frameCap = s.opts.FrameRingCap
+		if fb, fok := s.opts.Store.LookupSharedFrames(key); fok {
+			j.setFramesBlob(fb)
+		}
+		s.byKey[key] = j
+		s.byID[id] = j
+		s.order = append(s.order, id)
+		s.touched[id] = now
+		s.evictLocked()
+		s.mu.Unlock()
+		s.nSharedHits.Add(1)
+		s.nCacheHits.Add(1)
+		// Adopt locally so restarts serve it like any natively run job:
+		// admit → frames → result → done, the durable ordering.
+		if specBlob, merr := json.Marshal(norm); merr == nil {
+			s.opts.Store.RecordAdmit(id, key, specBlob)
+		}
+		if fb := j.framesBlob(); len(fb) > 0 {
+			s.opts.Store.PutFrames(key, fb)
+		}
+		s.opts.Store.PutResult(key, blob)
+		s.opts.Store.RecordState(id, "done", "", "")
+		return SubmitOutcome{Job: j, CacheHit: true, SharedHit: true}, nil
+	}
+
 	s.seq++
-	j := newJob(fmt.Sprintf("j-%d", s.seq), norm, now)
+	j := newJob(fmt.Sprintf("%sj-%d", s.opts.IDPrefix, s.seq), norm, now)
+	j.frameCap = s.opts.FrameRingCap
 	s.byKey[key] = j
 	s.byID[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -447,6 +513,17 @@ func (s *Server) runJob(j *Job) {
 			})
 		}
 	}
+	if cfg.SnapshotEvery > 0 {
+		// Delivered on rank 0 only (captureSnapshot gates it); marshal
+		// here, once — every later read of this frame serves these bytes.
+		cfg.OnSnapshot = func(f core.FieldFrame) {
+			line, merr := json.Marshal(f)
+			if merr != nil {
+				return
+			}
+			j.recordFrame(append(line, '\n'))
+		}
+	}
 
 	s.nWorldsBuilt.Add(1)
 	world := simmpi.NewWorld(j.Spec.Ranks, simmpi.Options{})
@@ -490,6 +567,9 @@ func (s *Server) recordTerminal(j *Job) {
 	}
 	st := j.status()
 	if blob := j.result(); blob != nil {
+		if fb := j.framesBlob(); len(fb) > 0 {
+			s.opts.Store.PutFrames(j.Key, fb)
+		}
 		s.opts.Store.PutResult(j.Key, blob)
 	}
 	s.opts.Store.RecordState(j.ID, string(st.State), st.Error, st.ErrClass)
@@ -583,6 +663,7 @@ func (s *Server) MetricsText() string {
 		fmt.Sprintf("plasmad_jobs_submitted %d", s.nSubmitted.Load()),
 		fmt.Sprintf("plasmad_jobs_coalesced %d", s.nCoalesced.Load()),
 		fmt.Sprintf("plasmad_jobs_cache_hits %d", s.nCacheHits.Load()),
+		fmt.Sprintf("plasmad_jobs_cache_hits_shared %d", s.nSharedHits.Load()),
 		fmt.Sprintf("plasmad_jobs_completed %d", s.nCompleted.Load()),
 		fmt.Sprintf("plasmad_jobs_failed %d", s.nFailed.Load()),
 		fmt.Sprintf("plasmad_jobs_canceled %d", s.nCanceled.Load()),

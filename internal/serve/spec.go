@@ -64,6 +64,12 @@ type JobSpec struct {
 	// key: different worker counts are different — each individually
 	// deterministic — stochastic trajectories, so their results may differ.
 	SimWorkers int `json:"sim_workers,omitempty"`
+	// SnapshotEvery captures one field-snapshot frame (phi, density,
+	// temperature; see core.FieldFrame) every N steps, streamed on
+	// /jobs/{id}/frames. 0 (the default) disables capture. It joins the
+	// cache key — a run with frames is observably different from one
+	// without — and omitempty keeps every pre-existing key unchanged.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
 
 	// Physics (defaults mirror cmd/plasmasim).
 	PICSubsteps      int     `json:"pic_substeps,omitempty"` // default 2
@@ -125,6 +131,9 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 	}
 	if s.SimWorkers <= 0 {
 		s.SimWorkers = 1
+	}
+	if s.SnapshotEvery < 0 {
+		return s, fmt.Errorf("serve: snapshot_every must be >= 0")
 	}
 	if s.PICSubsteps <= 0 {
 		s.PICSubsteps = 2
@@ -204,11 +213,23 @@ func (s JobSpec) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// BuildConfig constructs the grids and the core.Config for a normalized
-// spec. This is the expensive "world construction" step the result cache
-// avoids: mesh generation, uniform refinement, and Poisson assembly (in
-// core.Prepare) all happen downstream of here.
-func (s JobSpec) BuildConfig() (core.Config, error) {
+// SpecKey normalizes a spec and returns its canonical cache key — the
+// exact SHA-256 the daemon caches and coalesces on, exported so the
+// cluster router can compute shard ownership from the identical bytes.
+// Two entry points disagreeing on this key would split the cluster-wide
+// cache, so its byte stability is pinned by a cross-package test.
+func SpecKey(spec JobSpec) (string, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return "", err
+	}
+	return norm.Key(), nil
+}
+
+// buildRefinement constructs the normalized spec's grids — shared by
+// BuildConfig and by the frames endpoint's VTK rendering, which needs
+// the geometry without the rest of the world.
+func (s JobSpec) buildRefinement() (*mesh.Refinement, error) {
 	var coarse *mesh.Mesh
 	var err error
 	if s.Case == "conical" {
@@ -217,9 +238,17 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 		coarse, err = mesh.Nozzle(s.MeshN, s.MeshNZ, s.Radius, s.Length)
 	}
 	if err != nil {
-		return core.Config{}, err
+		return nil, err
 	}
-	ref, err := mesh.RefineUniform(coarse)
+	return mesh.RefineUniform(coarse)
+}
+
+// BuildConfig constructs the grids and the core.Config for a normalized
+// spec. This is the expensive "world construction" step the result cache
+// avoids: mesh generation, uniform refinement, and Poisson assembly (in
+// core.Prepare) all happen downstream of here.
+func (s JobSpec) BuildConfig() (core.Config, error) {
+	ref, err := s.buildRefinement()
 	if err != nil {
 		return core.Config{}, err
 	}
@@ -252,6 +281,7 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 		PoissonExchange:  exMode,
 		Seed:             s.Seed,
 		Workers:          s.SimWorkers,
+		SnapshotEvery:    s.SnapshotEvery,
 	}
 	if !s.NoReactions {
 		cfg.Reactions = dsmc.DefaultHydrogenReactions()

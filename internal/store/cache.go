@@ -151,6 +151,13 @@ func (c *resultCache) get(key string) (payload []byte, ok bool, err error) {
 	return payload, true, nil
 }
 
+// indexed reports whether the key has an index entry (a cheap existence
+// probe that avoids a spurious Remove error for never-written frames).
+func (c *resultCache) indexed(key string) bool {
+	_, ok := c.idx.Touched[key]
+	return ok
+}
+
 // touch bumps the key's recency.
 func (c *resultCache) touch(key string) {
 	c.idx.Seq++

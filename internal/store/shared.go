@@ -1,0 +1,156 @@
+package store
+
+import "strings"
+
+// Cluster-shared results: when Options.SharedDir names a directory, every
+// durably written result (and frames blob) is additionally *published*
+// there — same content-addressed name, same CRC32 frame, same temp-file +
+// fsync + rename idiom — and lookups may consult it read-only. The
+// directory is shared by every shard of a plasmad cluster, which is what
+// makes the deterministic cache cluster-wide: a spec that already ran on
+// any shard is a byte-identical cache hit on every shard.
+//
+// Read-only discipline: a shard never deletes or quarantines files in the
+// shared directory (another shard may be serving them); a corrupt shared
+// file is counted and treated as a miss. Publishing is content-addressed,
+// so two shards racing to publish the same key write identical bytes and
+// either rename wins harmlessly.
+
+// framesSuffix distinguishes a job's frames blob from its result in the
+// content-addressed cache: frames for cache key K live under K.frames.
+const framesSuffix = ".frames"
+
+func framesKey(key string) string { return key + framesSuffix }
+
+// sharedEnabled reports whether the shared directory is configured and
+// usable. Caller holds s.mu.
+func (s *Store) sharedEnabledLocked() bool {
+	return s.sharedOK && s.opts.SharedDir != ""
+}
+
+// publishSharedLocked best-effort copies one framed payload into the
+// shared results directory. Failures are counted, never fatal: the local
+// copy is already durable, the cluster just loses one peer-lookup
+// opportunity. Caller holds s.mu.
+func (s *Store) publishSharedLocked(key string, payload []byte) {
+	if !s.sharedEnabledLocked() {
+		return
+	}
+	dir := Join(s.opts.SharedDir, resultsDir)
+	path := Join(dir, key+".res")
+	// Distinct temp name per publisher intent is unnecessary: content-
+	// addressed keys mean concurrent publishers write identical bytes.
+	tmpPath := path + ".tmp"
+	tmp, err := s.fs.Create(tmpPath)
+	if err == nil {
+		if _, err = tmp.Write(frameResult(payload)); err == nil {
+			if err = tmp.Sync(); err == nil {
+				if err = tmp.Close(); err == nil {
+					err = s.fs.Rename(tmpPath, path)
+				}
+			} else {
+				tmp.Close()
+			}
+		} else {
+			tmp.Close()
+		}
+	}
+	if err != nil {
+		s.fs.Remove(tmpPath)
+		s.counters["shared_publish_errors"]++
+		s.opts.Logf("store: publishing %s to shared dir failed: %v", key, err)
+		return
+	}
+	s.counters["shared_publishes"]++
+}
+
+// lookupShared reads and verifies one entry from the shared results
+// directory. Misses and corruption both return ok=false; nothing in the
+// shared directory is ever mutated.
+func (s *Store) lookupShared(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeDegraded || !s.sharedEnabledLocked() {
+		return nil, false
+	}
+	buf, err := s.fs.ReadFile(Join(s.opts.SharedDir, resultsDir, key+".res"))
+	if err != nil {
+		if !isNotExist(err) {
+			s.counters["shared_read_errors"]++
+		}
+		s.counters["shared_misses"]++
+		return nil, false
+	}
+	payload, uerr := unframeResult(buf)
+	if uerr != nil {
+		s.counters["shared_corrupt"]++
+		s.opts.Logf("store: shared result %s failed verification (%v); treating as miss", key, uerr)
+		return nil, false
+	}
+	s.counters["shared_hits"]++
+	return payload, true
+}
+
+// LookupShared returns the verified result bytes for key from the shared
+// cluster directory, without touching the local cache — the peer-lookup
+// path the daemon checks before enqueueing a world.
+func (s *Store) LookupShared(key string) ([]byte, bool) { return s.lookupShared(key) }
+
+// LookupSharedFrames is LookupShared for a job's frames blob.
+func (s *Store) LookupSharedFrames(key string) ([]byte, bool) {
+	return s.lookupShared(framesKey(key))
+}
+
+// PutFrames durably stores a job's concatenated NDJSON frame blob under
+// the canonical key (alongside the result, same framing and eviction),
+// and publishes it to the shared directory when one is configured.
+func (s *Store) PutFrames(key string, blob []byte) {
+	if s == nil || len(blob) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeDegraded {
+		return
+	}
+	evicted, err := s.cache.put(framesKey(key), blob)
+	if err != nil {
+		s.counters["frames_write_errors"]++
+		s.opts.Logf("store: persisting frames %s failed: %v", key, err)
+		if isDiskDown(err) {
+			s.degradeLocked("frames write", err)
+		}
+		return
+	}
+	s.counters["frames_written"]++
+	s.counters["results_evicted"] += int64(len(evicted))
+	s.publishSharedLocked(framesKey(key), blob)
+}
+
+// GetFrames reads and verifies the locally cached frames blob for key.
+func (s *Store) GetFrames(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeDegraded {
+		return nil, false
+	}
+	blob, ok, err := s.cache.get(framesKey(key))
+	if err != nil {
+		s.counters["frames_read_errors"]++
+		if isDiskDown(err) {
+			s.degradeLocked("frames read", err)
+		}
+		return nil, false
+	}
+	return blob, ok
+}
+
+// IsFramesKey reports whether a cache key names a frames blob — recovery
+// uses it to keep frames entries out of the job-result reconciliation.
+func IsFramesKey(key string) bool { return strings.HasSuffix(key, framesSuffix) }

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// twoShards opens two stores over one MemFS — distinct data dirs, one
+// shared directory — the in-memory model of a plasmad cluster mount.
+func twoShards(t *testing.T, fs Filesystem) (*Store, *Store) {
+	t.Helper()
+	opts := testOpts(fs)
+	opts.SharedDir = "shared"
+	a, _ := mustOpen(t, fs, "shard-a", opts)
+	b, _ := mustOpen(t, fs, "shard-b", opts)
+	return a, b
+}
+
+// TestSharedPublishAndLookup: a result (and its frames) put on one shard
+// is readable byte-identically from another shard through the shared
+// directory — the cluster-wide cache-hit path.
+func TestSharedPublishAndLookup(t *testing.T) {
+	fs := NewMemFS()
+	a, b := twoShards(t, fs)
+	result := []byte(`{"final_particles":42}`)
+	frames := []byte(`{"step":1}` + "\n" + `{"step":3}` + "\n")
+
+	if _, ok := b.LookupShared("key-a"); ok {
+		t.Fatal("lookup hit before anything was published")
+	}
+	a.PutResult("key-a", result)
+	a.PutFrames("key-a", frames)
+
+	got, ok := b.LookupShared("key-a")
+	if !ok || !bytes.Equal(got, result) {
+		t.Fatalf("shared result lookup: ok=%v %q", ok, got)
+	}
+	gotFrames, ok := b.LookupSharedFrames("key-a")
+	if !ok || !bytes.Equal(gotFrames, frames) {
+		t.Fatalf("shared frames lookup: ok=%v %q", ok, gotFrames)
+	}
+
+	ca, cb := a.Counters(), b.Counters()
+	if ca["shared_publishes"] != 2 {
+		t.Fatalf("publisher counted %d shared_publishes, want 2", ca["shared_publishes"])
+	}
+	if cb["shared_hits"] != 2 || cb["shared_misses"] != 1 {
+		t.Fatalf("reader counters wrong: hits=%d misses=%d", cb["shared_hits"], cb["shared_misses"])
+	}
+	// The lookup must not have pulled the bytes into B's local cache.
+	if _, ok := b.GetResult("key-a"); ok {
+		t.Fatal("shared lookup leaked into the local cache")
+	}
+}
+
+// TestSharedCorruptIsMissNotQuarantine: a corrupt shared file is a
+// counted miss, and — read-only discipline — stays exactly where it is
+// (another shard may still hold good local bytes for the same key).
+func TestSharedCorruptIsMissNotQuarantine(t *testing.T) {
+	fs := NewMemFS()
+	a, b := twoShards(t, fs)
+	a.PutResult("key-a", []byte("payload"))
+
+	path := Join("shared", resultsDir, "key-a.res")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("garbage, no PRS1 frame"))
+	f.Sync()
+	f.Close()
+
+	if _, ok := b.LookupShared("key-a"); ok {
+		t.Fatal("corrupt shared file served")
+	}
+	if c := b.Counters(); c["shared_corrupt"] != 1 {
+		t.Fatalf("shared_corrupt = %d, want 1", c["shared_corrupt"])
+	}
+	// Still present, still corrupt: a second lookup sees the same file.
+	if _, ok := b.LookupShared("key-a"); ok {
+		t.Fatal("corrupt shared file served on retry")
+	}
+	if c := b.Counters(); c["shared_corrupt"] != 2 {
+		t.Fatal("shared file was moved or healed; read-only discipline broken")
+	}
+}
+
+// TestFramesLifecycle: frames ride the same content-addressed cache as
+// results — durable across reopen, surfaced by the recovery report, and
+// removed with the last job that references their key.
+func TestFramesLifecycle(t *testing.T) {
+	fs := NewMemFS()
+	s, _ := mustOpen(t, fs, "data", testOpts(fs))
+	spec := json.RawMessage(`{"ranks":2}`)
+	frames := []byte(`{"step":0}` + "\n")
+
+	s.RecordAdmit("j-1", "key-a", spec)
+	s.PutResult("key-a", []byte("result"))
+	s.PutFrames("key-a", frames)
+	s.RecordState("j-1", "done", "", "")
+	s.Close()
+
+	s2, rep := mustOpen(t, fs, "data", testOpts(fs))
+	if len(rep.ResultKeys) != 1 || rep.ResultKeys[0] != "key-a" {
+		t.Fatalf("ResultKeys = %v, want [key-a]", rep.ResultKeys)
+	}
+	if len(rep.FrameKeys) != 1 || rep.FrameKeys[0] != "key-a" {
+		t.Fatalf("FrameKeys = %v, want [key-a]", rep.FrameKeys)
+	}
+	got, ok := s2.GetFrames("key-a")
+	if !ok || !bytes.Equal(got, frames) {
+		t.Fatalf("recovered frames: ok=%v %q", ok, got)
+	}
+
+	// A second job sharing the key keeps frames alive past one drop.
+	s2.RecordAdmit("j-2", "key-a", spec)
+	s2.DropJob("j-1")
+	if _, ok := s2.GetFrames("key-a"); !ok {
+		t.Fatal("frames dropped while another job still references the key")
+	}
+	s2.DropJob("j-2")
+	if _, ok := s2.GetFrames("key-a"); ok {
+		t.Fatal("frames survived the last referencing job")
+	}
+	if _, ok := s2.GetResult("key-a"); ok {
+		t.Fatal("result survived the last referencing job")
+	}
+}
+
+// TestSharedDisabled: without SharedDir every shared-path call is a quiet
+// miss/no-op, on a live store and on a nil one.
+func TestSharedDisabled(t *testing.T) {
+	fs := NewMemFS()
+	s, _ := mustOpen(t, fs, "data", testOpts(fs))
+	s.PutResult("key-a", []byte("x"))
+	if _, ok := s.LookupShared("key-a"); ok {
+		t.Fatal("shared lookup hit with sharing disabled")
+	}
+	if c := s.Counters(); c["shared_publishes"] != 0 {
+		t.Fatal("published to a shared dir that was never configured")
+	}
+
+	var nilStore *Store
+	if _, ok := nilStore.LookupShared("k"); ok {
+		t.Fatal("nil store lookup hit")
+	}
+	if _, ok := nilStore.GetFrames("k"); ok {
+		t.Fatal("nil store frames hit")
+	}
+	nilStore.PutFrames("k", []byte("x")) // must not panic
+}
+
+// TestSharedPublishFailureIsNonFatal: a shared mount that rejects writes
+// costs a counter, not the local put and not the store's health.
+func TestSharedPublishFailureIsNonFatal(t *testing.T) {
+	fs := NewMemFS()
+	opts := testOpts(failPrefixFS{Filesystem: fs, prefix: "shared/"})
+	opts.SharedDir = "shared"
+	s, _ := mustOpen(t, fs, "data", opts)
+	s.PutResult("key-a", []byte("payload"))
+	if _, ok := s.GetResult("key-a"); !ok {
+		t.Fatal("local put lost to a shared-dir failure")
+	}
+	if s.Mode() != ModeDurable {
+		t.Fatal("shared-dir failure degraded the store")
+	}
+	if c := s.Counters(); c["shared_publish_errors"] != 1 {
+		t.Fatalf("shared_publish_errors = %d, want 1", c["shared_publish_errors"])
+	}
+}
+
+// failPrefixFS fails every Create under one path prefix and delegates the
+// rest — a dead shared mount next to a healthy local disk.
+type failPrefixFS struct {
+	Filesystem
+	prefix string
+}
+
+func (f failPrefixFS) Create(path string) (File, error) {
+	if len(path) >= len(f.prefix) && path[:len(f.prefix)] == f.prefix {
+		return nil, ErrDiskDown
+	}
+	return f.Filesystem.Create(path)
+}

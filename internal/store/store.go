@@ -84,6 +84,11 @@ type Options struct {
 	// JournalMaxBytes triggers compaction when the journal grows past it
 	// (default 1 MiB).
 	JournalMaxBytes int64
+	// SharedDir, when non-empty, names a directory shared by every shard
+	// of a plasmad cluster: results and frames are published there after
+	// each local put, and LookupShared consults it read-only before a
+	// shard enqueues a world. Empty disables cluster sharing.
+	SharedDir string
 	// Clock stamps LastSync for the health probe. Defaults to time.Now,
 	// assigned as a function value at construction so the package itself
 	// stays wall-clock-free (the balance.Balancer.Clock pattern).
@@ -119,6 +124,9 @@ type RecoveryReport struct {
 	Jobs []JobRecord
 	// ResultKeys lists the cache keys whose result files verified clean.
 	ResultKeys []string
+	// FrameKeys lists the canonical keys whose frames blobs verified
+	// clean (the ".frames" suffix already stripped).
+	FrameKeys []string
 	// Quarantined lists result files moved aside for failing checksum.
 	Quarantined []string
 	// DroppedTailBytes is how much torn journal tail replay discarded.
@@ -141,6 +149,7 @@ type Store struct {
 	jobs     map[string]*JobRecord
 	order    []string // admit order of live job IDs
 	lastSync time.Time
+	sharedOK bool // SharedDir configured and its results dir usable
 
 	counters map[string]int64
 }
@@ -168,6 +177,16 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		jobs:     make(map[string]*JobRecord),
 		counters: make(map[string]int64),
 	}
+	if o.SharedDir != "" {
+		if err := fs.MkdirAll(Join(o.SharedDir, resultsDir)); err != nil {
+			// Cluster sharing is an optimization; a dead shared mount must
+			// not stop the shard from serving locally.
+			o.Logf("store: shared dir %s unusable (%v); cluster lookup disabled", o.SharedDir, err)
+			s.counters["shared_unavailable"] = 1
+		} else {
+			s.sharedOK = true
+		}
+	}
 	j, droppedTail, tailReason, err := openJournal(fs, dir, s.applyOp)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: replay journal: %w", err)
@@ -183,7 +202,13 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: reconcile cache: %w", err)
 	}
-	rep.ResultKeys = verified
+	for _, k := range verified {
+		if IsFramesKey(k) {
+			rep.FrameKeys = append(rep.FrameKeys, strings.TrimSuffix(k, framesSuffix))
+		} else {
+			rep.ResultKeys = append(rep.ResultKeys, k)
+		}
+	}
 	rep.Quarantined = quarantined
 	s.counters["results_quarantined"] += int64(len(quarantined))
 	for _, name := range quarantined {
@@ -222,7 +247,8 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		s.counters["index_write_errors"]++
 	}
 	s.counters["jobs_recovered"] = int64(len(rep.Jobs))
-	s.counters["results_recovered"] = int64(len(verified))
+	s.counters["results_recovered"] = int64(len(rep.ResultKeys))
+	s.counters["frames_recovered"] = int64(len(rep.FrameKeys))
 	return s, rep, nil
 }
 
@@ -435,6 +461,11 @@ func (s *Store) DropJob(id string) {
 		if err := s.cache.remove(rec.Key); err != nil {
 			s.counters["cache_remove_errors"]++
 		}
+		if fk := framesKey(rec.Key); s.cache.indexed(fk) {
+			if err := s.cache.remove(fk); err != nil {
+				s.counters["cache_remove_errors"]++
+			}
+		}
 		if err := s.cache.writeIndex(); err != nil {
 			s.counters["index_write_errors"]++
 		}
@@ -467,6 +498,7 @@ func (s *Store) PutResult(key string, payload []byte) {
 	for _, k := range evicted {
 		s.opts.Logf("store: evicted result %s (LRU, cap %d)", k, s.opts.CacheCap)
 	}
+	s.publishSharedLocked(key, payload)
 }
 
 // GetResult reads and verifies the cached result for key. Corrupt files

@@ -1,0 +1,38 @@
+package vtkio
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+)
+
+// WriteFieldFrame emits one field snapshot as a single VTK dataset on the
+// fine grid: phi as point scalars, and the per-coarse-cell density and
+// temperature expanded onto the nested fine cells (each fine cell
+// inherits its parent's value), so one ParaView dataset animates all
+// three fields. title conventionally carries the step index.
+func WriteFieldFrame(out io.Writer, title string, ref *mesh.Refinement, phi, density, temperature []float64) error {
+	if len(phi) != ref.Fine.NumNodes() {
+		return fmt.Errorf("vtkio: phi has %d values for %d fine nodes", len(phi), ref.Fine.NumNodes())
+	}
+	nc := ref.Coarse.NumCells()
+	if len(density) != nc || len(temperature) != nc {
+		return fmt.Errorf("vtkio: cell fields sized %d/%d for %d coarse cells", len(density), len(temperature), nc)
+	}
+	expand := func(coarse []float64) []float64 {
+		fine := make([]float64, ref.Fine.NumCells())
+		for c := 0; c < nc; c++ {
+			lo, hi := ref.FineCells(c)
+			for f := lo; f < hi; f++ {
+				fine[f] = coarse[c]
+			}
+		}
+		return fine
+	}
+	w := NewWriter(title, ref.Fine)
+	w.AddPointScalars("phi", phi)
+	w.AddCellScalars("density", expand(density))
+	w.AddCellScalars("temperature", expand(temperature))
+	return w.Write(out)
+}

@@ -1,0 +1,56 @@
+package vtkio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/plasma-hpc/dsmcpic/internal/mesh"
+)
+
+func TestWriteFieldFrame(t *testing.T) {
+	coarse := testMesh(t)
+	ref, err := mesh.RefineUniform(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := make([]float64, ref.Fine.NumNodes())
+	for i := range phi {
+		phi[i] = float64(i)
+	}
+	nc := ref.Coarse.NumCells()
+	density := make([]float64, nc)
+	temperature := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		density[c] = float64(c + 1)
+		temperature[c] = 300
+	}
+	var buf bytes.Buffer
+	if err := WriteFieldFrame(&buf, "step 3", ref, phi, density, temperature); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"step 3",
+		"SCALARS phi double 1",
+		"SCALARS density double 1",
+		"SCALARS temperature double 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Expansion: every fine child of coarse cell 0 carries density 1.
+	lo, hi := ref.FineCells(0)
+	if hi-lo != mesh.ChildrenPerCell {
+		t.Fatalf("unexpected nesting %d", hi-lo)
+	}
+
+	// Size mismatches must be rejected, not written.
+	if err := WriteFieldFrame(&buf, "bad", ref, phi[:1], density, temperature); err == nil {
+		t.Fatal("short phi accepted")
+	}
+	if err := WriteFieldFrame(&buf, "bad", ref, phi, density[:1], temperature); err == nil {
+		t.Fatal("short density accepted")
+	}
+}

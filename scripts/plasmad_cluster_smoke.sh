@@ -1,0 +1,179 @@
+#!/usr/bin/env sh
+# plasmad_cluster_smoke.sh — end-to-end smoke test of the shard cluster.
+#
+# Starts two durable plasmad shards sharing a results directory plus a
+# plasmarouter fronting them, then proves the cluster contract over real
+# processes and sockets:
+#   * a submission through the router runs on exactly one shard; the
+#     identical re-submission through the router is a cache hit and the
+#     identical submission direct to the OTHER shard is adopted from the
+#     shared results dir — one world cluster-wide (router /metrics),
+#   * /jobs/{id}/frames streams the per-window field snapshots as NDJSON
+#     through the router,
+#   * SIGKILLing the owning shard turns submissions into 503 + Retry-After
+#     while result reads fail over to the survivor byte-identically,
+#   * restarting the dead shard on its data dir recovers, and the result
+#     is still byte-identical.
+# Used by CI and `make plasmad-cluster-smoke`.
+#
+# Requirements: go toolchain, curl. No other dependencies.
+set -eu
+
+ROUTER_ADDR="${PLASMAROUTER_ADDR:-127.0.0.1:18090}"
+S0_ADDR="${PLASMAD_S0_ADDR:-127.0.0.1:18091}"
+S1_ADDR="${PLASMAD_S1_ADDR:-127.0.0.1:18092}"
+BASE="http://$ROUTER_ADDR"
+BIN="${PLASMAD_BIN:-bin/plasmad}"
+RBIN="${PLASMAROUTER_BIN:-bin/plasmarouter}"
+WORK="$(mktemp -d)"
+LOG="$WORK/log"
+S0_PID=""
+S1_PID=""
+R_PID=""
+
+fail() {
+	echo "plasmad_cluster_smoke: FAIL: $*" >&2
+	echo "--- logs ---" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+
+cleanup() {
+	for P in "$S0_PID" "$S1_PID" "$R_PID"; do
+		[ -n "$P" ] && kill -9 "$P" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/plasmad
+go build -o "$RBIN" ./cmd/plasmarouter
+mkdir -p "$WORK/s0" "$WORK/s1" "$WORK/shared"
+
+start_shard() {
+	# start_shard <name> <addr> — PID goes to stdout.
+	"$BIN" -addr "$2" -workers 1 -id-prefix "$1-" \
+		-data-dir "$WORK/$1" -shared-results "$WORK/shared" \
+		-drain-timeout 60s >>"$LOG" 2>&1 &
+	echo $!
+}
+
+wait_healthy() {
+	i=0
+	until curl -fsS "http://$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -le 50 ] || fail "$1 did not become healthy"
+		sleep 0.2
+	done
+}
+
+S0_PID="$(start_shard s0 "$S0_ADDR")"
+S1_PID="$(start_shard s1 "$S1_ADDR")"
+wait_healthy "$S0_ADDR"
+wait_healthy "$S1_ADDR"
+
+"$RBIN" -addr "$ROUTER_ADDR" -probe-interval 200ms -retry-after 3 \
+	-shards "s0=http://$S0_ADDR,s1=http://$S1_ADDR" >>"$LOG" 2>&1 &
+R_PID=$!
+wait_healthy "$ROUTER_ADDR"
+echo "cluster up: router $ROUTER_ADDR, shards $S0_ADDR $S1_ADDR"
+
+# Submit through the router; the job captures one field frame per step.
+SPEC='{"mesh_nz":6,"ranks":2,"steps":3,"seed":7,"inject_h":400,"snapshot_every":1}'
+RESP="$(curl -fsS -X POST -d "$SPEC" "$BASE/jobs")"
+JOB="$(printf '%s' "$RESP" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB" ] || fail "submit: no job id: $RESP"
+case "$JOB" in
+s0-*) OWNER=s0 OWNER_ADDR=$S0_ADDR OWNER_PID=$S0_PID OTHER_ADDR=$S1_ADDR ;;
+s1-*) OWNER=s1 OWNER_ADDR=$S1_ADDR OWNER_PID=$S1_PID OTHER_ADDR=$S0_ADDR ;;
+*) fail "job id $JOB carries no shard prefix" ;;
+esac
+echo "job $JOB routed to shard $OWNER"
+
+i=0
+while :; do
+	ST="$(curl -fsS "$BASE/jobs/$JOB")"
+	case "$ST" in
+	*'"state":"done"'*) break ;;
+	*'"state":"failed"'* | *'"state":"canceled"'*) fail "job ended badly: $ST" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -le 300 ] || fail "job did not finish: $ST"
+	sleep 0.2
+done
+curl -fsS "$BASE/jobs/$JOB/result" >"$WORK/result.first"
+echo "job done, result saved"
+
+# Identical re-submission through the router: a cache hit on the owner.
+RESUB="$(curl -fsS -X POST -d "$SPEC" "$BASE/jobs")"
+case "$RESUB" in
+*'"cache_hit":true'*) ;;
+*) fail "router resubmit was not a cache hit: $RESUB" ;;
+esac
+
+# Identical submission DIRECT to the non-owning shard: adopted from the
+# cluster-shared results directory, no second world.
+DIRECT="$(curl -fsS -X POST -d "$SPEC" "http://$OTHER_ADDR/jobs")"
+case "$DIRECT" in
+*'"shared_hit":true'*) ;;
+*) fail "direct submit to non-owner was not a shared hit: $DIRECT" ;;
+esac
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q '^cluster_worlds_built 1$' ||
+	fail "cluster built more than one world: $METRICS"
+echo "cluster-wide coalescing proven: one world for three submissions"
+
+# Frames: the NDJSON stream must carry one frame per step plus the final
+# summary line.
+curl -fsS "$BASE/jobs/$JOB/frames" >"$WORK/frames.first"
+NFRAMES="$(grep -c '"Step":' "$WORK/frames.first" || true)"
+[ "$NFRAMES" -ge 3 ] || fail "want >=3 frames, got $NFRAMES: $(cat "$WORK/frames.first")"
+grep -q '"final":true' "$WORK/frames.first" || fail "frames stream missing final summary"
+echo "frames endpoint streamed $NFRAMES snapshot frames"
+
+# SIGKILL the owning shard; the router must notice and refuse politely.
+kill -9 "$OWNER_PID"
+wait "$OWNER_PID" 2>/dev/null || true
+sleep 1 # > probe interval
+curl -sS -D "$WORK/down.headers" -o "$WORK/down.body" -X POST -d "$SPEC" "$BASE/jobs" || true
+grep -q '^HTTP/[0-9.]* 503' "$WORK/down.headers" ||
+	fail "submit with dead owner: $(cat "$WORK/down.headers" "$WORK/down.body")"
+grep -qi '^Retry-After:' "$WORK/down.headers" || fail "503 without Retry-After"
+echo "dead owner: submissions get 503 + Retry-After"
+
+# Result reads fail over to the survivor via the shared results dir.
+curl -fsS "$BASE/jobs/$JOB/result" >"$WORK/result.failover" ||
+	fail "failover result read failed"
+cmp -s "$WORK/result.first" "$WORK/result.failover" ||
+	fail "failover result not byte-identical"
+echo "result read failed over byte-identically"
+
+# Restart the dead shard on its own data dir; the cluster heals.
+case "$OWNER" in
+s0) S0_PID="$(start_shard s0 "$S0_ADDR")" ;;
+s1) S1_PID="$(start_shard s1 "$S1_ADDR")" ;;
+esac
+wait_healthy "$OWNER_ADDR"
+sleep 1 # > probe interval, router marks it up again
+RESUB="$(curl -fsS -X POST -d "$SPEC" "$BASE/jobs")"
+case "$RESUB" in
+*'"cache_hit":true'*) ;;
+*) fail "post-restart resubmit was not a cache hit: $RESUB" ;;
+esac
+curl -fsS "$BASE/jobs/$JOB/result" >"$WORK/result.second"
+cmp -s "$WORK/result.first" "$WORK/result.second" ||
+	fail "post-restart result not byte-identical"
+echo "restarted shard serves the result byte-identically"
+
+# Router health and metrics reflect the healed cluster.
+H="$(curl -fsS "$BASE/healthz")"
+case "$H" in
+*'"status":"ok"'*) ;;
+*) fail "router healthz after heal: $H" ;;
+esac
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q 'Router_Shard_Up{shard="s0"} 1' || fail "s0 not up in metrics"
+echo "$METRICS" | grep -q 'Router_Shard_Up{shard="s1"} 1' || fail "s1 not up in metrics"
+echo "$METRICS" | grep -q '^Router_Failover 1$' || fail "metrics: want 1 failover: $METRICS"
+
+echo "plasmad_cluster_smoke: PASS"
